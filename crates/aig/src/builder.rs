@@ -1,0 +1,260 @@
+//! Word-level construction helpers on top of the bit-level AIG.
+//!
+//! The synthetic workload generators build counters, comparators and
+//! one-hot control structures; this module provides the small amount of
+//! word-level plumbing they need.  Words are little-endian vectors of
+//! [`Lit`]s (`word[0]` is the least significant bit).
+
+use crate::{Aig, Lit};
+
+/// Builds a literal that is true iff `word` equals the constant `value`
+/// (only the lowest `word.len()` bits of `value` are considered).
+pub fn word_equals_const(aig: &mut Aig, word: &[Lit], value: u64) -> Lit {
+    let lits: Vec<Lit> = word
+        .iter()
+        .enumerate()
+        .map(|(i, &bit)| bit.xor_complement((value >> i) & 1 == 0))
+        .collect();
+    aig.and_many(lits)
+}
+
+/// Builds the bitwise equality of two equally sized words.
+///
+/// # Panics
+///
+/// Panics if the words have different lengths.
+pub fn word_equals(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "word widths must match");
+    let lits: Vec<Lit> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| aig.iff(x, y))
+        .collect();
+    aig.and_many(lits)
+}
+
+/// Builds an unsigned "less than" comparator (`a < b`).
+///
+/// # Panics
+///
+/// Panics if the words have different lengths.
+pub fn word_less_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "word widths must match");
+    // Ripple from the most significant bit: lt_i = (!a_i & b_i) | (a_i<->b_i) & lt_{i-1}
+    let mut lt = Lit::FALSE;
+    for i in 0..a.len() {
+        let eq = aig.iff(a[i], b[i]);
+        let strictly = aig.and(!a[i], b[i]);
+        let keep = aig.and(eq, lt);
+        lt = aig.or(strictly, keep);
+    }
+    lt
+}
+
+/// Builds an incrementer: returns `word + inc` truncated to the word width
+/// (wrap-around), where `inc` is a single-bit condition.
+pub fn word_increment(aig: &mut Aig, word: &[Lit], inc: Lit) -> Vec<Lit> {
+    let mut carry = inc;
+    let mut out = Vec::with_capacity(word.len());
+    for &bit in word {
+        out.push(aig.xor(bit, carry));
+        carry = aig.and(bit, carry);
+    }
+    out
+}
+
+/// Builds a word-level adder: returns `(sum, carry_out)` of `a + b`.
+///
+/// # Panics
+///
+/// Panics if the words have different lengths.
+pub fn word_add(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "word widths must match");
+    let mut carry = Lit::FALSE;
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let x = aig.xor(a[i], b[i]);
+        out.push(aig.xor(x, carry));
+        let c1 = aig.and(a[i], b[i]);
+        let c2 = aig.and(x, carry);
+        carry = aig.or(c1, c2);
+    }
+    (out, carry)
+}
+
+/// Builds a word-level multiplexer selecting `t` when `sel` holds, `e`
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if the words have different lengths.
+pub fn word_mux(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len(), "word widths must match");
+    t.iter()
+        .zip(e.iter())
+        .map(|(&a, &b)| aig.mux(sel, a, b))
+        .collect()
+}
+
+/// Builds a constant word of the given width.
+pub fn word_const(width: usize, value: u64) -> Vec<Lit> {
+    (0..width)
+        .map(|i| {
+            if (value >> i) & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect()
+}
+
+/// Creates `width` fresh latches, all reset according to `init`, and returns
+/// `(latch ids, current-state literals)`.
+pub fn latch_word(aig: &mut Aig, width: usize, init: u64) -> (Vec<usize>, Vec<Lit>) {
+    let mut ids = Vec::with_capacity(width);
+    let mut lits = Vec::with_capacity(width);
+    for i in 0..width {
+        let id = aig.add_latch((init >> i) & 1 == 1);
+        lits.push(aig.latch_lit(id));
+        ids.push(id);
+    }
+    (ids, lits)
+}
+
+/// Creates `width` fresh primary inputs and returns their literals.
+pub fn input_word(aig: &mut Aig, width: usize) -> Vec<Lit> {
+    (0..width).map(|_| Lit::positive(aig.add_input())).collect()
+}
+
+/// Builds the literal "at most one of `lits` is true".
+pub fn at_most_one(aig: &mut Aig, lits: &[Lit]) -> Lit {
+    let mut violations = Vec::new();
+    for i in 0..lits.len() {
+        for j in (i + 1)..lits.len() {
+            violations.push(aig.and(lits[i], lits[j]));
+        }
+    }
+    let any = aig.or_many(violations);
+    !any
+}
+
+/// Builds the literal "exactly one of `lits` is true".
+pub fn exactly_one(aig: &mut Aig, lits: &[Lit]) -> Lit {
+    let amo = at_most_one(aig, lits);
+    let any = aig.or_many(lits.iter().copied());
+    aig.and(amo, any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(aig: &Aig, word: &[Lit], inputs: &[bool], latches: &[bool]) -> u64 {
+        word.iter()
+            .enumerate()
+            .map(|(i, &l)| (aig.eval(l, inputs, latches) as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn word_equals_const_matches() {
+        let mut aig = Aig::new();
+        let w = input_word(&mut aig, 3);
+        let eq5 = word_equals_const(&mut aig, &w, 5);
+        for v in 0..8u64 {
+            let inputs: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(aig.eval(eq5, &inputs, &[]), v == 5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn word_add_is_binary_addition() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 3);
+        let b = input_word(&mut aig, 3);
+        let (sum, carry) = word_add(&mut aig, &a, &b);
+        for va in 0..8u64 {
+            for vb in 0..8u64 {
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push((va >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    inputs.push((vb >> i) & 1 == 1);
+                }
+                let got = eval_word(&aig, &sum, &inputs, &[]);
+                let cout = aig.eval(carry, &inputs, &[]) as u64;
+                assert_eq!(got + (cout << 3), va + vb, "{va}+{vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_increment_wraps() {
+        let mut aig = Aig::new();
+        let w = input_word(&mut aig, 2);
+        let next = word_increment(&mut aig, &w, Lit::TRUE);
+        for v in 0..4u64 {
+            let inputs: Vec<bool> = (0..2).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(eval_word(&aig, &next, &inputs, &[]), (v + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn word_less_than_is_unsigned() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 3);
+        let b = input_word(&mut aig, 3);
+        let lt = word_less_than(&mut aig, &a, &b);
+        for va in 0..8u64 {
+            for vb in 0..8u64 {
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push((va >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    inputs.push((vb >> i) & 1 == 1);
+                }
+                assert_eq!(aig.eval(lt, &inputs, &[]), va < vb, "{va}<{vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_and_at_most_one() {
+        let mut aig = Aig::new();
+        let w = input_word(&mut aig, 3);
+        let amo = at_most_one(&mut aig, &w);
+        let exo = exactly_one(&mut aig, &w);
+        for v in 0..8u64 {
+            let inputs: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            let ones = v.count_ones();
+            assert_eq!(aig.eval(amo, &inputs, &[]), ones <= 1);
+            assert_eq!(aig.eval(exo, &inputs, &[]), ones == 1);
+        }
+    }
+
+    #[test]
+    fn word_mux_selects() {
+        let mut aig = Aig::new();
+        let sel = Lit::positive(aig.add_input());
+        let t = word_const(4, 0b1010);
+        let e = word_const(4, 0b0101);
+        let m = word_mux(&mut aig, sel, &t, &e);
+        assert_eq!(eval_word(&aig, &m, &[true], &[]), 0b1010);
+        assert_eq!(eval_word(&aig, &m, &[false], &[]), 0b0101);
+    }
+
+    #[test]
+    fn latch_word_sets_reset_values() {
+        let mut aig = Aig::new();
+        let (ids, lits) = latch_word(&mut aig, 4, 0b0110);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(lits.len(), 4);
+        assert!(!aig.init(ids[0]));
+        assert!(aig.init(ids[1]));
+        assert!(aig.init(ids[2]));
+        assert!(!aig.init(ids[3]));
+    }
+}

@@ -1,0 +1,158 @@
+//! Sequential cone-of-influence (COI) analysis.
+//!
+//! The localization abstraction used by the CBA-enhanced engine needs to
+//! know which latches can influence the property at all, and which latches
+//! sit in the *direct* combinational support of a signal.  Both queries are
+//! answered here.
+
+use crate::{Aig, AigNode, LatchId, Lit};
+use std::collections::HashSet;
+
+/// The result of a sequential cone-of-influence computation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coi {
+    /// Latches that can (transitively, through any number of time frames)
+    /// influence the analysed literals.
+    pub latches: HashSet<LatchId>,
+    /// Primary inputs in the transitive fan-in.
+    pub inputs: HashSet<usize>,
+}
+
+/// Collects the latches and inputs appearing in the *combinational* support
+/// of `lit` (no traversal through latch boundaries).
+pub fn combinational_support(aig: &Aig, lit: Lit) -> Coi {
+    let mut coi = Coi::default();
+    let mut seen = HashSet::new();
+    collect(aig, lit, &mut seen, &mut coi);
+    coi
+}
+
+/// Collects the combinational support of several literals at once.
+pub fn combinational_support_many(aig: &Aig, lits: &[Lit]) -> Coi {
+    let mut coi = Coi::default();
+    let mut seen = HashSet::new();
+    for &lit in lits {
+        collect(aig, lit, &mut seen, &mut coi);
+    }
+    coi
+}
+
+fn collect(aig: &Aig, lit: Lit, seen: &mut HashSet<u32>, coi: &mut Coi) {
+    let mut stack = vec![lit.node()];
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        match aig.node(id) {
+            AigNode::Const => {}
+            AigNode::Input { index } => {
+                coi.inputs.insert(index);
+            }
+            AigNode::Latch { index } => {
+                coi.latches.insert(index);
+            }
+            AigNode::And { left, right } => {
+                stack.push(left.node());
+                stack.push(right.node());
+            }
+        }
+    }
+}
+
+/// Computes the *sequential* cone of influence of the given literals: the
+/// least set of latches closed under "appears in the combinational support
+/// of the next-state function of a latch already in the set", seeded with
+/// the combinational support of the literals themselves.
+pub fn sequential_coi(aig: &Aig, lits: &[Lit]) -> Coi {
+    let mut coi = combinational_support_many(aig, lits);
+    let mut frontier: Vec<LatchId> = coi.latches.iter().copied().collect();
+    while let Some(latch) = frontier.pop() {
+        let next = aig.next(latch);
+        let local = combinational_support(aig, next);
+        for l in local.latches {
+            if coi.latches.insert(l) {
+                frontier.push(l);
+            }
+        }
+        coi.inputs.extend(local.inputs);
+    }
+    coi
+}
+
+/// Computes the sequential COI of every bad-state literal of the design.
+pub fn property_coi(aig: &Aig) -> Coi {
+    let bads: Vec<Lit> = aig.bad_lits().collect();
+    sequential_coi(aig, &bads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    /// Two independent latch chains; the property only reads chain A.
+    fn two_chains() -> (Aig, Lit) {
+        let mut aig = Aig::new();
+        // chain A: a0 <- a1 <- input0
+        let a0 = aig.add_latch(false);
+        let a1 = aig.add_latch(false);
+        let i0 = Lit::positive(aig.add_input());
+        aig.set_next(a1, i0);
+        let a1lit = aig.latch_lit(a1);
+        aig.set_next(a0, a1lit);
+        // chain B: independent latch fed by input1
+        let b0 = aig.add_latch(false);
+        let i1 = Lit::positive(aig.add_input());
+        aig.set_next(b0, i1);
+        let bad = aig.latch_lit(a0);
+        aig.add_bad(bad);
+        (aig, bad)
+    }
+
+    #[test]
+    fn combinational_support_stops_at_latches() {
+        let (aig, bad) = two_chains();
+        let coi = combinational_support(&aig, bad);
+        assert_eq!(coi.latches.len(), 1);
+        assert!(coi.latches.contains(&0));
+        assert!(coi.inputs.is_empty());
+    }
+
+    #[test]
+    fn sequential_coi_follows_next_state_functions() {
+        let (aig, bad) = two_chains();
+        let coi = sequential_coi(&aig, &[bad]);
+        assert_eq!(coi.latches.len(), 2, "latch b0 must be excluded");
+        assert!(coi.latches.contains(&0));
+        assert!(coi.latches.contains(&1));
+        assert!(coi.inputs.contains(&0));
+        assert!(!coi.inputs.contains(&1));
+    }
+
+    #[test]
+    fn property_coi_uses_bad_literals() {
+        let (aig, _) = two_chains();
+        let coi = property_coi(&aig);
+        assert_eq!(coi.latches.len(), 2);
+    }
+
+    #[test]
+    fn constant_literal_has_empty_coi() {
+        let aig = Aig::new();
+        let coi = combinational_support(&aig, Lit::TRUE);
+        assert!(coi.latches.is_empty());
+        assert!(coi.inputs.is_empty());
+    }
+
+    #[test]
+    fn support_of_and_gate_includes_both_sides() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        let i = Lit::positive(aig.add_input());
+        let llit = aig.latch_lit(l);
+        let g = aig.and(llit, i);
+        let coi = combinational_support(&aig, g);
+        assert!(coi.latches.contains(&0));
+        assert!(coi.inputs.contains(&0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Edge literals of the AIG: a node index plus a complement bit.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A (possibly complemented) reference to an AIG node.
+///
+/// The encoding follows the AIGER convention: the underlying `u32` holds the
+/// node index shifted left by one, with the least significant bit set when
+/// the edge is complemented.  Node 0 is the constant-false node, so
+/// [`Lit::FALSE`] is `0` and [`Lit::TRUE`] is `1`.
+///
+/// ```
+/// use aig::Lit;
+/// let a = Lit::positive(3);
+/// assert_eq!(a.node(), 3);
+/// assert!(!a.is_complemented());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (node 0, not complemented).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0, complemented).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates the positive-phase literal for `node`.
+    #[inline]
+    pub fn positive(node: u32) -> Lit {
+        Lit(node << 1)
+    }
+
+    /// Creates the negative-phase literal for `node`.
+    #[inline]
+    pub fn negative(node: u32) -> Lit {
+        Lit((node << 1) | 1)
+    }
+
+    /// Creates a literal from the raw AIGER encoding (`2*node + complement`).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Lit {
+        Lit(raw)
+    }
+
+    /// Returns the raw AIGER encoding of the literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index of the referenced node.
+    #[inline]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Returns `true` when the edge carries an inverter.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the positive-phase literal of the same node.
+    #[inline]
+    pub fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// Returns this literal complemented when `c` is true, unchanged otherwise.
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Returns `true` for the constant true/false literals.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    /// Returns `Some(value)` when the literal is a constant, `None` otherwise.
+    #[inline]
+    pub fn constant_value(self) -> Option<bool> {
+        if self.is_constant() {
+            Some(self.is_complemented())
+        } else {
+            None
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_node_zero() {
+        assert_eq!(Lit::FALSE.node(), 0);
+        assert_eq!(Lit::TRUE.node(), 0);
+        assert!(Lit::FALSE.is_constant());
+        assert!(Lit::TRUE.is_constant());
+        assert_eq!(Lit::FALSE.constant_value(), Some(false));
+        assert_eq!(Lit::TRUE.constant_value(), Some(true));
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Lit::positive(7);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).node(), l.node());
+    }
+
+    #[test]
+    fn raw_roundtrip_matches_aiger_convention() {
+        let l = Lit::from_raw(13);
+        assert_eq!(l.node(), 6);
+        assert!(l.is_complemented());
+        assert_eq!(l.raw(), 13);
+        assert_eq!(Lit::negative(6), l);
+    }
+
+    #[test]
+    fn abs_strips_complement() {
+        assert_eq!(Lit::negative(4).abs(), Lit::positive(4));
+        assert_eq!(Lit::positive(4).abs(), Lit::positive(4));
+    }
+
+    #[test]
+    fn xor_complement_conditionally_flips() {
+        let l = Lit::positive(9);
+        assert_eq!(l.xor_complement(false), l);
+        assert_eq!(l.xor_complement(true), !l);
+    }
+
+    #[test]
+    fn non_constant_literal_has_no_constant_value() {
+        assert_eq!(Lit::positive(2).constant_value(), None);
+    }
+
+    #[test]
+    fn ordering_groups_phases_of_same_node() {
+        let a = Lit::positive(3);
+        let b = Lit::negative(3);
+        let c = Lit::positive(4);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Lit::FALSE), "0");
+        assert_eq!(format!("{}", Lit::TRUE), "1");
+        assert_eq!(format!("{}", Lit::positive(5)), "n5");
+        assert_eq!(format!("{}", Lit::negative(5)), "!n5");
+    }
+}

@@ -1,0 +1,298 @@
+//! ASCII AIGER (`.aag`) reader.
+//!
+//! The subset of the AIGER 1.9 format understood here covers what hardware
+//! model-checking benchmarks use: the `aag M I L O A` header with the
+//! optional `B` (bad state) count, latch reset values, outputs, bad-state
+//! literals and AND gates.  Symbol table and comment sections are skipped.
+
+use crate::{Aig, Lit};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing an ASCII AIGER file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseAagError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A body line could not be parsed.
+    BadLine { line: usize, message: String },
+    /// The number of body lines does not match the header counts.
+    Truncated,
+    /// AND gate definitions form a cycle or reference undefined literals.
+    UnresolvedAnds,
+}
+
+impl fmt::Display for ParseAagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAagError::BadHeader(h) => write!(f, "invalid aag header: {h}"),
+            ParseAagError::BadLine { line, message } => {
+                write!(f, "invalid aag line {line}: {message}")
+            }
+            ParseAagError::Truncated => write!(f, "aag file ends before all sections are read"),
+            ParseAagError::UnresolvedAnds => {
+                write!(f, "and gates reference undefined literals or form a cycle")
+            }
+        }
+    }
+}
+
+impl Error for ParseAagError {}
+
+/// Parses an ASCII AIGER description into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseAagError`] when the header is malformed, a body line
+/// cannot be parsed, the file is truncated, or AND definitions cannot be
+/// resolved.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "aag 3 1 1 0 1 1\n2\n4 6 0\n6\n6 2 4\n";
+/// let aig = aig::parse_aag(text)?;
+/// assert_eq!(aig.num_inputs(), 1);
+/// assert_eq!(aig.num_latches(), 1);
+/// assert_eq!(aig.num_bad(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_aag(text: &str) -> Result<Aig, ParseAagError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAagError::BadHeader(String::new()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 6 || fields[0] != "aag" {
+        return Err(ParseAagError::BadHeader(header.to_string()));
+    }
+    let parse_field = |s: &str| -> Result<usize, ParseAagError> {
+        s.parse()
+            .map_err(|_| ParseAagError::BadHeader(header.to_string()))
+    };
+    let _max_var = parse_field(fields[1])?;
+    let num_inputs = parse_field(fields[2])?;
+    let num_latches = parse_field(fields[3])?;
+    let num_outputs = parse_field(fields[4])?;
+    let num_ands = parse_field(fields[5])?;
+    let num_bad = if fields.len() > 6 {
+        parse_field(fields[6])?
+    } else {
+        0
+    };
+
+    let mut aig = Aig::new();
+    // Maps AIGER variable index -> literal in our graph (positive phase).
+    let mut var_map: HashMap<u32, Lit> = HashMap::new();
+    var_map.insert(0, Lit::FALSE);
+
+    fn next_line<'a>(
+        lines: &mut std::iter::Enumerate<std::str::Lines<'a>>,
+    ) -> Result<(usize, &'a str), ParseAagError> {
+        lines.next().ok_or(ParseAagError::Truncated)
+    }
+    let parse_u32 = |tok: &str, line: usize| -> Result<u32, ParseAagError> {
+        tok.parse().map_err(|_| ParseAagError::BadLine {
+            line,
+            message: format!("expected unsigned literal, found `{tok}`"),
+        })
+    };
+
+    // Inputs.
+    let mut input_vars = Vec::with_capacity(num_inputs);
+    for _ in 0..num_inputs {
+        let (ln, text) = next_line(&mut lines)?;
+        let raw = parse_u32(text.trim(), ln + 1)?;
+        let id = aig.add_input();
+        var_map.insert(raw >> 1, Lit::positive(id));
+        input_vars.push(raw >> 1);
+    }
+
+    // Latches: "lit next [init]".
+    let mut latch_defs = Vec::with_capacity(num_latches);
+    for _ in 0..num_latches {
+        let (ln, text) = next_line(&mut lines)?;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(ParseAagError::BadLine {
+                line: ln + 1,
+                message: "latch line needs at least `lit next`".to_string(),
+            });
+        }
+        let lit = parse_u32(toks[0], ln + 1)?;
+        let next = parse_u32(toks[1], ln + 1)?;
+        let init = if toks.len() > 2 {
+            parse_u32(toks[2], ln + 1)? == 1
+        } else {
+            false
+        };
+        let latch = aig.add_latch(init);
+        var_map.insert(lit >> 1, aig.latch_lit(latch));
+        latch_defs.push((latch, next));
+    }
+
+    // Outputs and bad literals (raw, resolved later).
+    let mut output_raw = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let (ln, text) = next_line(&mut lines)?;
+        output_raw.push(parse_u32(text.trim(), ln + 1)?);
+    }
+    let mut bad_raw = Vec::with_capacity(num_bad);
+    for _ in 0..num_bad {
+        let (ln, text) = next_line(&mut lines)?;
+        bad_raw.push(parse_u32(text.trim(), ln + 1)?);
+    }
+
+    // AND gates, possibly out of order: retry until a fixed point.
+    let mut pending: Vec<(u32, u32, u32)> = Vec::with_capacity(num_ands);
+    for _ in 0..num_ands {
+        let (ln, text) = next_line(&mut lines)?;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(ParseAagError::BadLine {
+                line: ln + 1,
+                message: "and line needs `lhs rhs0 rhs1`".to_string(),
+            });
+        }
+        pending.push((
+            parse_u32(toks[0], ln + 1)?,
+            parse_u32(toks[1], ln + 1)?,
+            parse_u32(toks[2], ln + 1)?,
+        ));
+    }
+    let resolve = |var_map: &HashMap<u32, Lit>, raw: u32| -> Option<Lit> {
+        var_map
+            .get(&(raw >> 1))
+            .map(|l| l.xor_complement(raw & 1 == 1))
+    };
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&(lhs, rhs0, rhs1)| {
+            match (resolve(&var_map, rhs0), resolve(&var_map, rhs1)) {
+                (Some(a), Some(b)) => {
+                    let lit = aig.and(a, b);
+                    var_map.insert(lhs >> 1, lit);
+                    false
+                }
+                _ => true,
+            }
+        });
+        if pending.len() == before {
+            return Err(ParseAagError::UnresolvedAnds);
+        }
+    }
+
+    // Resolve latch next-state functions, outputs and bad literals.
+    for (latch, next_raw) in latch_defs {
+        let next = resolve(&var_map, next_raw).ok_or(ParseAagError::UnresolvedAnds)?;
+        aig.set_next(latch, next);
+    }
+    for raw in output_raw {
+        let lit = resolve(&var_map, raw).ok_or(ParseAagError::UnresolvedAnds)?;
+        aig.add_output(lit);
+    }
+    for raw in bad_raw {
+        let lit = resolve(&var_map, raw).ok_or(ParseAagError::UnresolvedAnds)?;
+        aig.add_bad(lit);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::to_aag;
+
+    #[test]
+    fn parses_minimal_combinational_design() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_latches(), 0);
+        assert_eq!(aig.num_outputs(), 1);
+        assert_eq!(aig.num_ands(), 1);
+        let out = aig.output(0);
+        assert!(aig.eval(out, &[true, true], &[]));
+        assert!(!aig.eval(out, &[true, false], &[]));
+    }
+
+    #[test]
+    fn parses_latch_with_init_value() {
+        let text = "aag 2 1 1 1 0\n2\n4 2 1\n4\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_latches(), 1);
+        assert!(aig.init(0));
+        assert_eq!(aig.next(0), aig.input_lit(0));
+    }
+
+    #[test]
+    fn parses_bad_state_section() {
+        let text = "aag 3 1 1 0 1 1\n2\n4 6 0\n6\n6 2 4\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_bad(), 1);
+        assert_eq!(aig.num_outputs(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_aag("hello world\n"),
+            Err(ParseAagError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_aag("aag 1 2\n"),
+            Err(ParseAagError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        assert!(matches!(
+            parse_aag("aag 3 2 0 1 1\n2\n4\n"),
+            Err(ParseAagError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_cyclic_and_definitions() {
+        // Two ANDs that reference each other and nothing else.
+        let text = "aag 4 1 0 1 2\n2\n6\n6 8 2\n8 6 2\n";
+        assert!(matches!(
+            parse_aag(text),
+            Err(ParseAagError::UnresolvedAnds)
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let text = "aag 5 2 1 1 2 1\n2\n4\n6 10 0\n10\n10\n8 2 4\n10 8 6\n";
+        let aig = parse_aag(text).expect("parse");
+        let rendered = to_aag(&aig);
+        let reparsed = parse_aag(&rendered).expect("reparse");
+        assert_eq!(reparsed.num_inputs(), aig.num_inputs());
+        assert_eq!(reparsed.num_latches(), aig.num_latches());
+        assert_eq!(reparsed.num_ands(), aig.num_ands());
+        assert_eq!(reparsed.num_outputs(), aig.num_outputs());
+        assert_eq!(reparsed.num_bad(), aig.num_bad());
+    }
+
+    #[test]
+    fn out_of_order_and_gates_are_accepted() {
+        // Same design as `parses_minimal_combinational_design` but the AND
+        // feeding the output is listed before the one it depends on.
+        let text = "aag 4 2 0 1 2\n2\n4\n8\n8 6 2\n6 2 4\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = parse_aag("aag 1 1 0 0 0\nxyz\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = parse_aag("nothdr").unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Cycle-accurate simulation of sequential AIGs.
+//!
+//! Simulation is used for two purposes in the reproduction: validating the
+//! synthetic workloads (known-failing properties must actually fail on some
+//! concrete input sequence) and replaying counterexamples produced by the
+//! model-checking engines.
+
+use crate::{Aig, AigNode};
+
+/// The value trace produced by [`simulate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimTrace {
+    /// `latches[t][i]` is the value of latch `i` at the start of cycle `t`.
+    pub latches: Vec<Vec<bool>>,
+    /// `bad[t][j]` is the value of bad-state literal `j` during cycle `t`.
+    pub bad: Vec<Vec<bool>>,
+    /// `outputs[t][j]` is the value of output `j` during cycle `t`.
+    pub outputs: Vec<Vec<bool>>,
+}
+
+impl SimTrace {
+    /// Returns the first cycle in which any bad-state literal is asserted,
+    /// or `None` when the property holds throughout the trace.
+    pub fn first_failure(&self) -> Option<usize> {
+        self.bad
+            .iter()
+            .position(|cycle| cycle.iter().any(|&b| b))
+    }
+}
+
+/// Simulates the design for `inputs.len()` cycles starting from the reset
+/// state.
+///
+/// `inputs[t][i]` is the value driven on primary input `i` during cycle `t`.
+///
+/// # Panics
+///
+/// Panics if any input vector is shorter than the number of primary inputs.
+pub fn simulate(aig: &Aig, inputs: &[Vec<bool>]) -> SimTrace {
+    let mut state: Vec<bool> = (0..aig.num_latches()).map(|i| aig.init(i)).collect();
+    let mut trace = SimTrace {
+        latches: Vec::with_capacity(inputs.len()),
+        bad: Vec::with_capacity(inputs.len()),
+        outputs: Vec::with_capacity(inputs.len()),
+    };
+    for frame in inputs {
+        assert!(
+            frame.len() >= aig.num_inputs(),
+            "input vector narrower than the number of primary inputs"
+        );
+        let values = evaluate_frame(aig, frame, &state);
+        trace.latches.push(state.clone());
+        trace.bad.push(
+            aig.bad_lits()
+                .map(|l| values[l.node() as usize] ^ l.is_complemented())
+                .collect(),
+        );
+        trace.outputs.push(
+            aig.outputs()
+                .map(|l| values[l.node() as usize] ^ l.is_complemented())
+                .collect(),
+        );
+        // Advance the state.
+        state = (0..aig.num_latches())
+            .map(|i| {
+                let next = aig.next(i);
+                values[next.node() as usize] ^ next.is_complemented()
+            })
+            .collect();
+    }
+    trace
+}
+
+/// Evaluates all nodes for one clock cycle; returns the positive-phase value
+/// of every node.
+fn evaluate_frame(aig: &Aig, inputs: &[bool], latches: &[bool]) -> Vec<bool> {
+    let mut values = vec![false; aig.num_nodes()];
+    for id in aig.node_ids() {
+        values[id as usize] = match aig.node(id) {
+            AigNode::Const => false,
+            AigNode::Input { index } => inputs[index],
+            AigNode::Latch { index } => latches[index],
+            AigNode::And { left, right } => {
+                let l = values[left.node() as usize] ^ left.is_complemented();
+                let r = values[right.node() as usize] ^ right.is_complemented();
+                l && r
+            }
+        };
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{latch_word, word_equals_const, word_increment};
+    use crate::{Aig, Lit};
+
+    /// A 3-bit free-running counter with a bad state at a given value.
+    fn counter(bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, lits) = latch_word(&mut aig, 3, 0);
+        let next = word_increment(&mut aig, &lits, Lit::TRUE);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &lits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    #[test]
+    fn counter_reaches_bad_state_at_expected_cycle() {
+        let aig = counter(5);
+        let inputs = vec![vec![]; 10];
+        let trace = simulate(&aig, &inputs);
+        assert_eq!(trace.first_failure(), Some(5));
+    }
+
+    #[test]
+    fn counter_wraps_around() {
+        let aig = counter(2);
+        let inputs = vec![vec![]; 12];
+        let trace = simulate(&aig, &inputs);
+        // Failure at cycle 2 and again at cycle 10 after wrap-around.
+        assert!(trace.bad[2][0]);
+        assert!(trace.bad[10][0]);
+        assert_eq!(trace.first_failure(), Some(2));
+    }
+
+    #[test]
+    fn trace_records_initial_state() {
+        let aig = counter(7);
+        let trace = simulate(&aig, &[vec![], vec![]]);
+        assert_eq!(trace.latches[0], vec![false, false, false]);
+        assert_eq!(trace.latches[1], vec![true, false, false]);
+    }
+
+    #[test]
+    fn inputs_drive_combinational_outputs() {
+        let mut aig = Aig::new();
+        let a = Lit::positive(aig.add_input());
+        let b = Lit::positive(aig.add_input());
+        let o = aig.xor(a, b);
+        aig.add_output(o);
+        let trace = simulate(
+            &aig,
+            &[vec![false, false], vec![true, false], vec![true, true]],
+        );
+        assert_eq!(trace.outputs[0], vec![false]);
+        assert_eq!(trace.outputs[1], vec![true]);
+        assert_eq!(trace.outputs[2], vec![false]);
+        assert_eq!(trace.first_failure(), None);
+    }
+
+    #[test]
+    fn empty_input_sequence_gives_empty_trace() {
+        let aig = counter(1);
+        let trace = simulate(&aig, &[]);
+        assert!(trace.latches.is_empty());
+        assert_eq!(trace.first_failure(), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! The ROBDD manager: unique table, `ite`, quantification, renaming.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A handle to a BDD node owned by a [`Manager`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` for the two constant functions.
+    pub fn is_constant(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Error raised when the node limit of the manager is exceeded.
+///
+/// This mirrors the `ovf` entries of the paper's Table I: BDD-based
+/// traversal is attempted with a resource bound and reported as overflowed
+/// when the bound is hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BddOverflow {
+    /// The node limit that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node limit of {} nodes exceeded", self.limit)
+    }
+}
+
+impl Error for BddOverflow {}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A reduced ordered BDD manager over a fixed number of variables.
+///
+/// Variable `0` is the topmost level.  The manager enforces a node limit;
+/// operations return [`BddOverflow`] once it is exceeded, which callers
+/// treat as the paper treats BDD overflows (give up on the exact analysis).
+#[derive(Clone, Debug)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    num_vars: usize,
+    node_limit: usize,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl Manager {
+    /// Creates a manager for `num_vars` variables with the given node limit.
+    pub fn new(num_vars: usize, node_limit: usize) -> Manager {
+        Manager {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: 0,
+                    hi: 0,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: 1,
+                    hi: 1,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+            node_limit,
+        }
+    }
+
+    /// Number of variables of the manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, BddOverflow> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddOverflow {
+                limit: self.node_limit,
+            });
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        Ok(id)
+    }
+
+    /// Returns the function of variable `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn var(&mut self, index: usize) -> Result<Bdd, BddOverflow> {
+        assert!(index < self.num_vars, "variable index out of range");
+        Ok(Bdd(self.mk(index as u32, 0, 1)?))
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddOverflow> {
+        Ok(Bdd(self.ite_rec(f.0, g.0, h.0)?))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddOverflow> {
+        // Terminal cases.
+        if f == 1 {
+            return Ok(g);
+        }
+        if f == 0 {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == 1 && h == 0 {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = [f, g, h]
+            .iter()
+            .map(|&x| self.nodes[x as usize].var)
+            .min()
+            .expect("non-empty");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite_rec(f0, g0, h0)?;
+        let hi = self.ite_rec(f1, g1, h1)?;
+        let result = self.mk(top, lo, hi)?;
+        self.ite_cache.insert((f, g, h), result);
+        Ok(result)
+    }
+
+    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
+        let node = self.nodes[f as usize];
+        if node.var == var {
+            (node.lo, node.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddOverflow> {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddOverflow> {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddOverflow> {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddOverflow> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional (`f ↔ g`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddOverflow> {
+        let x = self.xor(f, g)?;
+        self.not(x)
+    }
+
+    /// Existential quantification of the variables for which `quantified`
+    /// returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn exists(&mut self, f: Bdd, quantified: &[bool]) -> Result<Bdd, BddOverflow> {
+        let mut cache = HashMap::new();
+        Ok(Bdd(self.exists_rec(f.0, quantified, &mut cache)?))
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: u32,
+        quantified: &[bool],
+        cache: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddOverflow> {
+        if f <= 1 {
+            return Ok(f);
+        }
+        if let Some(&r) = cache.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.exists_rec(node.lo, quantified, cache)?;
+        let hi = self.exists_rec(node.hi, quantified, cache)?;
+        let result = if quantified
+            .get(node.var as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            self.ite_rec(lo, 1, hi)?
+        } else {
+            self.mk(node.var, lo, hi)?
+        };
+        cache.insert(f, result);
+        Ok(result)
+    }
+
+    /// Renames variables according to `map` (`map[v]` is the new index of
+    /// variable `v`).
+    ///
+    /// The mapping must be order-preserving on the support of `f`, i.e. if
+    /// `u < v` both occur in `f` then `map[u] < map[v]`; this keeps the
+    /// result reduced and ordered without a re-ordering pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node limit is hit.
+    pub fn rename(&mut self, f: Bdd, map: &[usize]) -> Result<Bdd, BddOverflow> {
+        let mut cache = HashMap::new();
+        Ok(Bdd(self.rename_rec(f.0, map, &mut cache)?))
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: u32,
+        map: &[usize],
+        cache: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddOverflow> {
+        if f <= 1 {
+            return Ok(f);
+        }
+        if let Some(&r) = cache.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.rename_rec(node.lo, map, cache)?;
+        let hi = self.rename_rec(node.hi, map, cache)?;
+        let new_var = map[node.var as usize] as u32;
+        let result = self.mk(new_var, lo, hi)?;
+        cache.insert(f, result);
+        Ok(result)
+    }
+
+    /// Evaluates `f` under a total assignment.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            if cur == 1 {
+                return true;
+            }
+            let node = self.nodes[cur as usize];
+            cur = if assignment[node.var as usize] {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+
+    /// Returns `true` when `f` is the constant-false function.
+    pub fn is_false(&self, f: Bdd) -> bool {
+        f == Bdd::FALSE
+    }
+
+    /// Counts the number of satisfying assignments of `f` over all
+    /// `num_vars` variables.
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let mut cache: HashMap<u32, f64> = HashMap::new();
+        self.sat_count_rec(f.0, &mut cache) * 2f64.powi(self.level_of(f.0) as i32)
+    }
+
+    fn level_of(&self, f: u32) -> u32 {
+        if f <= 1 {
+            self.num_vars as u32
+        } else {
+            self.nodes[f as usize].var
+        }
+    }
+
+    fn sat_count_rec(&self, f: u32, cache: &mut HashMap<u32, f64>) -> f64 {
+        if f == 0 {
+            return 0.0;
+        }
+        if f == 1 {
+            return 1.0;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.sat_count_rec(node.lo, cache)
+            * 2f64.powi((self.level_of(node.lo) - node.var - 1) as i32);
+        let hi = self.sat_count_rec(node.hi, cache)
+            * 2f64.powi((self.level_of(node.hi) - node.var - 1) as i32);
+        let result = lo + hi;
+        cache.insert(f, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_variables() {
+        let mut mgr = Manager::new(3, 1000);
+        let x = mgr.var(0).unwrap();
+        assert!(mgr.eval(x, &[true, false, false]));
+        assert!(!mgr.eval(x, &[false, true, true]));
+        assert!(mgr.eval(Bdd::TRUE, &[false, false, false]));
+        assert!(!mgr.eval(Bdd::FALSE, &[true, true, true]));
+    }
+
+    #[test]
+    fn boolean_operations_match_truth_tables() {
+        let mut mgr = Manager::new(2, 1000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let and = mgr.and(x, y).unwrap();
+        let or = mgr.or(x, y).unwrap();
+        let xor = mgr.xor(x, y).unwrap();
+        let iff = mgr.iff(x, y).unwrap();
+        let not_x = mgr.not(x).unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                let env = [a, b];
+                assert_eq!(mgr.eval(and, &env), a && b);
+                assert_eq!(mgr.eval(or, &env), a || b);
+                assert_eq!(mgr.eval(xor, &env), a ^ b);
+                assert_eq!(mgr.eval(iff, &env), a == b);
+                assert_eq!(mgr.eval(not_x, &env), !a);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut mgr = Manager::new(2, 1000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let a = mgr.and(x, y).unwrap();
+        let b = mgr.and(y, x).unwrap();
+        assert_eq!(a, b);
+        let t = mgr.or(x, Bdd::TRUE).unwrap();
+        assert_eq!(t, Bdd::TRUE);
+    }
+
+    #[test]
+    fn existential_quantification() {
+        let mut mgr = Manager::new(2, 1000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let f = mgr.and(x, y).unwrap();
+        // ∃x. x ∧ y  ≡  y
+        let q = mgr.exists(f, &[true, false]).unwrap();
+        assert_eq!(q, y);
+        // ∃x,y. x ∧ y ≡ true
+        let q = mgr.exists(f, &[true, true]).unwrap();
+        assert_eq!(q, Bdd::TRUE);
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let mut mgr = Manager::new(4, 1000);
+        let x2 = mgr.var(2).unwrap();
+        let x3 = mgr.var(3).unwrap();
+        let f = mgr.and(x2, x3).unwrap();
+        // Map 2 -> 0, 3 -> 1 (order preserving).
+        let g = mgr.rename(f, &[0, 1, 0, 1]).unwrap();
+        let x0 = mgr.var(0).unwrap();
+        let x1 = mgr.var(1).unwrap();
+        let expected = mgr.and(x0, x1).unwrap();
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn node_limit_triggers_overflow() {
+        let mut mgr = Manager::new(16, 24);
+        let mut acc = Bdd::TRUE;
+        let mut overflowed = false;
+        for i in 0..16 {
+            let v = match mgr.var(i) {
+                Ok(v) => v,
+                Err(_) => {
+                    overflowed = true;
+                    break;
+                }
+            };
+            match mgr.xor(acc, v) {
+                Ok(f) => acc = f,
+                Err(_) => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed, "tiny node limit must eventually overflow");
+    }
+
+    #[test]
+    fn sat_count_of_simple_functions() {
+        let mut mgr = Manager::new(3, 1000);
+        let x = mgr.var(0).unwrap();
+        let y = mgr.var(1).unwrap();
+        let f = mgr.and(x, y).unwrap();
+        assert_eq!(mgr.sat_count(f) as u64, 2); // x ∧ y, z free
+        assert_eq!(mgr.sat_count(Bdd::TRUE) as u64, 8);
+        assert_eq!(mgr.sat_count(Bdd::FALSE) as u64, 0);
+        let g = mgr.or(x, y).unwrap();
+        assert_eq!(mgr.sat_count(g) as u64, 6);
+    }
+
+    #[test]
+    fn eval_agrees_with_random_formula_structure() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 6usize;
+        let mut mgr = Manager::new(n, 100_000);
+        // Build a random expression tree and an equivalent closure.
+        let vars: Vec<Bdd> = (0..n).map(|i| mgr.var(i).unwrap()).collect();
+        let mut f = vars[0];
+        let mut ops: Vec<(u8, usize)> = Vec::new();
+        for _ in 0..12 {
+            let op = rng.gen_range(0..3u8);
+            let v = rng.gen_range(0..n);
+            f = match op {
+                0 => mgr.and(f, vars[v]).unwrap(),
+                1 => mgr.or(f, vars[v]).unwrap(),
+                _ => mgr.xor(f, vars[v]).unwrap(),
+            };
+            ops.push((op, v));
+        }
+        for bits in 0..(1u32 << n) {
+            let env: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            let mut expected = env[0];
+            for &(op, v) in &ops {
+                expected = match op {
+                    0 => expected && env[v],
+                    1 => expected || env[v],
+                    _ => expected ^ env[v],
+                };
+            }
+            assert_eq!(mgr.eval(f, &env), expected);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion group for Fig. 6: one engine comparison per representative
+//! benchmark (a passing and a failing instance per class).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc::{Engine, Options};
+use std::time::Duration;
+
+fn representative_suite() -> Vec<workloads::Benchmark> {
+    vec![
+        workloads::suite::mid_size().remove(0), // small passing counter
+        workloads::suite::mid_size().remove(1), // small failing counter
+        workloads::suite::industrial().remove(1), // failing industrial-like
+    ]
+}
+
+fn fig6_engines(c: &mut Criterion) {
+    let options = Options::default()
+        .with_timeout(Duration::from_secs(10))
+        .with_max_bound(30);
+    let mut group = c.benchmark_group("fig6_engines");
+    group.sample_size(10);
+    for benchmark in representative_suite() {
+        for engine in [
+            Engine::Itp,
+            Engine::ItpSeq,
+            Engine::SerialItpSeq,
+            Engine::ItpSeqCba,
+        ] {
+            group.bench_function(format!("{}/{}", engine.name(), benchmark.name), |b| {
+                b.iter(|| engine.verify(&benchmark.aig, 0, &options))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_engines);
+criterion_main!(benches);

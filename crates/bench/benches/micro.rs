@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the substrates: SAT solving with proof logging,
+//! interpolant extraction and BDD reachability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itp::InterpolationContext;
+use sat::{SolveResult, Solver};
+
+fn pigeonhole_cnf(holes: usize) -> cnf::Cnf {
+    let pigeons = holes + 1;
+    let mut b = cnf::CnfBuilder::new();
+    let var = |p: usize, h: usize| cnf::Var::new((p * holes + h) as u32);
+    for _ in 0..pigeons * holes {
+        b.new_var();
+    }
+    b.set_partition(1);
+    for p in 0..pigeons {
+        b.add_clause((0..holes).map(|h| cnf::Lit::positive(var(p, h))));
+    }
+    b.set_partition(2);
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                b.add_clause([cnf::Lit::negative(var(p1, h)), cnf::Lit::negative(var(p2, h))]);
+            }
+        }
+    }
+    b.into_cnf()
+}
+
+fn sat_with_proof(c: &mut Criterion) {
+    let cnf = pigeonhole_cnf(6);
+    c.bench_function("sat/pigeonhole6_refutation", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            solver.add_cnf(&cnf);
+            assert_eq!(solver.solve(), SolveResult::Unsat);
+            solver.proof().expect("proof")
+        })
+    });
+}
+
+fn interpolant_extraction(c: &mut Criterion) {
+    let cnf = pigeonhole_cnf(5);
+    let mut solver = Solver::new();
+    solver.add_cnf(&cnf);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = solver.proof().expect("proof");
+    c.bench_function("itp/pigeonhole5_interpolant", |b| {
+        b.iter(|| {
+            let ctx = InterpolationContext::new(&proof).expect("context");
+            let mut mgr = aig::Aig::new();
+            let inputs: Vec<aig::Lit> = (0..cnf.num_vars)
+                .map(|_| aig::Lit::positive(mgr.add_input()))
+                .collect();
+            ctx.interpolant(1, &mut mgr, &|_, v| inputs[v.index() as usize])
+                .expect("interpolant")
+        })
+    });
+}
+
+fn bdd_reachability(c: &mut Criterion) {
+    let design = workloads::counter::modular(6, 50, 64);
+    c.bench_function("bdd/counter6_diameters", |b| {
+        b.iter(|| bdd::reach::analyze(&design, 0, 1_000_000))
+    });
+}
+
+criterion_group!(benches, sat_with_proof, interpolant_extraction, bdd_reachability);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: sweep of the serial fraction `αs` of SITPSEQ
+//! (0 = fully parallel ITPSEQ, 1 = fully serial), reporting solved counts,
+//! cumulative time and average fixed-point depths.
+//!
+//! Run with `cargo run -p itpseq-bench --bin ablation_alpha --release`.
+
+use itpseq_bench::{experiment_options, run_engine};
+use mc::{Engine, Verdict};
+
+fn main() {
+    let suite = workloads::suite::full();
+    let base = experiment_options();
+    println!("# SITPSEQ αs sweep over {} instances", suite.len());
+    println!(
+        "{:>5} {:>7} {:>7} {:>10} {:>8} {:>8} {:>10}",
+        "alpha", "solved", "proved", "time[ms]", "avg_kfp", "avg_jfp", "sat_calls"
+    );
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let options = base.clone().with_alpha(alpha);
+        let mut solved = 0usize;
+        let mut proved = 0usize;
+        let mut total_ms = 0.0f64;
+        let mut sat_calls = 0u64;
+        let mut kfps = Vec::new();
+        let mut jfps = Vec::new();
+        for benchmark in &suite {
+            let record = run_engine(benchmark, Engine::SerialItpSeq, &options);
+            total_ms += record.millis();
+            sat_calls += record.result.stats.sat_calls;
+            match record.result.verdict {
+                Verdict::Proved { k_fp, j_fp } => {
+                    solved += 1;
+                    proved += 1;
+                    kfps.push(k_fp as f64);
+                    jfps.push(j_fp as f64);
+                }
+                Verdict::Falsified { .. } => solved += 1,
+                Verdict::Inconclusive { .. } => {}
+            }
+        }
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:>5.2} {:>7} {:>7} {:>10.0} {:>8.2} {:>8.2} {:>10}",
+            alpha,
+            solved,
+            proved,
+            total_ms,
+            avg(&kfps),
+            avg(&jfps),
+            sat_calls
+        );
+    }
+}

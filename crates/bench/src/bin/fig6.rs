@@ -1,0 +1,63 @@
+//! Regenerates Fig. 6: sorted run-time curves of the four engines
+//! (ITP, ITPSEQ, SITPSEQ, ITPSEQCBA) over the benchmark suite.
+//!
+//! Run with `cargo run -p itpseq-bench --bin fig6 --release`.
+
+use itpseq_bench::{experiment_options, run_engine, sorted_curve, RunRecord};
+use mc::Engine;
+
+fn main() {
+    let suite = workloads::suite::full();
+    let options = experiment_options();
+    let engines = [
+        Engine::Itp,
+        Engine::ItpSeq,
+        Engine::SerialItpSeq,
+        Engine::ItpSeqCba,
+    ];
+
+    println!("# Fig. 6 — run time per instance, sorted per engine (ms)");
+    println!(
+        "# suite: {} instances, per-instance budget {:?}, max bound {}",
+        suite.len(),
+        options.timeout,
+        options.max_bound
+    );
+
+    let mut curves = Vec::new();
+    for engine in engines {
+        let records: Vec<RunRecord> = suite
+            .iter()
+            .map(|b| run_engine(b, engine, &options))
+            .collect();
+        let solved = records
+            .iter()
+            .filter(|r| r.result.verdict.is_conclusive())
+            .count();
+        let proved = records
+            .iter()
+            .filter(|r| r.result.verdict.is_proved())
+            .count();
+        println!(
+            "# {:<9} solved {:>3}/{:<3} (proved {:>3}, falsified {:>3})",
+            engine.name(),
+            solved,
+            records.len(),
+            proved,
+            solved - proved
+        );
+        curves.push((engine, sorted_curve(&records, options.timeout)));
+    }
+
+    println!("instance {}", {
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        names.join(" ")
+    });
+    for i in 0..suite.len() {
+        let row: Vec<String> = curves
+            .iter()
+            .map(|(_, curve)| format!("{:.1}", curve[i]))
+            .collect();
+        println!("{} {}", i + 1, row.join(" "));
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 7: scatter plot of ITPSEQ run times with exact-k
+//! checks (x axis) versus exact-assume-k checks (y axis).
+//!
+//! Run with `cargo run -p itpseq-bench --bin fig7 --release`.
+
+use cnf::BmcCheck;
+use itpseq_bench::{experiment_options, run_engine};
+use mc::Engine;
+
+fn main() {
+    let suite = workloads::suite::full();
+    let base = experiment_options();
+
+    println!("# Fig. 7 — ITPSEQ run time (ms): exact-k vs assume-k per instance");
+    println!("{:<34} {:>10} {:>10}", "name", "exact", "assume");
+    let mut assume_wins = 0usize;
+    let mut total = 0usize;
+    for benchmark in &suite {
+        let exact = run_engine(
+            benchmark,
+            Engine::ItpSeq,
+            &base.clone().with_check(BmcCheck::Exact),
+        );
+        let assume = run_engine(
+            benchmark,
+            Engine::ItpSeq,
+            &base.clone().with_check(BmcCheck::ExactAssume),
+        );
+        let exact_ms = if exact.result.verdict.is_conclusive() {
+            exact.millis()
+        } else {
+            base.timeout.as_secs_f64() * 1e3
+        };
+        let assume_ms = if assume.result.verdict.is_conclusive() {
+            assume.millis()
+        } else {
+            base.timeout.as_secs_f64() * 1e3
+        };
+        if assume_ms <= exact_ms {
+            assume_wins += 1;
+        }
+        total += 1;
+        println!("{:<34} {:>10.1} {:>10.1}", benchmark.name, exact_ms, assume_ms);
+    }
+    println!("# assume-k at least as fast on {assume_wins}/{total} instances");
+}

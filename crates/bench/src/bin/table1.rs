@@ -1,0 +1,78 @@
+//! Regenerates Table I: per-benchmark detail with #PI, #FF, the exact BDD
+//! diameters (d_F, d_B) and Time / k_fp / j_fp for each engine.
+//!
+//! Run with `cargo run -p itpseq-bench --bin table1 --release`.
+
+use itpseq_bench::{experiment_options, run_engine};
+use mc::Engine;
+use std::time::Instant;
+
+fn main() {
+    let suite = workloads::suite::full();
+    let options = experiment_options();
+    let engines = [
+        Engine::Itp,
+        Engine::ItpSeq,
+        Engine::SerialItpSeq,
+        Engine::ItpSeqCba,
+    ];
+
+    println!("# Table I — ovf means budget exhausted, '-' means not available");
+    println!(
+        "{:<34} {:>4} {:>4} | {:>4} {:>7} {:>4} {:>7} | {}",
+        "name",
+        "#PI",
+        "#FF",
+        "dF",
+        "TimeF",
+        "dB",
+        "TimeB",
+        engines
+            .iter()
+            .map(|e| format!("{:>8} {:>5} {:>5}", e.name(), "k_fp", "j_fp"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+
+    for benchmark in &suite {
+        // BDD columns (diameters), with a node limit standing in for the
+        // paper's memory limit.
+        let bdd_start = Instant::now();
+        let analysis = bdd::reach::analyze(&benchmark.aig, 0, 2_000_000);
+        let bdd_ms = bdd_start.elapsed().as_secs_f64() * 1e3;
+        let (df, db) = (
+            analysis
+                .forward_diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            analysis
+                .backward_diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        let bdd_time = if analysis.forward_diameter.is_some() {
+            format!("{bdd_ms:.0}")
+        } else {
+            "ovf".to_string()
+        };
+
+        let mut engine_cells = Vec::new();
+        for engine in engines {
+            let record = run_engine(benchmark, engine, &options);
+            let (time, k, j) = record.cells();
+            engine_cells.push(format!("{time:>8} {k:>5} {j:>5}"));
+        }
+
+        println!(
+            "{:<34} {:>4} {:>4} | {:>4} {:>7} {:>4} {:>7} | {}",
+            benchmark.name,
+            benchmark.aig.num_inputs(),
+            benchmark.aig.num_latches(),
+            df,
+            bdd_time,
+            db,
+            bdd_time,
+            engine_cells.join(" | ")
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Experiment harness shared by the figure/table regenerator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation section:
+//!
+//! * `fig6` — sorted run-time curves of the four engines over the suite,
+//! * `table1` — the per-benchmark table with BDD diameters and
+//!   `Time / k_fp / j_fp` per engine,
+//! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
+//! * `ablation_alpha` — the `αs` sweep for the serial sequences.
+//!
+//! Absolute run times obviously differ from the paper's 2011 hardware and
+//! benchmark set; the *shapes* (which engine wins, where overflows appear,
+//! how `k_fp`/`j_fp` relate) are the reproduction target.
+
+use mc::{Engine, EngineResult, Options, Verdict};
+use std::time::Duration;
+use workloads::Benchmark;
+
+/// Result of one engine on one benchmark.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Engine used.
+    pub engine: Engine,
+    /// Engine outcome and statistics.
+    pub result: EngineResult,
+}
+
+impl RunRecord {
+    /// Run time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.result.stats.time.as_secs_f64() * 1e3
+    }
+
+    /// `k_fp` as reported in Table I (bound reached on overflow).
+    pub fn k_fp(&self) -> usize {
+        match &self.result.verdict {
+            Verdict::Proved { k_fp, .. } => *k_fp,
+            Verdict::Falsified { depth } => *depth,
+            Verdict::Inconclusive { bound_reached, .. } => *bound_reached,
+        }
+    }
+
+    /// `j_fp` as reported in Table I (0 on failure, `-` on overflow).
+    pub fn j_fp(&self) -> Option<usize> {
+        match &self.result.verdict {
+            Verdict::Proved { j_fp, .. } => Some(*j_fp),
+            Verdict::Falsified { .. } => Some(0),
+            Verdict::Inconclusive { .. } => None,
+        }
+    }
+
+    /// Table-friendly rendering of the verdict cells.
+    pub fn cells(&self) -> (String, String, String) {
+        match &self.result.verdict {
+            Verdict::Proved { k_fp, j_fp } => {
+                (format!("{:.0}", self.millis()), k_fp.to_string(), j_fp.to_string())
+            }
+            Verdict::Falsified { depth } => {
+                (format!("{:.0}", self.millis()), depth.to_string(), "0".to_string())
+            }
+            Verdict::Inconclusive { bound_reached, .. } => {
+                ("ovf".to_string(), format!("({bound_reached})"), "-".to_string())
+            }
+        }
+    }
+}
+
+/// Runs one engine on one benchmark with the given per-instance budget.
+pub fn run_engine(benchmark: &Benchmark, engine: Engine, options: &Options) -> RunRecord {
+    let result = engine.verify(&benchmark.aig, 0, options);
+    RunRecord {
+        benchmark: benchmark.name.clone(),
+        engine,
+        result,
+    }
+}
+
+/// The per-instance options used by the experiment binaries: a small time
+/// budget per run (scaled-down analogue of the paper's 1800 s limit) and a
+/// generous bound.
+pub fn experiment_options() -> Options {
+    Options::default()
+        .with_timeout(Duration::from_secs(5))
+        .with_max_bound(40)
+}
+
+/// Formats a monotone (sorted) run-time curve like Fig. 6: the i-th value
+/// is the i-th smallest solved-instance time; unsolved instances are
+/// reported as the timeout value.
+pub fn sorted_curve(records: &[RunRecord], timeout: Duration) -> Vec<f64> {
+    let mut times: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            if r.result.verdict.is_conclusive() {
+                r.millis()
+            } else {
+                timeout.as_secs_f64() * 1e3
+            }
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_cells_render_all_verdicts() {
+        let suite = workloads::suite::mid_size();
+        let options = Options::default()
+            .with_timeout(Duration::from_secs(2))
+            .with_max_bound(20);
+        let record = run_engine(&suite[0], Engine::ItpSeq, &options);
+        let (time, k, j) = record.cells();
+        assert!(!time.is_empty() && !k.is_empty() && !j.is_empty());
+    }
+
+    #[test]
+    fn sorted_curve_is_monotone() {
+        let suite: Vec<workloads::Benchmark> =
+            workloads::suite::mid_size().into_iter().take(4).collect();
+        let options = Options::default()
+            .with_timeout(Duration::from_secs(2))
+            .with_max_bound(20);
+        let records: Vec<RunRecord> = suite
+            .iter()
+            .map(|b| run_engine(b, Engine::SerialItpSeq, &options))
+            .collect();
+        let curve = sorted_curve(&records, options.timeout);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,223 @@
+//! The three BMC formulations of the paper: *bound-k*, *exact-k* and
+//! *exact-assume-k*.
+//!
+//! Section II-A of *Interpolation Sequences Revisited* defines, for a design
+//! with initial states `S0`, transition relation `T` and property `p`:
+//!
+//! * `bmc_B^k = S0 ∧ T^k ∧ ⋁_{i=1..k} ¬p(V^i)` — **bound-k**, a violation at
+//!   *any* depth up to `k`;
+//! * `bmc_E^k = S0 ∧ T^k ∧ ¬p(V^k)` — **exact-k**, a violation at depth
+//!   exactly `k` (earlier violations not excluded);
+//! * `bmc_A^k = S0 ∧ T^k ∧ ⋀_{i=1..k-1} p(V^i) ∧ ¬p(V^k)` —
+//!   **exact-assume-k**, a violation at depth `k` along a path where the
+//!   property held at every earlier frame.
+//!
+//! The partition labels follow the `Γ_{1..k+1}` decomposition used for
+//! interpolation sequences: partition 1 holds `S0 ∧ T(V^0,V^1)`, partition
+//! `i` (2 ≤ i ≤ k) holds `T(V^{i-1},V^i)` (and, for assume-k, `p(V^{i-1})`),
+//! and partition `k+1` holds the target.
+
+use crate::{Cnf, Lit, Unroller};
+use aig::Aig;
+
+/// Which of the three BMC target formulations to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BmcCheck {
+    /// `⋁_{i=1..k} ¬p(V^i)` — used by standard interpolation.
+    Bound,
+    /// `¬p(V^k)` — used by plain interpolation sequences.
+    Exact,
+    /// `⋀_{i<k} p(V^i) ∧ ¬p(V^k)` — the cheaper check advocated by the
+    /// paper for interpolation sequences.
+    ExactAssume,
+}
+
+impl BmcCheck {
+    /// A short human-readable name used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BmcCheck::Bound => "bound-k",
+            BmcCheck::Exact => "exact-k",
+            BmcCheck::ExactAssume => "assume-k",
+        }
+    }
+}
+
+/// A fully built BMC instance: the CNF plus the frame variable maps needed
+/// to interpret models and interpolants.
+#[derive(Clone, Debug)]
+pub struct BmcInstance {
+    /// The partition-labelled CNF formula.
+    pub cnf: Cnf,
+    /// `frame_latches[f][i]` is the SAT literal of latch `i` at frame `f`.
+    pub frame_latches: Vec<Vec<Lit>>,
+    /// `frame_inputs[f][i]` is the SAT literal of input `i` at frame `f`,
+    /// when that input was referenced by the encoding.
+    pub frame_inputs: Vec<Vec<Option<Lit>>>,
+    /// The bound `k` of the instance.
+    pub bound: usize,
+    /// The formulation used for the target.
+    pub check: BmcCheck,
+}
+
+/// Builds the BMC instance `bmc^k` for bad-state property `bad_index` of
+/// `aig`, using the requested `check` formulation.
+///
+/// # Panics
+///
+/// Panics if `bound == 0` or if `bad_index` is out of range.
+pub fn build(aig: &Aig, bad_index: usize, bound: usize, check: BmcCheck) -> BmcInstance {
+    assert!(bound >= 1, "BMC bound must be at least 1");
+    assert!(bad_index < aig.num_bad(), "bad-state index out of range");
+    let mut unroller = Unroller::new(aig);
+
+    // Partition 1: S0 ∧ T(V^0, V^1).
+    unroller.builder_mut().set_partition(1);
+    unroller.assert_initial(0);
+    unroller.add_frame();
+
+    // Partitions 2..=bound: T(V^{i-1}, V^i), plus p(V^{i-1}) for assume-k.
+    for frame in 2..=bound {
+        unroller.builder_mut().set_partition(frame as u32);
+        if check == BmcCheck::ExactAssume {
+            let bad_prev = unroller.bad_lit(frame - 1, bad_index);
+            unroller.assert_lit(!bad_prev);
+        }
+        unroller.add_frame();
+    }
+
+    // Partition bound + 1: the target.
+    unroller.builder_mut().set_partition(bound as u32 + 1);
+    match check {
+        BmcCheck::Bound => {
+            let bads: Vec<Lit> = (1..=bound)
+                .map(|f| unroller.bad_lit(f, bad_index))
+                .collect();
+            // At least one frame violates the property.
+            unroller.builder_mut().add_clause(bads);
+        }
+        BmcCheck::Exact | BmcCheck::ExactAssume => {
+            let bad = unroller.bad_lit(bound, bad_index);
+            unroller.assert_lit(bad);
+        }
+    }
+
+    let frame_latches: Vec<Vec<Lit>> = (0..=bound).map(|f| unroller.latch_lits(f)).collect();
+    let frame_inputs: Vec<Vec<Option<Lit>>> = (0..=bound)
+        .map(|f| {
+            (0..aig.num_inputs())
+                .map(|i| {
+                    // Only report inputs that were actually allocated.
+                    let lit = unroller.input_lit(f, i);
+                    Some(lit)
+                })
+                .collect()
+        })
+        .collect();
+    BmcInstance {
+        cnf: unroller.into_cnf(),
+        frame_latches,
+        frame_inputs,
+        bound,
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        crate::testutil::dpll_sat(cnf)
+    }
+
+    /// A 2-bit counter that always increments; bad when it reaches 3.
+    fn counter2() -> Aig {
+        let mut aig = Aig::new();
+        let (ids, lits) = aig::builder::latch_word(&mut aig, 2, 0);
+        let next = aig::builder::word_increment(&mut aig, &lits, aig::Lit::TRUE);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = aig.and(lits[0], lits[1]);
+        aig.add_bad(bad);
+        aig
+    }
+
+    /// A toggler whose bad state (latch = 1) is reached at every odd frame.
+    fn toggler() -> Aig {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        let cur = aig.latch_lit(l);
+        aig.set_next(l, !cur);
+        aig.add_bad(cur);
+        aig
+    }
+
+    #[test]
+    fn exact_k_matches_counter_distance() {
+        let aig = counter2();
+        for k in 1..=4 {
+            let inst = build(&aig, 0, k, BmcCheck::Exact);
+            let expected = k == 3; // counter holds 3 exactly at frame 3 (and 7, ...)
+            assert_eq!(brute_force_sat(&inst.cnf), expected, "bound {k}");
+        }
+    }
+
+    #[test]
+    fn bound_k_accumulates_violations() {
+        let aig = counter2();
+        assert!(!brute_force_sat(&build(&aig, 0, 2, BmcCheck::Bound).cnf));
+        assert!(brute_force_sat(&build(&aig, 0, 3, BmcCheck::Bound).cnf));
+        assert!(brute_force_sat(&build(&aig, 0, 4, BmcCheck::Bound).cnf));
+    }
+
+    #[test]
+    fn assume_k_requires_first_violation_at_k() {
+        let aig = toggler();
+        // bad holds at frames 1, 3, 5, ...; with assume-k, a violation at
+        // frame 3 requires p to hold at frames 1 and 2, impossible.
+        assert!(brute_force_sat(&build(&aig, 0, 1, BmcCheck::ExactAssume).cnf));
+        assert!(!brute_force_sat(&build(&aig, 0, 2, BmcCheck::ExactAssume).cnf));
+        assert!(!brute_force_sat(&build(&aig, 0, 3, BmcCheck::ExactAssume).cnf));
+        // exact-k instead allows the earlier violation at frame 1.
+        assert!(brute_force_sat(&build(&aig, 0, 3, BmcCheck::Exact).cnf));
+    }
+
+    #[test]
+    fn partitions_span_one_to_k_plus_one() {
+        let aig = counter2();
+        let inst = build(&aig, 0, 3, BmcCheck::Exact);
+        assert_eq!(inst.cnf.num_partitions(), 4);
+        for p in 1..=4 {
+            assert!(
+                inst.cnf.clauses.iter().any(|c| c.partition == p),
+                "partition {p} must not be empty"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_latch_maps_have_expected_shape() {
+        let aig = counter2();
+        let inst = build(&aig, 0, 2, BmcCheck::Exact);
+        assert_eq!(inst.frame_latches.len(), 3);
+        assert!(inst.frame_latches.iter().all(|f| f.len() == 2));
+        assert_eq!(inst.bound, 2);
+        assert_eq!(inst.check, BmcCheck::Exact);
+    }
+
+    #[test]
+    fn check_names_are_stable() {
+        assert_eq!(BmcCheck::Bound.name(), "bound-k");
+        assert_eq!(BmcCheck::Exact.name(), "exact-k");
+        assert_eq!(BmcCheck::ExactAssume.name(), "assume-k");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn zero_bound_is_rejected() {
+        let aig = counter2();
+        let _ = build(&aig, 0, 0, BmcCheck::Exact);
+    }
+}

@@ -1,0 +1,166 @@
+//! DIMACS CNF import/export.
+//!
+//! Mainly a debugging aid: formulas produced by the unroller can be dumped
+//! and fed to external SAT solvers for cross-checking, and regression tests
+//! can load hand-written formulas.
+
+use crate::{Cnf, CnfBuilder, Lit};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a DIMACS file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dimacs line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Serialises a [`Cnf`] to DIMACS format.
+///
+/// Partition labels are emitted as `c partition <p>` comments before each
+/// clause so the file stays loadable by standard tools while remaining
+/// self-describing.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len()));
+    for clause in &cnf.clauses {
+        if clause.partition != 0 {
+            out.push_str(&format!("c partition {}\n", clause.partition));
+        }
+        for lit in &clause.lits {
+            out.push_str(&format!("{} ", lit.to_dimacs()));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses a DIMACS file, honouring the `c partition <p>` comments emitted by
+/// [`to_dimacs`].
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] when a literal cannot be parsed or a
+/// clause is not terminated by `0`.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut builder = CnfBuilder::new();
+    let mut declared_vars = 0u32;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('c') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() == 2 && toks[0] == "partition" {
+                let p: u32 = toks[1].parse().map_err(|_| ParseDimacsError {
+                    line: line_no,
+                    message: format!("bad partition `{}`", toks[1]),
+                })?;
+                builder.set_partition(p);
+            }
+            continue;
+        }
+        if line.starts_with('p') {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() >= 3 {
+                declared_vars = toks[2].parse().unwrap_or(0);
+            }
+            continue;
+        }
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for tok in line.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if value == 0 {
+                terminated = true;
+                break;
+            }
+            lits.push(Lit::from_dimacs(value));
+        }
+        if !terminated {
+            return Err(ParseDimacsError {
+                line: line_no,
+                message: "clause not terminated by 0".to_string(),
+            });
+        }
+        builder.add_clause(lits);
+    }
+    let mut cnf = builder.into_cnf();
+    let max_used = cnf
+        .clauses
+        .iter()
+        .flat_map(|c| c.lits.iter())
+        .map(|l| l.var().index() + 1)
+        .max()
+        .unwrap_or(0);
+    cnf.num_vars = declared_vars.max(max_used);
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CnfBuilder;
+
+    #[test]
+    fn roundtrip_preserves_clauses_and_partitions() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_lit();
+        let y = b.new_lit();
+        b.set_partition(1);
+        b.add_clause([x, !y]);
+        b.set_partition(2);
+        b.add_clause([!x]);
+        let cnf = b.into_cnf();
+        let text = to_dimacs(&cnf);
+        let back = parse_dimacs(&text).expect("parse");
+        assert_eq!(back.clauses.len(), 2);
+        assert_eq!(back.clauses[0].partition, 1);
+        assert_eq!(back.clauses[1].partition, 2);
+        assert_eq!(back.clauses[0].lits, cnf.clauses[0].lits);
+        assert_eq!(back.num_vars, 2);
+    }
+
+    #[test]
+    fn parses_plain_dimacs_without_partitions() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).expect("parse");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].partition, 0);
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let err = parse_dimacs("p cnf 2 1\n1 -2\n").unwrap_err();
+        assert!(err.message.contains("not terminated"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage_literal() {
+        let err = parse_dimacs("p cnf 2 1\n1 abc 0\n").unwrap_err();
+        assert!(err.message.contains("abc"));
+    }
+
+    #[test]
+    fn var_count_grows_to_cover_used_literals() {
+        let cnf = parse_dimacs("p cnf 1 1\n5 0\n").expect("parse");
+        assert_eq!(cnf.num_vars, 5);
+    }
+}

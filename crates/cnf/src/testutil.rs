@@ -1,0 +1,77 @@
+//! Test-only naive DPLL satisfiability checker.
+//!
+//! Unit tests in this crate need an oracle to validate encodings without
+//! depending on the real CDCL solver crate (which would create a dependency
+//! cycle).  This extremely small DPLL with unit propagation handles the few
+//! dozen variables that the encoding tests produce.
+
+use crate::{Cnf, Lit};
+
+/// Returns `true` when the formula is satisfiable.
+pub(crate) fn dpll_sat(cnf: &Cnf) -> bool {
+    let clauses: Vec<Vec<Lit>> = cnf.clauses.iter().map(|c| c.lits.clone()).collect();
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars as usize];
+    dpll(&clauses, &mut assignment)
+}
+
+fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to a fixed point.
+    let mut trail: Vec<u32> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in clauses {
+            let mut unassigned = None;
+            let mut count_unassigned = 0;
+            let mut satisfied = false;
+            for &lit in clause {
+                match assignment[lit.var().index() as usize] {
+                    None => {
+                        count_unassigned += 1;
+                        unassigned = Some(lit);
+                    }
+                    Some(v) if v != lit.is_negative() => {
+                        satisfied = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            if count_unassigned == 0 {
+                // Conflict: undo and fail.
+                for v in trail {
+                    assignment[v as usize] = None;
+                }
+                return false;
+            }
+            if count_unassigned == 1 {
+                let lit = unassigned.expect("one unassigned literal");
+                assignment[lit.var().index() as usize] = Some(!lit.is_negative());
+                trail.push(lit.var().index());
+                propagated = true;
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+    // Pick an unassigned variable and branch.
+    match assignment.iter().position(|a| a.is_none()) {
+        None => true,
+        Some(var) => {
+            for value in [true, false] {
+                assignment[var] = Some(value);
+                if dpll(clauses, assignment) {
+                    return true;
+                }
+                assignment[var] = None;
+            }
+            for v in trail {
+                assignment[v as usize] = None;
+            }
+            false
+        }
+    }
+}

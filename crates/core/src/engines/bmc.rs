@@ -1,0 +1,153 @@
+//! Plain bounded model checking.
+//!
+//! BMC only ever falsifies properties; it is included both as the baseline
+//! the interpolation engines are built on and because the paper repeatedly
+//! contrasts the cost of the three target formulations (*bound-k*,
+//! *exact-k*, *exact-assume-k*).
+
+use crate::{EngineResult, EngineStats, Options, Verdict};
+use aig::Aig;
+use cnf::BmcCheck;
+use sat::{SolveResult, Solver};
+use std::time::Instant;
+
+
+/// Returns `true` when a bad state is already reachable at depth 0, i.e.
+/// the initial states themselves violate the property.  All engines run
+/// this check before their main loops, which start at bound 1.
+pub(crate) fn initial_violation(aig: &Aig, bad_index: usize) -> bool {
+    let mut unroller = cnf::Unroller::new(aig);
+    unroller.assert_initial(0);
+    let bad = unroller.bad_lit(0, bad_index);
+    unroller.assert_lit(bad);
+    let mut solver = Solver::new();
+    solver.add_cnf(&unroller.into_cnf());
+    solver.solve() == SolveResult::Sat
+}
+
+/// Runs BMC on bad-state property `bad_index`, increasing the bound until a
+/// counterexample is found or the bound/time budget is exhausted.
+pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    let start = Instant::now();
+    let mut stats = EngineStats {
+        visible_latches: aig.num_latches(),
+        ..EngineStats::default()
+    };
+    if initial_violation(aig, bad_index) {
+        stats.sat_calls += 1;
+        stats.time = start.elapsed();
+        return EngineResult {
+            verdict: Verdict::Falsified { depth: 0 },
+            stats,
+        };
+    }
+    stats.sat_calls += 1;
+    // `bound-k` already covers all depths up to k, so for plain BMC the
+    // exact/assume schemes are the natural incremental formulations.
+    let check = match options.check {
+        BmcCheck::Bound => BmcCheck::Bound,
+        other => other,
+    };
+    for k in 1..=options.max_bound {
+        if start.elapsed() > options.timeout {
+            stats.time = start.elapsed();
+            return EngineResult {
+                verdict: Verdict::Inconclusive {
+                    reason: "timeout".to_string(),
+                    bound_reached: k.saturating_sub(1),
+                },
+                stats,
+            };
+        }
+        let instance = cnf::bmc::build(aig, bad_index, k, check);
+        let mut solver = Solver::new();
+        solver.add_cnf(&instance.cnf);
+        stats.sat_calls += 1;
+        let result = solver.solve();
+        stats.conflicts += solver.stats().conflicts;
+        if result == SolveResult::Sat {
+            stats.time = start.elapsed();
+            return EngineResult {
+                verdict: Verdict::Falsified { depth: k },
+                stats,
+            };
+        }
+    }
+    stats.time = start.elapsed();
+    EngineResult {
+        verdict: Verdict::Inconclusive {
+            reason: "bound exhausted".to_string(),
+            bound_reached: options.max_bound,
+        },
+        stats,
+    }
+}
+
+/// Checks a single bound and returns whether a counterexample of that exact
+/// formulation exists.
+pub fn check_bound(aig: &Aig, bad_index: usize, bound: usize, check: BmcCheck) -> bool {
+    let instance = cnf::bmc::build(aig, bad_index, bound, check);
+    let mut solver = Solver::new();
+    solver.add_cnf(&instance.cnf);
+    solver.solve() == SolveResult::Sat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Options;
+    use aig::builder::{latch_word, word_equals_const, word_increment};
+
+    fn counter(width: usize, bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, lits) = latch_word(&mut aig, width, 0);
+        let next = word_increment(&mut aig, &lits, aig::Lit::TRUE);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &lits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    #[test]
+    fn finds_counterexample_at_exact_depth() {
+        let aig = counter(4, 9);
+        let result = verify(&aig, 0, &Options::default());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 9 });
+        assert!(result.stats.sat_calls >= 9);
+    }
+
+    #[test]
+    fn gives_up_on_true_properties() {
+        // A stuck-at-0 latch whose bad state never fires.
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        let cur = aig.latch_lit(l);
+        aig.set_next(l, aig::Lit::FALSE);
+        aig.add_bad(cur);
+        let result = verify(&aig, 0, &Options::default().with_max_bound(5));
+        assert!(matches!(
+            result.verdict,
+            Verdict::Inconclusive { bound_reached: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn bound_check_formulations_agree_on_failing_depth() {
+        let aig = counter(3, 5);
+        for check in [BmcCheck::Bound, BmcCheck::Exact, BmcCheck::ExactAssume] {
+            let result = verify(&aig, 0, &Options::default().with_check(check));
+            assert_eq!(result.verdict, Verdict::Falsified { depth: 5 }, "{check:?}");
+        }
+    }
+
+    #[test]
+    fn check_bound_matches_reachability() {
+        let aig = counter(3, 5);
+        assert!(!check_bound(&aig, 0, 4, BmcCheck::Exact));
+        assert!(check_bound(&aig, 0, 5, BmcCheck::Exact));
+        assert!(check_bound(&aig, 0, 5, BmcCheck::ExactAssume));
+        assert!(check_bound(&aig, 0, 6, BmcCheck::Bound));
+    }
+}

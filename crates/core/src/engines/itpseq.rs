@@ -1,0 +1,110 @@
+//! Parallel interpolation sequences (`ITPSEQVERIF`, Fig. 2).
+//!
+//! Every element of the sequence is extracted from the single refutation
+//! proof of the exact-k (or assume-k) bounded check; the column
+//! conjunctions `ℐ_j` accumulate across bounds and are checked for
+//! inclusion in the running reachability over-approximation.
+
+use crate::engines::seq::{run, SeqConfig};
+use crate::{EngineResult, Options};
+use aig::Aig;
+
+/// Runs the parallel interpolation-sequence engine on bad-state property
+/// `bad_index`.
+pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    run(
+        design,
+        bad_index,
+        options,
+        SeqConfig {
+            alpha_serial: 0.0,
+            use_cba: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Options, Verdict};
+    use aig::builder::{latch_word, word_equals_const, word_increment, word_mux};
+    use cnf::BmcCheck;
+
+    fn modular_counter(width: usize, modulus: u64, bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+        let inc = word_increment(&mut aig, &bits, aig::Lit::TRUE);
+        let zero = aig::builder::word_const(width, 0);
+        let next = word_mux(&mut aig, wrap, &zero, &inc);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &bits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    #[test]
+    fn proves_unreachable_counter_value() {
+        let aig = modular_counter(3, 6, 7);
+        let result = verify(&aig, 0, &Options::default());
+        assert!(result.verdict.is_proved(), "verdict: {}", result.verdict);
+        assert!(result.stats.interpolants > 0);
+    }
+
+    #[test]
+    fn falsifies_reachable_counter_value_at_exact_depth() {
+        let aig = modular_counter(3, 6, 5);
+        let result = verify(&aig, 0, &Options::default());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 5 });
+    }
+
+    #[test]
+    fn exact_and_assume_checks_agree_on_verdicts() {
+        for bad_at in [2u64, 7] {
+            let aig = modular_counter(3, 6, bad_at);
+            let exact = verify(&aig, 0, &Options::default().with_check(BmcCheck::Exact));
+            let assume = verify(&aig, 0, &Options::default().with_check(BmcCheck::ExactAssume));
+            assert_eq!(
+                exact.verdict.is_proved(),
+                assume.verdict.is_proved(),
+                "bad_at={bad_at}"
+            );
+            assert_eq!(
+                exact.verdict.is_falsified(),
+                assume.verdict.is_falsified(),
+                "bad_at={bad_at}"
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_match_exact_bdd_reachability() {
+        for bad_at in 1..8u64 {
+            let aig = modular_counter(3, 6, bad_at);
+            let exact = bdd::reach::analyze(&aig, 0, 1_000_000);
+            let got = verify(&aig, 0, &Options::default());
+            match exact.verdict {
+                bdd::BddVerdict::Pass => {
+                    assert!(got.verdict.is_proved(), "bad_at={bad_at}: {}", got.verdict)
+                }
+                bdd::BddVerdict::Fail { depth } => {
+                    assert_eq!(got.verdict, Verdict::Falsified { depth }, "bad_at={bad_at}")
+                }
+                bdd::BddVerdict::Overflow => unreachable!("tiny design cannot overflow"),
+            }
+        }
+    }
+
+    #[test]
+    fn bound_budget_exhaustion_is_inconclusive() {
+        // The counter needs bound 6 of reasoning; cap it at 2.
+        let aig = modular_counter(3, 6, 7);
+        let result = verify(&aig, 0, &Options::default().with_max_bound(2));
+        assert!(matches!(
+            result.verdict,
+            Verdict::Inconclusive { bound_reached: 2, .. } | Verdict::Proved { .. }
+        ));
+    }
+}

@@ -1,0 +1,8 @@
+//! The verification engines evaluated in the paper.
+
+pub mod bmc;
+pub mod itp;
+pub mod itpseq;
+pub mod itpseq_cba;
+mod seq;
+pub mod sitpseq;

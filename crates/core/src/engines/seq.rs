@@ -1,0 +1,457 @@
+//! Shared machinery of the interpolation-sequence engines.
+//!
+//! The three sequence-based engines of the paper (`ITPSEQ`, `SITPSEQ`,
+//! `ITPSEQCBA`) share one outer loop — Fig. 2 extended with the serial
+//! computation of Fig. 4 and the abstraction-refinement of Fig. 5.  This
+//! module implements that loop once, parameterised by:
+//!
+//! * the BMC check formulation (*exact-k* or *exact-assume-k*),
+//! * the serial fraction `αs` (0 = fully parallel, 1 = fully serial),
+//! * whether counterexample-based abstraction is enabled.
+
+use crate::abstraction::Abstraction;
+use crate::state::{encode_state_lit, StateSpace};
+use crate::{EngineResult, EngineStats, Options, Verdict};
+use aig::Aig;
+use cnf::{BmcCheck, Unroller};
+use itp::InterpolationContext;
+use sat::{Proof, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Static configuration distinguishing the three sequence engines.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SeqConfig {
+    /// Fraction of the sequence computed serially (Fig. 4's `αs`).
+    pub alpha_serial: f64,
+    /// Enable counterexample-based abstraction (Fig. 5).
+    pub use_cba: bool,
+}
+
+/// How frame 0 of an unrolling is constrained.
+enum InitKind<'a> {
+    /// The design's reset state.
+    Reset,
+    /// An arbitrary symbolic state set (used by serial steps).
+    Set {
+        space: &'a StateSpace,
+        set: aig::Lit,
+        concrete_to_model: &'a [usize],
+    },
+}
+
+/// A built (partitioned) unrolling plus its frame variable maps.
+struct SeqInstance {
+    cnf: cnf::Cnf,
+    frame_latches: Vec<Vec<cnf::Lit>>,
+}
+
+/// Builds the partitioned unrolling of `model` covering `transitions` steps,
+/// where sub-frame 0 corresponds to absolute frame `offset` of a bound
+/// `total_bound` problem.
+///
+/// Partition layout: 1 = the initial constraint, `1 + f` = the transition
+/// into sub-frame `f` (plus the assume-k property assumption on sub-frame
+/// `f - 1` when applicable), `transitions + 2` = the `¬p` target.
+fn build_instance(
+    model: &Aig,
+    bad_index: usize,
+    transitions: usize,
+    offset: usize,
+    total_bound: usize,
+    check: BmcCheck,
+    init: InitKind<'_>,
+) -> SeqInstance {
+    let mut unroller = Unroller::new(model);
+    unroller.builder_mut().set_partition(1);
+    match init {
+        InitKind::Reset => unroller.assert_initial(0),
+        InitKind::Set {
+            space,
+            set,
+            concrete_to_model,
+        } => {
+            let lit = encode_state_lit(&mut unroller, 0, space, set, concrete_to_model);
+            unroller.assert_lit(lit);
+        }
+    }
+    for f in 1..=transitions {
+        unroller.builder_mut().set_partition((f + 1) as u32);
+        let absolute = offset + f - 1;
+        if check == BmcCheck::ExactAssume && absolute >= 1 && absolute + 1 <= total_bound {
+            let bad_prev = unroller.bad_lit(f - 1, bad_index);
+            unroller.assert_lit(!bad_prev);
+        }
+        unroller.add_frame();
+    }
+    unroller
+        .builder_mut()
+        .set_partition((transitions + 2) as u32);
+    let bad = unroller.bad_lit(transitions, bad_index);
+    unroller.assert_lit(bad);
+    let frame_latches = (0..=transitions).map(|f| unroller.latch_lits(f)).collect();
+    SeqInstance {
+        cnf: unroller.into_cnf(),
+        frame_latches,
+    }
+}
+
+fn solve(cnf: &cnf::Cnf, stats: &mut EngineStats) -> (SolveResult, Option<Proof>) {
+    let mut solver = Solver::new();
+    solver.add_cnf(cnf);
+    stats.sat_calls += 1;
+    let result = solver.solve();
+    stats.conflicts += solver.stats().conflicts;
+    let proof = if result == SolveResult::Unsat {
+        solver.proof()
+    } else {
+        None
+    };
+    (result, proof)
+}
+
+/// Extracts the interpolants at the given sub-instance cuts, mapping shared
+/// frame variables to state-space latches.
+fn extract_interpolants(
+    proof: &Proof,
+    instance: &SeqInstance,
+    cuts: &[u32],
+    space: &mut StateSpace,
+    model_to_concrete: &[usize],
+    stats: &mut EngineStats,
+) -> Result<Vec<aig::Lit>, String> {
+    let mut var_to_latch: HashMap<u32, usize> = HashMap::new();
+    for lits in &instance.frame_latches {
+        for (model_latch, lit) in lits.iter().enumerate() {
+            var_to_latch.insert(lit.var().index(), model_to_concrete[model_latch]);
+        }
+    }
+    let latch_lits: Vec<aig::Lit> = (0..space.num_latches()).map(|i| space.latch(i)).collect();
+    let ctx = InterpolationContext::new(proof).map_err(|e| e.to_string())?;
+    let itps = ctx
+        .sequence_for_cuts(cuts, space.manager_mut(), &|_, v| {
+            let latch = *var_to_latch
+                .get(&v.index())
+                .expect("shared interpolant variables are frame latch variables");
+            latch_lits[latch]
+        })
+        .map_err(|e| e.to_string())?;
+    stats.interpolants += itps.len() as u64;
+    Ok(itps)
+}
+
+/// Computes the interpolation sequence `I_1 … I_k` for bound `k`, given the
+/// already-refuted full instance and its proof, using the serial/parallel
+/// mix requested by `alpha_serial` (Fig. 4).
+#[allow(clippy::too_many_arguments)]
+fn compute_sequence(
+    model: &Aig,
+    bound: usize,
+    check: BmcCheck,
+    alpha_serial: f64,
+    space: &mut StateSpace,
+    model_to_concrete: &[usize],
+    concrete_to_model: &[usize],
+    full_instance: &SeqInstance,
+    full_proof: &Proof,
+    stats: &mut EngineStats,
+) -> Result<Vec<aig::Lit>, String> {
+    let n = bound + 1;
+    let serial = ((alpha_serial * n as f64).floor() as usize).min(bound);
+    let mut sequence: Vec<aig::Lit> = Vec::with_capacity(bound);
+
+    // Serial part: I_j = ITP(I_{j-1} ∧ A_j, ⋀_{i>j} A_i), each from its own
+    // refutation.  The first step reuses the proof of the full instance
+    // (its A side is exactly S0 ∧ A_1).
+    for j in 1..=serial {
+        let (instance, proof) = if j == 1 {
+            (None, full_proof.clone())
+        } else {
+            let prev = sequence[j - 2];
+            let inst = build_instance(
+                model,
+                0,
+                bound - j + 1,
+                j - 1,
+                bound,
+                check,
+                InitKind::Set {
+                    space,
+                    set: prev,
+                    concrete_to_model,
+                },
+            );
+            let (result, proof) = solve(&inst.cnf, stats);
+            if result == SolveResult::Sat {
+                return Err(format!("serial interpolation step {j} was unexpectedly satisfiable"));
+            }
+            (Some(inst), proof.expect("unsat result has a proof"))
+        };
+        let inst_ref = instance.as_ref().unwrap_or(full_instance);
+        let itp = extract_interpolants(&proof, inst_ref, &[2], space, model_to_concrete, stats)?;
+        sequence.push(itp[0]);
+    }
+
+    // Parallel part: the remaining elements all come from one proof.
+    if serial < bound {
+        if serial == 0 {
+            // Plain interpolation sequence: every element from the proof of
+            // the full instance.
+            let cuts: Vec<u32> = (2..=(bound + 1) as u32).collect();
+            let itps = extract_interpolants(
+                full_proof,
+                full_instance,
+                &cuts,
+                space,
+                model_to_concrete,
+                stats,
+            )?;
+            sequence.extend(itps);
+        } else {
+            let prev = sequence[serial - 1];
+            let inst = build_instance(
+                model,
+                0,
+                bound - serial,
+                serial,
+                bound,
+                check,
+                InitKind::Set {
+                    space,
+                    set: prev,
+                    concrete_to_model,
+                },
+            );
+            let (result, proof) = solve(&inst.cnf, stats);
+            if result == SolveResult::Sat {
+                return Err("parallel remainder of the serial sequence was unexpectedly satisfiable"
+                    .to_string());
+            }
+            let proof = proof.expect("unsat result has a proof");
+            let cuts: Vec<u32> = (2..=(bound - serial + 1) as u32).collect();
+            let itps =
+                extract_interpolants(&proof, &inst, &cuts, space, model_to_concrete, stats)?;
+            sequence.extend(itps);
+        }
+    }
+    debug_assert_eq!(sequence.len(), bound);
+    Ok(sequence)
+}
+
+enum ExtendOutcome {
+    /// The abstract counterexample concretises: the property fails.
+    ConcreteCounterexample,
+    /// The counterexample was spurious; the abstraction has been refined.
+    Refined,
+}
+
+/// Checks an abstract counterexample against the concrete design
+/// (Fig. 5's `EXTEND`) and refines the abstraction from the unsatisfiable
+/// assumption core when it is spurious (`REFINE`).
+fn extend_or_refine(
+    design: &Aig,
+    bad_index: usize,
+    bound: usize,
+    abstraction: &mut Abstraction,
+    check: BmcCheck,
+    stats: &mut EngineStats,
+) -> ExtendOutcome {
+    let mut unroller = Unroller::new(design);
+    let mut guards: Vec<Option<cnf::Lit>> = vec![None; design.num_latches()];
+    let mut activation: Vec<(cnf::Lit, usize)> = Vec::new();
+    for latch in 0..design.num_latches() {
+        if !abstraction.is_visible(latch) {
+            let a = unroller.builder_mut().new_lit();
+            guards[latch] = Some(a);
+            activation.push((a, latch));
+        }
+    }
+    unroller.assert_initial_guarded(0, &guards);
+    for f in 1..=bound {
+        if check == BmcCheck::ExactAssume && f >= 2 {
+            let bad_prev = unroller.bad_lit(f - 1, bad_index);
+            unroller.assert_lit(!bad_prev);
+        }
+        unroller.add_frame_guarded(&guards);
+    }
+    let bad = unroller.bad_lit(bound, bad_index);
+    unroller.assert_lit(bad);
+
+    let mut solver = Solver::new();
+    solver.add_cnf(&unroller.into_cnf());
+    stats.sat_calls += 1;
+    let assumptions: Vec<cnf::Lit> = activation.iter().map(|&(a, _)| a).collect();
+    let result = solver.solve_with_assumptions(&assumptions);
+    stats.conflicts += solver.stats().conflicts;
+    match result {
+        SolveResult::Sat => ExtendOutcome::ConcreteCounterexample,
+        SolveResult::Unsat => {
+            let core = solver.assumption_core();
+            let mut to_add: Vec<usize> = activation
+                .iter()
+                .filter(|&&(a, _)| core.contains(&a) || core.contains(&!a))
+                .map(|&(_, latch)| latch)
+                .collect();
+            if to_add.is_empty() {
+                // Defensive fallback: refine with every invisible latch.
+                to_add = activation.iter().map(|&(_, latch)| latch).collect();
+            }
+            abstraction.refine(to_add);
+            ExtendOutcome::Refined
+        }
+    }
+}
+
+/// The shared outer loop of the sequence-based engines.
+pub(crate) fn run(
+    design: &Aig,
+    bad_index: usize,
+    options: &Options,
+    config: SeqConfig,
+) -> EngineResult {
+    let start = Instant::now();
+    let mut stats = EngineStats::default();
+    let mut space = StateSpace::new(design.num_latches());
+    // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
+    let mut columns: Vec<aig::Lit> = Vec::new();
+
+    if crate::engines::bmc::initial_violation(design, bad_index) {
+        stats.sat_calls += 1;
+        stats.time = start.elapsed();
+        return EngineResult {
+            verdict: Verdict::Falsified { depth: 0 },
+            stats,
+        };
+    }
+    stats.sat_calls += 1;
+
+    let mut abstraction = if config.use_cba {
+        Abstraction::initial(design, bad_index)
+    } else {
+        Abstraction::full(design)
+    };
+    stats.visible_latches = abstraction.num_visible();
+    let mut current = abstraction.abstract_model(design, bad_index);
+
+    let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
+        stats.time = start.elapsed();
+        EngineResult { verdict, stats }
+    };
+
+    for k in 1..=options.max_bound {
+        if start.elapsed() > options.timeout {
+            return finish(
+                stats,
+                Verdict::Inconclusive {
+                    reason: "timeout".to_string(),
+                    bound_reached: k - 1,
+                },
+                start,
+            );
+        }
+
+        // Bounded check at bound k (on the abstract model when CBA is on),
+        // interleaved with abstraction refinement.
+        let (instance, proof) = loop {
+            let (model, _) = &current;
+            let instance = build_instance(model, 0, k, 0, k, options.check, InitKind::Reset);
+            let (result, proof) = solve(&instance.cnf, &mut stats);
+            match result {
+                SolveResult::Unsat => break (instance, proof.expect("unsat result has a proof")),
+                SolveResult::Sat => {
+                    if !config.use_cba || abstraction.is_complete(design) {
+                        return finish(stats, Verdict::Falsified { depth: k }, start);
+                    }
+                    match extend_or_refine(
+                        design,
+                        bad_index,
+                        k,
+                        &mut abstraction,
+                        options.check,
+                        &mut stats,
+                    ) {
+                        ExtendOutcome::ConcreteCounterexample => {
+                            return finish(stats, Verdict::Falsified { depth: k }, start);
+                        }
+                        ExtendOutcome::Refined => {
+                            stats.refinements += 1;
+                            stats.visible_latches = abstraction.num_visible();
+                            current = abstraction.abstract_model(design, bad_index);
+                        }
+                    }
+                }
+            }
+            if start.elapsed() > options.timeout {
+                return finish(
+                    stats,
+                    Verdict::Inconclusive {
+                        reason: "timeout".to_string(),
+                        bound_reached: k,
+                    },
+                    start,
+                );
+            }
+        };
+
+        // Interpolation sequence for this bound.
+        let (model, model_to_concrete) = &current;
+        let mut concrete_to_model = vec![usize::MAX; design.num_latches()];
+        for (model_latch, &concrete) in model_to_concrete.iter().enumerate() {
+            concrete_to_model[concrete] = model_latch;
+        }
+        let sequence = match compute_sequence(
+            model,
+            k,
+            options.check,
+            config.alpha_serial,
+            &mut space,
+            model_to_concrete,
+            &concrete_to_model,
+            &instance,
+            &proof,
+            &mut stats,
+        ) {
+            Ok(sequence) => sequence,
+            Err(reason) => {
+                return finish(
+                    stats,
+                    Verdict::Inconclusive {
+                        reason,
+                        bound_reached: k,
+                    },
+                    start,
+                );
+            }
+        };
+
+        // Column conjunctions and fixed-point checks (Fig. 2's inner loop).
+        let initial_lits: Vec<aig::Lit> = (0..model.num_latches())
+            .map(|i| {
+                space
+                    .latch(model_to_concrete[i])
+                    .xor_complement(!model.init(i))
+            })
+            .collect();
+        let r0 = space.manager_mut().and_many(initial_lits);
+        let mut reached = r0;
+        for j in 1..=k {
+            if columns.len() < j {
+                columns.push(aig::Lit::TRUE);
+            }
+            columns[j - 1] = space.and(columns[j - 1], sequence[j - 1]);
+            if space.implies(columns[j - 1], reached) {
+                return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, start);
+            }
+            reached = space.or(reached, columns[j - 1]);
+        }
+    }
+
+    finish(
+        stats,
+        Verdict::Inconclusive {
+            reason: "bound exhausted".to_string(),
+            bound_reached: options.max_bound,
+        },
+        start,
+    )
+}

@@ -1,0 +1,96 @@
+//! Serial interpolation sequences (`SITPSEQ`, Fig. 4, Definition 3).
+//!
+//! The first `⌊αs · n⌋` elements of each sequence are computed serially —
+//! every `I_j` from its own refutation of `I_{j-1} ∧ A_j ∧ ⋀_{i>j} A_i` —
+//! and the remaining elements in parallel from one proof.  The cumulative
+//! interpolation effect of the serial prefix tends to increase abstraction
+//! and converge at smaller depths, at the price of extra SAT calls.
+
+use crate::engines::seq::{run, SeqConfig};
+use crate::{EngineResult, Options};
+use aig::Aig;
+
+/// Runs the serial interpolation-sequence engine on bad-state property
+/// `bad_index`, with the serial fraction taken from
+/// [`Options::alpha_serial`].
+pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    run(
+        design,
+        bad_index,
+        options,
+        SeqConfig {
+            alpha_serial: options.alpha_serial,
+            use_cba: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Options, Verdict};
+    use aig::builder::{latch_word, word_equals_const, word_increment, word_mux};
+
+    fn modular_counter(width: usize, modulus: u64, bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+        let inc = word_increment(&mut aig, &bits, aig::Lit::TRUE);
+        let zero = aig::builder::word_const(width, 0);
+        let next = word_mux(&mut aig, wrap, &zero, &inc);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &bits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    #[test]
+    fn proves_unreachable_counter_value() {
+        let aig = modular_counter(3, 6, 6);
+        let result = verify(&aig, 0, &Options::default());
+        assert!(result.verdict.is_proved(), "verdict: {}", result.verdict);
+    }
+
+    #[test]
+    fn falsifies_reachable_counter_value() {
+        let aig = modular_counter(3, 6, 3);
+        let result = verify(&aig, 0, &Options::default());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 3 });
+    }
+
+    #[test]
+    fn every_alpha_setting_is_sound() {
+        for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for bad_at in [3u64, 7] {
+                let aig = modular_counter(3, 6, bad_at);
+                let exact = bdd::reach::analyze(&aig, 0, 1_000_000);
+                let got = verify(&aig, 0, &Options::default().with_alpha(alpha));
+                match exact.verdict {
+                    bdd::BddVerdict::Pass => assert!(
+                        got.verdict.is_proved(),
+                        "alpha={alpha} bad_at={bad_at}: {}",
+                        got.verdict
+                    ),
+                    bdd::BddVerdict::Fail { depth } => assert_eq!(
+                        got.verdict,
+                        Verdict::Falsified { depth },
+                        "alpha={alpha} bad_at={bad_at}"
+                    ),
+                    bdd::BddVerdict::Overflow => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_steps_issue_more_sat_calls_than_parallel() {
+        let aig = modular_counter(3, 6, 7);
+        let parallel = verify(&aig, 0, &Options::default().with_alpha(0.0));
+        let serial = verify(&aig, 0, &Options::default().with_alpha(1.0));
+        assert!(parallel.verdict.is_proved());
+        assert!(serial.verdict.is_proved());
+        assert!(serial.stats.sat_calls >= parallel.stats.sat_calls);
+    }
+}

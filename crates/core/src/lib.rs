@@ -1,0 +1,52 @@
+//! Unbounded model-checking engines from *Interpolation Sequences
+//! Revisited* (Cabodi, Nocco, Quer — DATE 2011).
+//!
+//! This crate is the paper's primary contribution, rebuilt on top of the
+//! substrates of the workspace (AIG circuits, partitioned CNF unrolling, a
+//! proof-logging CDCL solver, Craig interpolation and BDDs):
+//!
+//! * [`engines::bmc`] — plain bounded model checking with the *bound-k*,
+//!   *exact-k* and *exact-assume-k* formulations (Section II-A / III),
+//! * [`engines::itp`] — McMillan-style standard interpolation
+//!   (`ITPVERIF`, Fig. 1),
+//! * [`engines::itpseq`] — parallel interpolation sequences
+//!   (`ITPSEQVERIF`, Fig. 2),
+//! * [`engines::sitpseq`] — serial interpolation sequences
+//!   (`SITPSEQ`, Fig. 4, Definition 3),
+//! * [`engines::itpseq_cba`] — serial interpolation sequences tightly
+//!   integrated with counterexample-based abstraction
+//!   (`ITPSEQCBAVERIF`, Fig. 5).
+//!
+//! All engines return an [`EngineResult`] carrying the verdict together
+//! with the depth statistics `(k_fp, j_fp)` the paper's Table I reports.
+//!
+//! # Example
+//!
+//! ```
+//! use mc::{Engine, Options, Verdict};
+//!
+//! // A 3-bit saturating counter that can never reach 7 because it resets
+//! // at 5: the property "counter != 7" holds.
+//! let mut aig = aig::Aig::new();
+//! let (ids, bits) = aig::builder::latch_word(&mut aig, 3, 0);
+//! let at5 = aig::builder::word_equals_const(&mut aig, &bits, 5);
+//! let inc = aig::builder::word_increment(&mut aig, &bits, aig::Lit::TRUE);
+//! let zero = aig::builder::word_const(3, 0);
+//! let next = aig::builder::word_mux(&mut aig, at5, &zero, &inc);
+//! for (id, n) in ids.iter().zip(next.iter()) {
+//!     aig.set_next(*id, *n);
+//! }
+//! let bad = aig::builder::word_equals_const(&mut aig, &bits, 7);
+//! aig.add_bad(bad);
+//!
+//! let result = Engine::ItpSeq.verify(&aig, 0, &Options::default());
+//! assert!(matches!(result.verdict, Verdict::Proved { .. }));
+//! ```
+
+pub mod abstraction;
+pub mod engines;
+pub mod state;
+mod types;
+
+pub use engines::{bmc, itp, itpseq, itpseq_cba, sitpseq};
+pub use types::{Engine, EngineResult, EngineStats, Options, Verdict};

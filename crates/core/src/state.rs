@@ -1,0 +1,215 @@
+//! Symbolic state sets shared by the interpolation engines.
+//!
+//! Interpolants, their column conjunctions `ℐ_j` and the accumulated
+//! reachability over-approximations `R_j` are all Boolean functions over
+//! the design latches.  They are stored as literals of a single
+//! combinational [`aig::Aig`] manager whose primary input `i` stands for
+//! latch `i`; containment checks (`ℐ_j ⇒ R_{j-1}`) are discharged with the
+//! SAT solver, and state sets are re-encoded into time-frame CNF when they
+//! seed the next bounded check.
+
+use aig::{Aig, AigNode};
+use cnf::Unroller;
+use sat::{SolveResult, Solver};
+use std::collections::HashMap;
+
+/// A manager for symbolic state sets over the latches of one design.
+#[derive(Clone, Debug)]
+pub struct StateSpace {
+    mgr: Aig,
+    latch_inputs: Vec<aig::Lit>,
+}
+
+impl StateSpace {
+    /// Creates a state space for a design with `num_latches` latches.
+    pub fn new(num_latches: usize) -> StateSpace {
+        let mut mgr = Aig::new();
+        let latch_inputs = (0..num_latches)
+            .map(|_| aig::Lit::positive(mgr.add_input()))
+            .collect();
+        StateSpace { mgr, latch_inputs }
+    }
+
+    /// Number of latches (dimensions) of the state space.
+    pub fn num_latches(&self) -> usize {
+        self.latch_inputs.len()
+    }
+
+    /// Returns the literal standing for latch `i`.
+    pub fn latch(&self, i: usize) -> aig::Lit {
+        self.latch_inputs[i]
+    }
+
+    /// Gives mutable access to the underlying circuit manager (used by the
+    /// interpolation context to build interpolants in place).
+    pub fn manager_mut(&mut self) -> &mut Aig {
+        &mut self.mgr
+    }
+
+    /// Gives read access to the underlying circuit manager.
+    pub fn manager(&self) -> &Aig {
+        &self.mgr
+    }
+
+    /// The state set containing exactly the initial state(s) of `design`.
+    pub fn initial_states(&mut self, design: &Aig) -> aig::Lit {
+        let lits: Vec<aig::Lit> = (0..design.num_latches())
+            .map(|i| self.latch(i).xor_complement(!design.init(i)))
+            .collect();
+        self.mgr.and_many(lits)
+    }
+
+    /// Conjunction of two state sets.
+    pub fn and(&mut self, a: aig::Lit, b: aig::Lit) -> aig::Lit {
+        self.mgr.and(a, b)
+    }
+
+    /// Disjunction of two state sets.
+    pub fn or(&mut self, a: aig::Lit, b: aig::Lit) -> aig::Lit {
+        self.mgr.or(a, b)
+    }
+
+    /// Checks the implication `a ⇒ b` with a SAT call on `a ∧ ¬b`.
+    pub fn implies(&self, a: aig::Lit, b: aig::Lit) -> bool {
+        if a == aig::Lit::FALSE || b == aig::Lit::TRUE || a == b {
+            return true;
+        }
+        let mut builder = cnf::CnfBuilder::new();
+        let vars: Vec<cnf::Lit> = (0..self.num_latches()).map(|_| builder.new_lit()).collect();
+        let mut cache = HashMap::new();
+        let mut leaf = |_: &mut cnf::CnfBuilder, id: aig::NodeId| match self.mgr.node(id) {
+            AigNode::Input { index } => vars[index],
+            _ => unreachable!("state sets only depend on latch inputs"),
+        };
+        let a_lit = cnf::tseitin::encode_cone(&mut builder, &self.mgr, a, &mut cache, &mut leaf);
+        let b_lit = cnf::tseitin::encode_cone(&mut builder, &self.mgr, b, &mut cache, &mut leaf);
+        builder.add_unit(a_lit);
+        builder.add_unit(!b_lit);
+        let mut solver = Solver::new();
+        solver.add_cnf(&builder.into_cnf());
+        solver.solve() == SolveResult::Unsat
+    }
+
+    /// Evaluates a state set on a concrete latch valuation.
+    pub fn contains(&self, set: aig::Lit, latches: &[bool]) -> bool {
+        self.mgr.eval(set, latches, &[])
+    }
+}
+
+/// Encodes a state-set literal of `space` over the latch variables of
+/// `frame` in `unroller`, returning the CNF literal equisatisfiable with
+/// "the state at `frame` belongs to the set".
+///
+/// `latch_map[i]` gives the index, within the unrolled design, of the latch
+/// that dimension `i` of the state space talks about; pass the identity for
+/// unabstracted models.
+pub fn encode_state_lit(
+    unroller: &mut Unroller<'_>,
+    frame: usize,
+    space: &StateSpace,
+    set: aig::Lit,
+    latch_map: &[usize],
+) -> cnf::Lit {
+    let frame_latches = unroller.latch_lits(frame);
+    let mut cache = HashMap::new();
+    cnf::tseitin::encode_cone(
+        unroller.builder_mut(),
+        space.manager(),
+        set,
+        &mut cache,
+        &mut |_, id| match space.manager().node(id) {
+            AigNode::Input { index } => frame_latches[latch_map[index]],
+            _ => unreachable!("state sets only depend on latch inputs"),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_latch_design() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_latch(false);
+        let b = aig.add_latch(true);
+        let _ = (a, b);
+        aig
+    }
+
+    #[test]
+    fn initial_states_matches_reset_values() {
+        let design = two_latch_design();
+        let mut ss = StateSpace::new(2);
+        let init = ss.initial_states(&design);
+        assert!(ss.contains(init, &[false, true]));
+        assert!(!ss.contains(init, &[true, true]));
+        assert!(!ss.contains(init, &[false, false]));
+    }
+
+    #[test]
+    fn implication_checks() {
+        let mut ss = StateSpace::new(2);
+        let a = ss.latch(0);
+        let b = ss.latch(1);
+        let ab = ss.and(a, b);
+        let a_or_b = ss.or(a, b);
+        assert!(ss.implies(ab, a));
+        assert!(ss.implies(ab, a_or_b));
+        assert!(ss.implies(a, a_or_b));
+        assert!(!ss.implies(a_or_b, ab));
+        assert!(!ss.implies(a, b));
+        assert!(ss.implies(aig::Lit::FALSE, a));
+        assert!(ss.implies(a, aig::Lit::TRUE));
+    }
+
+    #[test]
+    fn encode_state_lit_constrains_frame_variables() {
+        // Design: one latch toggling from 0; constrain frame 0 to the set
+        // "latch = 1" and check that together with the reset state the CNF
+        // is unsatisfiable.
+        let mut design = Aig::new();
+        let l = design.add_latch(false);
+        let cur = design.latch_lit(l);
+        design.set_next(l, !cur);
+        design.add_bad(cur);
+
+        let ss = StateSpace::new(1);
+        let one = ss.latch(0);
+
+        let mut unroller = Unroller::new(&design);
+        unroller.assert_initial(0);
+        let set_lit = encode_state_lit(&mut unroller, 0, &ss, one, &[0]);
+        unroller.assert_lit(set_lit);
+        let mut solver = Solver::new();
+        solver.add_cnf(&unroller.into_cnf());
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+
+        // Without the initial-state constraint the set is satisfiable.
+        let mut unroller = Unroller::new(&design);
+        let set_lit = encode_state_lit(&mut unroller, 0, &ss, one, &[0]);
+        unroller.assert_lit(set_lit);
+        let mut solver = Solver::new();
+        solver.add_cnf(&unroller.into_cnf());
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn latch_map_redirects_dimensions() {
+        // A state space over one abstract latch that corresponds to the
+        // second latch of the concrete design.
+        let mut design = Aig::new();
+        let _l0 = design.add_latch(false);
+        let l1 = design.add_latch(true);
+        let _ = l1;
+        let ss = StateSpace::new(1);
+        let set = ss.latch(0); // "abstract latch is 1"
+        let mut unroller = Unroller::new(&design);
+        unroller.assert_initial(0);
+        let lit = encode_state_lit(&mut unroller, 0, &ss, set, &[1]);
+        unroller.assert_lit(lit);
+        let mut solver = Solver::new();
+        solver.add_cnf(&unroller.into_cnf());
+        // Latch 1 resets to 1, so the constraint is consistent.
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,253 @@
+//! Common result and configuration types for the verification engines.
+
+use cnf::BmcCheck;
+use std::fmt;
+use std::time::Duration;
+
+/// Outcome of a verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds for every reachable state.
+    Proved {
+        /// The BMC bound at which the fixed point was found (`k_fp`).
+        k_fp: usize,
+        /// The forward depth (inner iteration / cut index) at the fixed
+        /// point (`j_fp`).
+        j_fp: usize,
+    },
+    /// The property is violated by a concrete trace.
+    Falsified {
+        /// Length of the counterexample (number of transitions).
+        depth: usize,
+    },
+    /// The engine gave up (bound or time budget exhausted).
+    Inconclusive {
+        /// Why the engine stopped.
+        reason: String,
+        /// Bound reached when the engine stopped (the paper's bracketed
+        /// `(k_fp)` values on overflow rows).
+        bound_reached: usize,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved { .. })
+    }
+
+    /// Returns `true` for [`Verdict::Falsified`].
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, Verdict::Falsified { .. })
+    }
+
+    /// Returns `true` when the run produced a definite answer.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, Verdict::Inconclusive { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proved { k_fp, j_fp } => write!(f, "proved (k_fp={k_fp}, j_fp={j_fp})"),
+            Verdict::Falsified { depth } => write!(f, "falsified at depth {depth}"),
+            Verdict::Inconclusive {
+                reason,
+                bound_reached,
+            } => write!(f, "inconclusive after bound {bound_reached}: {reason}"),
+        }
+    }
+}
+
+/// Measured statistics of a verification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Wall-clock time spent.
+    pub time: Duration,
+    /// Number of SAT queries issued.
+    pub sat_calls: u64,
+    /// Total conflicts across all SAT queries.
+    pub conflicts: u64,
+    /// Number of interpolants extracted.
+    pub interpolants: u64,
+    /// Number of abstraction refinements (CBA engine only).
+    pub refinements: u64,
+    /// Number of latches visible in the final abstraction (CBA engine only;
+    /// equals the total latch count for the other engines).
+    pub visible_latches: usize,
+}
+
+/// The verdict plus the statistics of one engine run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineResult {
+    /// The verification outcome.
+    pub verdict: Verdict,
+    /// Aggregate run statistics.
+    pub stats: EngineStats,
+}
+
+/// Configuration shared by all engines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Maximum BMC bound explored before giving up.
+    pub max_bound: usize,
+    /// Wall-clock budget; engines stop with [`Verdict::Inconclusive`] when
+    /// it is exhausted.
+    pub timeout: Duration,
+    /// BMC formulation used by the sequence-based engines (the paper
+    /// advocates [`BmcCheck::ExactAssume`]).
+    pub check: BmcCheck,
+    /// Serial fraction `αs` of [`crate::engines::sitpseq`] (0 = fully
+    /// parallel, 1 = fully serial).  The paper uses 0.5.
+    pub alpha_serial: f64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_bound: 60,
+            timeout: Duration::from_secs(30),
+            check: BmcCheck::ExactAssume,
+            alpha_serial: 0.5,
+        }
+    }
+}
+
+impl Options {
+    /// Returns a copy with the given time budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Options {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Returns a copy with the given maximum bound.
+    pub fn with_max_bound(mut self, max_bound: usize) -> Options {
+        self.max_bound = max_bound;
+        self
+    }
+
+    /// Returns a copy with the given BMC check formulation.
+    pub fn with_check(mut self, check: BmcCheck) -> Options {
+        self.check = check;
+        self
+    }
+
+    /// Returns a copy with the given serial fraction `αs`.
+    pub fn with_alpha(mut self, alpha: f64) -> Options {
+        self.alpha_serial = alpha;
+        self
+    }
+}
+
+/// The verification engines evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Plain bounded model checking (falsification only).
+    Bmc,
+    /// Standard interpolation (Fig. 1).
+    Itp,
+    /// Parallel interpolation sequences (Fig. 2).
+    ItpSeq,
+    /// Serial interpolation sequences (Fig. 4).
+    SerialItpSeq,
+    /// Serial interpolation sequences with counterexample-based abstraction
+    /// (Fig. 5).
+    ItpSeqCba,
+}
+
+impl Engine {
+    /// All engines, in the order the paper presents them.
+    pub const ALL: [Engine; 5] = [
+        Engine::Bmc,
+        Engine::Itp,
+        Engine::ItpSeq,
+        Engine::SerialItpSeq,
+        Engine::ItpSeqCba,
+    ];
+
+    /// The name used in reports and plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Bmc => "BMC",
+            Engine::Itp => "ITP",
+            Engine::ItpSeq => "ITPSEQ",
+            Engine::SerialItpSeq => "SITPSEQ",
+            Engine::ItpSeqCba => "ITPSEQCBA",
+        }
+    }
+
+    /// Runs this engine on bad-state property `bad_index` of `aig`.
+    pub fn verify(self, aig: &aig::Aig, bad_index: usize, options: &Options) -> EngineResult {
+        match self {
+            Engine::Bmc => crate::engines::bmc::verify(aig, bad_index, options),
+            Engine::Itp => crate::engines::itp::verify(aig, bad_index, options),
+            Engine::ItpSeq => crate::engines::itpseq::verify(aig, bad_index, options),
+            Engine::SerialItpSeq => crate::engines::sitpseq::verify(aig, bad_index, options),
+            Engine::ItpSeqCba => crate::engines::itpseq_cba::verify(aig, bad_index, options),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Proved { k_fp: 3, j_fp: 2 }.is_proved());
+        assert!(Verdict::Falsified { depth: 4 }.is_falsified());
+        let inconclusive = Verdict::Inconclusive {
+            reason: "timeout".to_string(),
+            bound_reached: 7,
+        };
+        assert!(!inconclusive.is_conclusive());
+        assert!(Verdict::Proved { k_fp: 1, j_fp: 1 }.is_conclusive());
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(
+            Verdict::Proved { k_fp: 5, j_fp: 3 }.to_string(),
+            "proved (k_fp=5, j_fp=3)"
+        );
+        assert_eq!(
+            Verdict::Falsified { depth: 2 }.to_string(),
+            "falsified at depth 2"
+        );
+        assert!(Verdict::Inconclusive {
+            reason: "timeout".into(),
+            bound_reached: 9
+        }
+        .to_string()
+        .contains("bound 9"));
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = Options::default()
+            .with_max_bound(10)
+            .with_timeout(Duration::from_millis(500))
+            .with_check(BmcCheck::Exact)
+            .with_alpha(0.25);
+        assert_eq!(o.max_bound, 10);
+        assert_eq!(o.timeout, Duration::from_millis(500));
+        assert_eq!(o.check, BmcCheck::Exact);
+        assert!((o.alpha_serial - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_names_are_unique() {
+        let names: Vec<&str> = Engine::ALL.iter().map(|e| e.name()).collect();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+        assert_eq!(Engine::ItpSeqCba.to_string(), "ITPSEQCBA");
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors reported by interpolant extraction.
+
+use cnf::Var;
+use std::error::Error;
+use std::fmt;
+
+/// Reasons why an interpolant cannot be extracted from a proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ItpError {
+    /// The proof has no final (empty-clause) chain, i.e. the formula was
+    /// never refuted.
+    MissingRefutation,
+    /// A clause participating in the proof has partition 0, so it belongs to
+    /// neither side of any cut.
+    UnpartitionedClause {
+        /// Index of the offending clause in the proof.
+        clause: usize,
+    },
+    /// A resolution pivot never occurs in any original clause, so it cannot
+    /// be classified as local or global.
+    UnclassifiableVariable {
+        /// The offending variable.
+        var: Var,
+    },
+    /// The requested cut index lies outside `1..num_partitions`.
+    CutOutOfRange {
+        /// The requested cut.
+        cut: u32,
+        /// Number of partitions in the proof.
+        partitions: u32,
+    },
+}
+
+impl fmt::Display for ItpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItpError::MissingRefutation => {
+                write!(f, "proof does not derive the empty clause")
+            }
+            ItpError::UnpartitionedClause { clause } => {
+                write!(f, "clause {clause} used by the proof has no partition")
+            }
+            ItpError::UnclassifiableVariable { var } => {
+                write!(f, "variable {var} does not occur in any original clause")
+            }
+            ItpError::CutOutOfRange { cut, partitions } => {
+                write!(
+                    f,
+                    "cut {cut} is outside the valid range 1..{partitions} of the proof"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ItpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_problem() {
+        assert!(ItpError::MissingRefutation.to_string().contains("empty clause"));
+        assert!(ItpError::UnpartitionedClause { clause: 3 }
+            .to_string()
+            .contains("clause 3"));
+        assert!(ItpError::UnclassifiableVariable { var: Var::new(7) }
+            .to_string()
+            .contains("x7"));
+        assert!(ItpError::CutOutOfRange {
+            cut: 9,
+            partitions: 4
+        }
+        .to_string()
+        .contains("cut 9"));
+    }
+}

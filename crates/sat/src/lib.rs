@@ -1,0 +1,43 @@
+//! A CDCL SAT solver with resolution-proof logging, written for
+//! interpolant extraction.
+//!
+//! Interpolation-based model checking needs more from its SAT solver than a
+//! SAT/UNSAT answer: every refutation must come with a *resolution proof*
+//! whose leaves are the original (partition-labelled) clauses, because Craig
+//! interpolants and interpolation sequences are computed by annotating that
+//! proof.  None of the existing pure-Rust solvers expose proofs in this
+//! form, so the reproduction ships its own solver:
+//!
+//! * conflict-driven clause learning with first-UIP learning,
+//! * two-watched-literal propagation,
+//! * VSIDS-style variable activities with a lazy heap,
+//! * phase saving and Luby restarts,
+//! * incremental assumptions with assumption-core extraction (used by the
+//!   counterexample-based abstraction refinement),
+//! * resolution chains recorded for every learned clause and for the final
+//!   empty clause ([`Proof`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cnf::Lit;
+//! use sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = Lit::positive(solver.new_var());
+//! let b = Lit::positive(solver.new_var());
+//! solver.add_clause([a, b], 1);
+//! solver.add_clause([!a, b], 1);
+//! solver.add_clause([!b], 2);
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! let proof = solver.proof().expect("refutation proof");
+//! assert!(!proof.clauses.is_empty());
+//! ```
+
+mod luby;
+mod proof;
+mod solver;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use proof::{Chain, ClauseOrigin, Proof, ProofClause};
+pub use solver::{SolveResult, Solver, SolverStats};

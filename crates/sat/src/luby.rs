@@ -1,0 +1,48 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`, the standard universal restart
+/// schedule.
+pub(crate) fn luby(i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, and the index of i
+    // inside that subsequence (Knuth's formulation, as used by MiniSat).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    let mut size = size;
+    let mut seq = seq;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_elements_match_reference_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn sequence_is_unbounded() {
+        assert!((0..2048).map(luby).max().unwrap() >= 512);
+    }
+}

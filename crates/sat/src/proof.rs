@@ -1,0 +1,252 @@
+//! Resolution proofs produced by the solver.
+//!
+//! The proof is a DAG of clauses.  Leaves are the original clauses (with
+//! their interpolation partition); internal nodes are learned clauses, each
+//! carrying the *trivial resolution chain* by which conflict analysis
+//! derived it; the root is the empty clause, derived by the final chain.
+//!
+//! A chain `(start, [(v₁, c₁), (v₂, c₂), …])` denotes the linear resolution
+//! `((start ⊗_{v₁} c₁) ⊗_{v₂} c₂) ⊗ …` where `⊗_v` resolves on variable
+//! `v`.  Chains reference clauses by their index in [`Proof::clauses`].
+
+use cnf::{Lit, Var};
+
+/// Index of a clause inside a [`Proof`].
+pub type ProofClauseId = usize;
+
+/// A linear resolution chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// The clause the chain starts from.
+    pub start: ProofClauseId,
+    /// Successive resolution steps: `(pivot variable, antecedent clause)`.
+    pub steps: Vec<(Var, ProofClauseId)>,
+}
+
+/// Where a proof clause comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClauseOrigin {
+    /// An input clause, tagged with its interpolation partition
+    /// (1-based; 0 means "outside every partition").
+    Original {
+        /// The partition index assigned when the clause was added.
+        partition: u32,
+    },
+    /// A clause learned by conflict analysis, derived by `chain`.
+    Learned {
+        /// The resolution chain deriving this clause.
+        chain: Chain,
+    },
+}
+
+/// A single clause of the proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofClause {
+    /// The literals of the clause.
+    pub lits: Vec<Lit>,
+    /// Leaf (original) or derived (learned).
+    pub origin: ClauseOrigin,
+}
+
+impl ProofClause {
+    /// Returns `true` for input clauses.
+    pub fn is_original(&self) -> bool {
+        matches!(self.origin, ClauseOrigin::Original { .. })
+    }
+
+    /// Returns the partition of an original clause, or `None` for learned
+    /// clauses.
+    pub fn partition(&self) -> Option<u32> {
+        match self.origin {
+            ClauseOrigin::Original { partition } => Some(partition),
+            ClauseOrigin::Learned { .. } => None,
+        }
+    }
+}
+
+/// A complete refutation proof.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Proof {
+    /// All clauses, original and learned, in the order the solver created
+    /// them (chains only ever reference earlier clauses).
+    pub clauses: Vec<ProofClause>,
+    /// The chain deriving the empty clause.  `None` only for proofs of
+    /// formulas that were never refuted (which the solver never returns).
+    pub empty_clause_chain: Option<Chain>,
+}
+
+impl Proof {
+    /// Number of original (leaf) clauses.
+    pub fn num_original(&self) -> usize {
+        self.clauses.iter().filter(|c| c.is_original()).count()
+    }
+
+    /// Number of learned clauses.
+    pub fn num_learned(&self) -> usize {
+        self.clauses.len() - self.num_original()
+    }
+
+    /// Returns the largest partition index appearing on any original clause.
+    pub fn num_partitions(&self) -> u32 {
+        self.clauses
+            .iter()
+            .filter_map(|c| c.partition())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Replays a resolution chain and returns the resulting clause literals
+    /// (sorted and deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description when a step's pivot does not
+    /// occur with opposite phases in the two operands, which would make the
+    /// chain invalid.
+    pub fn replay_chain(&self, chain: &Chain) -> Result<Vec<Lit>, String> {
+        let mut current: Vec<Lit> = self.clauses[chain.start].lits.clone();
+        current.sort_unstable();
+        current.dedup();
+        for &(pivot, antecedent) in &chain.steps {
+            let other = &self.clauses[antecedent].lits;
+            let pos = Lit::positive(pivot);
+            let neg = Lit::negative(pivot);
+            let in_current_pos = current.contains(&pos);
+            let in_current_neg = current.contains(&neg);
+            let in_other_pos = other.contains(&pos);
+            let in_other_neg = other.contains(&neg);
+            let ok = (in_current_pos && in_other_neg) || (in_current_neg && in_other_pos);
+            if !ok {
+                return Err(format!(
+                    "pivot {pivot:?} does not occur with opposite phases in operands"
+                ));
+            }
+            current.retain(|&l| l.var() != pivot);
+            for &l in other {
+                if l.var() != pivot && !current.contains(&l) {
+                    current.push(l);
+                }
+            }
+            current.sort_unstable();
+        }
+        Ok(current)
+    }
+
+    /// Checks the whole proof: every learned clause must be derivable by its
+    /// chain (the replayed clause must be a subset of the recorded one), and
+    /// the final chain must derive the empty clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn check(&self) -> Result<(), String> {
+        for (id, clause) in self.clauses.iter().enumerate() {
+            if let ClauseOrigin::Learned { chain } = &clause.origin {
+                if chain.start >= id || chain.steps.iter().any(|&(_, c)| c >= id) {
+                    return Err(format!("clause {id} references a later clause"));
+                }
+                let derived = self.replay_chain(chain)?;
+                let mut recorded: Vec<Lit> = clause.lits.clone();
+                recorded.sort_unstable();
+                recorded.dedup();
+                if !derived.iter().all(|l| recorded.contains(l)) {
+                    return Err(format!(
+                        "clause {id}: derived clause {derived:?} is not a subset of recorded {recorded:?}"
+                    ));
+                }
+            }
+        }
+        match &self.empty_clause_chain {
+            None => Err("proof has no final chain".to_string()),
+            Some(chain) => {
+                let derived = self.replay_chain(chain)?;
+                if derived.is_empty() {
+                    Ok(())
+                } else {
+                    Err(format!("final chain derives {derived:?}, not the empty clause"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, neg: bool) -> Lit {
+        Lit::new(Var::new(v), neg)
+    }
+
+    /// Hand-built proof of UNSAT for {a, ¬a ∨ b, ¬b}.
+    fn tiny_proof() -> Proof {
+        Proof {
+            clauses: vec![
+                ProofClause {
+                    lits: vec![lit(0, false)],
+                    origin: ClauseOrigin::Original { partition: 1 },
+                },
+                ProofClause {
+                    lits: vec![lit(0, true), lit(1, false)],
+                    origin: ClauseOrigin::Original { partition: 1 },
+                },
+                ProofClause {
+                    lits: vec![lit(1, true)],
+                    origin: ClauseOrigin::Original { partition: 2 },
+                },
+            ],
+            empty_clause_chain: Some(Chain {
+                start: 2,
+                steps: vec![(Var::new(1), 1), (Var::new(0), 0)],
+            }),
+        }
+    }
+
+    #[test]
+    fn replay_of_valid_chain_gives_empty_clause() {
+        let proof = tiny_proof();
+        let chain = proof.empty_clause_chain.clone().unwrap();
+        assert_eq!(proof.replay_chain(&chain).unwrap(), vec![]);
+        assert!(proof.check().is_ok());
+    }
+
+    #[test]
+    fn replay_detects_bad_pivot() {
+        let proof = tiny_proof();
+        let bad = Chain {
+            start: 0,
+            steps: vec![(Var::new(1), 2)],
+        };
+        assert!(proof.replay_chain(&bad).is_err());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let proof = tiny_proof();
+        assert_eq!(proof.num_original(), 3);
+        assert_eq!(proof.num_learned(), 0);
+        assert_eq!(proof.num_partitions(), 2);
+    }
+
+    #[test]
+    fn check_rejects_missing_final_chain() {
+        let mut proof = tiny_proof();
+        proof.empty_clause_chain = None;
+        assert!(proof.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_forward_references() {
+        let mut proof = tiny_proof();
+        proof.clauses.push(ProofClause {
+            lits: vec![],
+            origin: ClauseOrigin::Learned {
+                chain: Chain {
+                    start: 5,
+                    steps: vec![],
+                },
+            },
+        });
+        assert!(proof.check().is_err());
+    }
+}

@@ -1,0 +1,950 @@
+//! The CDCL search engine.
+
+use crate::luby::luby;
+use crate::proof::{Chain, ClauseOrigin, Proof, ProofClause};
+use cnf::{Cnf, Lit, Var};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment exists; read it with [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+/// Aggregate search statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    origin: ClauseOrigin,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.activity == other.activity && self.var == other.var
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.var.cmp(&other.var))
+    }
+}
+
+/// A conflict-driven clause-learning SAT solver with proof logging.
+///
+/// See the crate-level documentation for an overview and an example.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    watches: Vec<Vec<usize>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: BinaryHeap<HeapEntry>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    final_chain: Option<Chain>,
+    assumption_core: Vec<Lit>,
+    stats: SolverStats,
+    status: Option<SolveResult>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: BinaryHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            final_chain: None,
+            assumption_core: Vec::new(),
+            stats: SolverStats::default(),
+            status: None,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
+        v
+    }
+
+    /// Ensures that variables `0..count` exist.
+    pub fn ensure_vars(&mut self, count: u32) {
+        while (self.assign.len() as u32) < count {
+            self.new_var();
+        }
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Number of clauses (original plus learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause belonging to interpolation partition `partition`
+    /// (use 0 when the clause takes no part in interpolation).
+    ///
+    /// Variables referenced by the literals are allocated on demand.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I, partition: u32) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
+            self.ensure_vars(max + 1);
+        }
+        if !self.ok {
+            return;
+        }
+        // Clauses are always installed at the root level so that the watch
+        // set-up below sees a consistent (level-0) partial assignment.
+        self.backtrack(0);
+        let id = self.clauses.len();
+        self.clauses.push(ClauseData {
+            lits,
+            origin: ClauseOrigin::Original { partition },
+        });
+        self.attach_clause(id);
+    }
+
+    /// Adds every clause of a [`Cnf`], preserving the partition labels.
+    pub fn add_cnf(&mut self, cnf: &Cnf) {
+        self.ensure_vars(cnf.num_vars);
+        for clause in &cnf.clauses {
+            self.add_clause(clause.lits.iter().copied(), clause.partition);
+        }
+    }
+
+    fn attach_clause(&mut self, id: usize) {
+        let lits = self.clauses[id].lits.clone();
+        if lits.is_empty() {
+            self.ok = false;
+            self.final_chain = Some(Chain {
+                start: id,
+                steps: Vec::new(),
+            });
+            return;
+        }
+        if lits.len() == 1 {
+            match self.value_lit(lits[0]) {
+                LBool::True => {}
+                LBool::Undef => self.enqueue(lits[0], Some(id)),
+                LBool::False => {
+                    self.ok = false;
+                    self.final_chain = Some(self.final_chain_from(id));
+                }
+            }
+            return;
+        }
+        // Move two non-false literals to the watch positions when possible.
+        let mut ordered = lits;
+        let mut non_false: Vec<usize> = (0..ordered.len())
+            .filter(|&i| self.value_lit(ordered[i]) != LBool::False)
+            .collect();
+        if non_false.is_empty() {
+            self.ok = false;
+            self.final_chain = Some(self.final_chain_from(id));
+            return;
+        }
+        if non_false.len() == 1 {
+            ordered.swap(0, non_false[0]);
+            self.clauses[id].lits = ordered.clone();
+            self.watch(ordered[0], id);
+            self.watch(ordered[1], id);
+            if self.value_lit(ordered[0]) == LBool::Undef {
+                self.enqueue(ordered[0], Some(id));
+            }
+            return;
+        }
+        non_false.truncate(2);
+        ordered.swap(0, non_false[0]);
+        // After the first swap the second index may have moved.
+        let second = if non_false[1] == 0 {
+            non_false[0]
+        } else {
+            non_false[1]
+        };
+        ordered.swap(1, second);
+        self.clauses[id].lits = ordered.clone();
+        self.watch(ordered[0], id);
+        self.watch(ordered[1], id);
+    }
+
+    fn watch(&mut self, lit: Lit, id: usize) {
+        self.watches[lit.code() as usize].push(id);
+    }
+
+    #[inline]
+    fn value_var(&self, var: Var) -> LBool {
+        self.assign[var.index() as usize]
+    }
+
+    #[inline]
+    fn value_lit(&self, lit: Lit) -> LBool {
+        match self.assign[lit.var().index() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_negative() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if lit.is_negative() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Returns the value assigned to `var` by the most recent satisfiable
+    /// call, or `None` when the variable is unassigned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.value_var(var) {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Returns the value of a literal under the current assignment.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v != lit.is_negative())
+    }
+
+    /// Returns a total model (unassigned variables default to `false`).
+    ///
+    /// Only meaningful after a [`SolveResult::Sat`] answer.
+    pub fn model(&self) -> Vec<bool> {
+        (0..self.num_vars())
+            .map(|i| self.value(Var::new(i)).unwrap_or(false))
+            .collect()
+    }
+
+    /// Returns the subset of the assumptions responsible for the last
+    /// `Unsat` answer of [`Solver::solve_with_assumptions`].
+    ///
+    /// Empty when the formula is unsatisfiable regardless of assumptions.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
+    }
+
+    /// Returns the resolution proof of the last assumption-free `Unsat`
+    /// answer, or `None` when no refutation has been derived.
+    pub fn proof(&self) -> Option<Proof> {
+        self.final_chain.as_ref()?;
+        Some(Proof {
+            clauses: self
+                .clauses
+                .iter()
+                .map(|c| ProofClause {
+                    lits: c.lits.clone(),
+                    origin: c.origin.clone(),
+                })
+                .collect(),
+            empty_clause_chain: self.final_chain.clone(),
+        })
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value_lit(lit), LBool::Undef);
+        let v = lit.var().index() as usize;
+        self.assign[v] = if lit.is_negative() {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let watch_idx = false_lit.code() as usize;
+            let mut i = 0;
+            while i < self.watches[watch_idx].len() {
+                let clause_id = self.watches[watch_idx][i];
+                // Make sure the false literal is at position 1.
+                let lits_len = self.clauses[clause_id].lits.len();
+                if self.clauses[clause_id].lits[0] == false_lit {
+                    self.clauses[clause_id].lits.swap(0, 1);
+                }
+                let first = self.clauses[clause_id].lits[0];
+                if self.value_lit(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for j in 2..lits_len {
+                    let candidate = self.clauses[clause_id].lits[j];
+                    if self.value_lit(candidate) != LBool::False {
+                        self.clauses[clause_id].lits.swap(1, j);
+                        self.watches[watch_idx].swap_remove(i);
+                        self.watch(candidate, clause_id);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                if self.value_lit(first) == LBool::False {
+                    // Conflict.
+                    self.qhead = self.trail.len();
+                    return Some(clause_id);
+                }
+                // Unit clause: propagate `first`.
+                self.enqueue(first, Some(clause_id));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let v = var.index() as usize;
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.push(HeapEntry {
+            activity: self.activity[v],
+            var,
+        });
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause (asserting
+    /// literal first), the backtrack level and the resolution chain deriving
+    /// the learned clause.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize, Chain) {
+        let current_level = self.decision_level() as u32;
+        let mut learned: Vec<Lit> = vec![Lit::positive(Var::new(0))];
+        let mut chain = Chain {
+            start: confl,
+            steps: Vec::new(),
+        };
+        let mut to_clear: Vec<usize> = Vec::new();
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut clause_id = confl;
+
+        loop {
+            if let Some(pl) = p {
+                chain.steps.push((pl.var(), clause_id));
+            }
+            let lits = self.clauses[clause_id].lits.clone();
+            for &q in &lits {
+                if let Some(pl) = p {
+                    if q.var() == pl.var() {
+                        continue;
+                    }
+                }
+                let v = q.var().index() as usize;
+                if self.seen[v] {
+                    continue;
+                }
+                self.seen[v] = true;
+                to_clear.push(v);
+                self.bump_var(q.var());
+                if self.level[v] == current_level {
+                    path_count += 1;
+                } else {
+                    // Literals below the current level (including level 0)
+                    // stay in the learned clause; keeping the level-0 ones
+                    // makes the recorded resolution chain exact.
+                    learned.push(q);
+                }
+            }
+            // Find the next current-level literal to resolve on.
+            loop {
+                index -= 1;
+                let v = self.trail[index].var().index() as usize;
+                if self.seen[v] && self.level[v] == current_level {
+                    break;
+                }
+            }
+            let pivot = self.trail[index];
+            path_count -= 1;
+            self.seen[pivot.var().index() as usize] = false;
+            if path_count == 0 {
+                learned[0] = !pivot;
+                break;
+            }
+            p = Some(pivot);
+            clause_id = self.reason[pivot.var().index() as usize]
+                .expect("propagated literal at current level has a reason");
+        }
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+
+        // Determine the backtrack level and place a literal of that level at
+        // position 1 so it can be watched.
+        let backtrack_level = if learned.len() == 1 {
+            0
+        } else {
+            let mut max_idx = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var().index() as usize]
+                    > self.level[learned[max_idx].var().index() as usize]
+                {
+                    max_idx = i;
+                }
+            }
+            learned.swap(1, max_idx);
+            self.level[learned[1].var().index() as usize] as usize
+        };
+        (learned, backtrack_level, chain)
+    }
+
+    /// Builds the resolution chain refuting the formula from a conflict in
+    /// which every literal is falsified at decision level 0.
+    fn final_chain_from(&self, confl: usize) -> Chain {
+        let mut seen = vec![false; self.num_vars() as usize];
+        for &l in &self.clauses[confl].lits {
+            seen[l.var().index() as usize] = true;
+        }
+        let mut steps = Vec::new();
+        for &lit in self.trail.iter().rev() {
+            let v = lit.var().index() as usize;
+            if !seen[v] {
+                continue;
+            }
+            let reason = self.reason[v]
+                .expect("level-0 assignments used in the final conflict have reasons");
+            steps.push((lit.var(), reason));
+            for &q in &self.clauses[reason].lits {
+                seen[q.var().index() as usize] = true;
+            }
+        }
+        Chain {
+            start: confl,
+            steps,
+        }
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level];
+        while self.trail.len() > target {
+            let lit = self.trail.pop().expect("trail not empty");
+            let v = lit.var().index() as usize;
+            self.phase[v] = !lit.is_negative();
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = None;
+            self.heap.push(HeapEntry {
+                activity: self.activity[v],
+                var: lit.var(),
+            });
+        }
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn add_learned(&mut self, lits: Vec<Lit>, chain: Chain) -> usize {
+        let id = self.clauses.len();
+        self.stats.learned += 1;
+        self.clauses.push(ClauseData {
+            lits: lits.clone(),
+            origin: ClauseOrigin::Learned { chain },
+        });
+        if lits.len() >= 2 {
+            self.watch(lits[0], id);
+            self.watch(lits[1], id);
+        }
+        self.enqueue(lits[0], Some(id));
+        id
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(entry) = self.heap.pop() {
+            if self.value_var(entry.var) == LBool::Undef {
+                return Some(entry.var);
+            }
+        }
+        // The lazy heap may run dry; fall back to a linear scan.
+        (0..self.num_vars())
+            .map(Var::new)
+            .find(|&v| self.value_var(v) == LBool::Undef)
+    }
+
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        let mut seen = vec![false; self.num_vars() as usize];
+        seen[failed.var().index() as usize] = true;
+        let root = self.trail_lim[0];
+        for i in (root..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index() as usize;
+            if !seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => core.push(lit),
+                Some(r) => {
+                    for &q in &self.clauses[r].lits {
+                        if self.level[q.var().index() as usize] > 0 {
+                            seen[q.var().index() as usize] = true;
+                        }
+                    }
+                }
+            }
+            seen[v] = false;
+        }
+        core
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// On an `Unsat` answer caused by the assumptions,
+    /// [`Solver::assumption_core`] returns the responsible subset.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.assumption_core.clear();
+        self.backtrack(0);
+        if !self.ok {
+            self.status = Some(SolveResult::Unsat);
+            return SolveResult::Unsat;
+        }
+        for a in assumptions {
+            self.ensure_vars(a.var().index() + 1);
+        }
+        if let Some(confl) = self.propagate() {
+            self.ok = false;
+            self.final_chain = Some(self.final_chain_from(confl));
+            self.status = Some(SolveResult::Unsat);
+            return SolveResult::Unsat;
+        }
+
+        let mut restart_round: u64 = 0;
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_limit = 100 * luby(restart_round);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.final_chain = Some(self.final_chain_from(confl));
+                    self.status = Some(SolveResult::Unsat);
+                    return SolveResult::Unsat;
+                }
+                let (learned, backtrack_level, chain) = self.analyze(confl);
+                self.backtrack(backtrack_level);
+                self.add_learned(learned, chain);
+                self.decay_activities();
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = 100 * luby(restart_round);
+                    self.backtrack(0);
+                    continue;
+                }
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.value_lit(p) {
+                        LBool::True => {
+                            // Already satisfied: open a dummy level so the
+                            // remaining assumptions keep their positions.
+                            self.new_decision_level();
+                        }
+                        LBool::False => {
+                            self.assumption_core = self.analyze_final(p);
+                            self.status = Some(SolveResult::Unsat);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.new_decision_level();
+                            self.enqueue(p, None);
+                        }
+                    }
+                } else {
+                    match self.pick_branch_var() {
+                        None => {
+                            self.status = Some(SolveResult::Sat);
+                            return SolveResult::Sat;
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.new_decision_level();
+                            let lit = Lit::new(v, !self.phase[v.index() as usize]);
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the result of the most recent solve call, if any.
+    pub fn status(&self) -> Option<SolveResult> {
+        self.status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: usize, neg: bool) -> Lit {
+        Lit::new(solver_vars[i], neg)
+    }
+
+    fn vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat_with_proof() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        s.add_clause([lit(&v, 0, true)], 2);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().expect("proof available");
+        proof.check().expect("proof must check");
+    }
+
+    #[test]
+    fn simple_implication_chain_unsat() {
+        // a, a->b, b->c, ¬c
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([lit(&v, 0, false)], 1);
+        s.add_clause([lit(&v, 0, true), lit(&v, 1, false)], 1);
+        s.add_clause([lit(&v, 1, true), lit(&v, 2, false)], 2);
+        s.add_clause([lit(&v, 2, true)], 2);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.proof().expect("proof").check().expect("valid proof");
+    }
+
+    #[test]
+    fn satisfiable_2sat_instance() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause([lit(&v, 0, false), lit(&v, 1, false)], 1);
+        s.add_clause([lit(&v, 0, true), lit(&v, 2, false)], 1);
+        s.add_clause([lit(&v, 1, true), lit(&v, 3, false)], 1);
+        s.add_clause([lit(&v, 2, true), lit(&v, 3, true)], 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model();
+        // Verify the model satisfies every clause.
+        assert!(model[v[0].index() as usize] || model[v[1].index() as usize]);
+        assert!(!model[v[0].index() as usize] || model[v[2].index() as usize]);
+        assert!(!model[v[1].index() as usize] || model[v[3].index() as usize]);
+        assert!(!model[v[2].index() as usize] || !model[v[3].index() as usize]);
+    }
+
+    /// Encodes the pigeonhole principle PHP(holes+1, holes), a classic
+    /// unsatisfiable family that genuinely exercises clause learning.
+    fn pigeonhole(solver: &mut Solver, holes: usize) {
+        let pigeons = holes + 1;
+        let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+        solver.ensure_vars((pigeons * holes) as u32);
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::positive(var(p, h))).collect();
+            solver.add_clause(clause, 1);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    solver.add_clause(
+                        [Lit::negative(var(p1, h)), Lit::negative(var(p2, h))],
+                        2,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_with_valid_proof() {
+        for holes in 2..=5 {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, holes);
+            assert_eq!(s.solve(), SolveResult::Unsat, "php({holes})");
+            let proof = s.proof().expect("proof");
+            proof.check().expect("proof checks");
+            assert!(proof.num_learned() > 0 || holes <= 2);
+        }
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_reference_dpll() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20110316);
+        for round in 0..40 {
+            let num_vars = 8 + (round % 5);
+            let num_clauses = (num_vars as f64 * 4.0) as usize;
+            let mut cnf_builder = cnf::CnfBuilder::new();
+            for _ in 0..num_vars {
+                cnf_builder.new_var();
+            }
+            cnf_builder.set_partition(1);
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var::new(rng.gen_range(0..num_vars) as u32);
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                cnf_builder.add_clause(clause);
+            }
+            let cnf = cnf_builder.into_cnf();
+            let expected = reference_sat(&cnf);
+            let mut s = Solver::new();
+            s.add_cnf(&cnf);
+            let got = s.solve() == SolveResult::Sat;
+            assert_eq!(got, expected, "round {round}");
+            if got {
+                let model = s.model();
+                assert!(cnf.evaluate(&model), "model must satisfy the formula");
+            } else {
+                s.proof().expect("proof").check().expect("proof checks");
+            }
+        }
+    }
+
+    fn reference_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars;
+        (0..(1u64 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            cnf.evaluate(&assignment)
+        })
+    }
+
+    #[test]
+    fn assumptions_select_branches() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        // a -> b
+        s.add_clause([lit(&v, 0, true), lit(&v, 1, false)], 1);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 0, false), lit(&v, 1, true)]),
+            SolveResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        assert!(!core.is_empty());
+        // Without the conflicting assumption the instance is satisfiable.
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 0, false)]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn assumption_core_is_subset_of_assumptions() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // x0 ∧ x1 -> conflict; x2, x3 irrelevant.
+        s.add_clause([lit(&v, 0, true), lit(&v, 1, true)], 1);
+        let assumptions = [
+            lit(&v, 2, false),
+            lit(&v, 0, false),
+            lit(&v, 3, false),
+            lit(&v, 1, false),
+        ];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        for l in s.assumption_core() {
+            assert!(assumptions.contains(l) || assumptions.contains(&!*l));
+        }
+        // The irrelevant assumptions must not both be required.
+        let core = s.assumption_core();
+        assert!(core.len() <= 3);
+    }
+
+    #[test]
+    fn solver_is_reusable_after_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([lit(&v, 0, false), lit(&v, 1, false)], 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 0, true)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 0, true), lit(&v, 1, true)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        let _ = s.solve();
+        let stats = s.stats();
+        assert!(stats.conflicts > 0);
+        assert!(stats.decisions > 0);
+        assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn adding_clause_after_root_conflict_is_ignored() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        s.add_clause([lit(&v, 0, true)], 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_makes_formula_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(std::iter::empty(), 1);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().expect("proof");
+        proof.check().expect("empty clause proof is trivially valid");
+    }
+
+    #[test]
+    fn proofs_reference_partitions() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([lit(&v, 0, false)], 1);
+        s.add_clause([lit(&v, 0, true), lit(&v, 1, false)], 1);
+        s.add_clause([lit(&v, 1, true)], 2);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().expect("proof");
+        assert_eq!(proof.num_partitions(), 2);
+        assert_eq!(proof.num_original(), 3);
+    }
+}

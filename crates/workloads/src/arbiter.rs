@@ -1,0 +1,83 @@
+//! Round-robin arbiters.
+
+use aig::builder::at_most_one;
+use aig::{Aig, Lit};
+
+/// A round-robin arbiter over `clients` requesters.
+///
+/// A one-hot priority token rotates every cycle; a client is granted when
+/// it requests and holds the priority token, so at most one grant can be
+/// active at any time — this mutual-exclusion property is the bad-state
+/// output.  With `seeded_bug`, client 0 is additionally granted whenever it
+/// requests (regardless of priority), which breaks mutual exclusion.
+pub fn round_robin(clients: usize, seeded_bug: bool) -> Aig {
+    assert!(clients >= 2, "an arbiter needs at least two clients");
+    let mut aig = Aig::new();
+    aig.set_name(format!(
+        "arbiter{clients}{}",
+        if seeded_bug { "bug" } else { "ok" }
+    ));
+    let requests: Vec<Lit> = (0..clients)
+        .map(|_| Lit::positive(aig.add_input()))
+        .collect();
+    // Priority token ring.
+    let token_latches: Vec<usize> = (0..clients).map(|i| aig.add_latch(i == 0)).collect();
+    let token: Vec<Lit> = token_latches.iter().map(|&l| aig.latch_lit(l)).collect();
+    for i in 0..clients {
+        let prev = token[(i + clients - 1) % clients];
+        aig.set_next(token_latches[i], prev);
+    }
+    // Grant registers.
+    let grant_latches: Vec<usize> = (0..clients).map(|_| aig.add_latch(false)).collect();
+    let grants: Vec<Lit> = grant_latches.iter().map(|&l| aig.latch_lit(l)).collect();
+    for i in 0..clients {
+        let legitimate = aig.and(requests[i], token[i]);
+        let next = if seeded_bug && i == 0 {
+            aig.or(legitimate, requests[0])
+        } else {
+            legitimate
+        };
+        aig.set_next(grant_latches[i], next);
+    }
+    let exclusive = at_most_one(&mut aig, &grants);
+    aig.add_bad(!exclusive);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_arbiter_grants_at_most_one_client() {
+        let aig = round_robin(4, false);
+        // Everyone requests every cycle.
+        let stim: Vec<Vec<bool>> = vec![vec![true; 4]; 20];
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), None);
+    }
+
+    #[test]
+    fn buggy_arbiter_double_grants() {
+        let aig = round_robin(3, true);
+        let stim: Vec<Vec<bool>> = vec![vec![true; 3]; 6];
+        assert!(aig::simulate(&aig, &stim).first_failure().is_some());
+    }
+
+    #[test]
+    fn exact_reachability_confirms_verdicts() {
+        assert_eq!(
+            bdd::reach::analyze(&round_robin(3, false), 0, 200_000).verdict,
+            bdd::BddVerdict::Pass
+        );
+        assert!(matches!(
+            bdd::reach::analyze(&round_robin(3, true), 0, 200_000).verdict,
+            bdd::BddVerdict::Fail { .. }
+        ));
+    }
+
+    #[test]
+    fn latch_count_scales_with_clients() {
+        assert_eq!(round_robin(5, false).num_latches(), 10);
+        assert_eq!(round_robin(8, false).num_inputs(), 8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Counter benchmarks: the simplest family with precisely tunable
+//! forward/backward diameters.
+
+use aig::builder::{latch_word, word_const, word_equals_const, word_increment, word_mux};
+use aig::{Aig, Lit};
+
+/// A modular counter that counts `0, 1, …, modulus-1, 0, …` and asserts it
+/// never reaches `bad_at`.
+///
+/// The property holds iff `bad_at >= modulus`; when it fails, the shortest
+/// counterexample has length `bad_at`.
+///
+/// # Panics
+///
+/// Panics if `modulus` does not fit in `width` bits or is zero.
+pub fn modular(width: usize, modulus: u64, bad_at: u64) -> Aig {
+    assert!(modulus >= 1 && modulus <= 1u64 << width, "modulus must fit the width");
+    let mut aig = Aig::new();
+    aig.set_name(format!("counter{width}m{modulus}b{bad_at}"));
+    let (ids, bits) = latch_word(&mut aig, width, 0);
+    let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+    let inc = word_increment(&mut aig, &bits, Lit::TRUE);
+    let zero = word_const(width, 0);
+    let next = word_mux(&mut aig, wrap, &zero, &inc);
+    for (id, n) in ids.iter().zip(next.iter()) {
+        aig.set_next(*id, *n);
+    }
+    let bad = word_equals_const(&mut aig, &bits, bad_at);
+    aig.add_bad(bad);
+    aig
+}
+
+/// A counter with an enable input: it only advances when the environment
+/// asserts `enable`, which stretches counterexamples and makes bound-k
+/// checks harder than exact-k ones.
+pub fn gated(width: usize, modulus: u64, bad_at: u64) -> Aig {
+    assert!(modulus >= 1 && modulus <= 1u64 << width, "modulus must fit the width");
+    let mut aig = Aig::new();
+    aig.set_name(format!("gatedcounter{width}m{modulus}b{bad_at}"));
+    let enable = Lit::positive(aig.add_input());
+    let (ids, bits) = latch_word(&mut aig, width, 0);
+    let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+    let inc = word_increment(&mut aig, &bits, enable);
+    let zero = word_const(width, 0);
+    let wrap_and_enable = aig.and(wrap, enable);
+    let next = word_mux(&mut aig, wrap_and_enable, &zero, &inc);
+    for (id, n) in ids.iter().zip(next.iter()) {
+        aig.set_next(*id, *n);
+    }
+    let bad = word_equals_const(&mut aig, &bits, bad_at);
+    aig.add_bad(bad);
+    aig
+}
+
+/// Two independent modular counters with different periods; the property
+/// states they are never simultaneously at their respective `sync` values.
+/// Reachability of the synchronisation point follows the Chinese remainder
+/// structure, which yields deep counterexamples from small circuits.
+pub fn synchronised(width: usize, modulus_a: u64, modulus_b: u64, sync: u64) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("sync{width}a{modulus_a}b{modulus_b}s{sync}"));
+    let mut words = Vec::new();
+    for modulus in [modulus_a, modulus_b] {
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+        let inc = word_increment(&mut aig, &bits, Lit::TRUE);
+        let zero = word_const(width, 0);
+        let next = word_mux(&mut aig, wrap, &zero, &inc);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        words.push(bits);
+    }
+    let a_at = word_equals_const(&mut aig, &words[0], sync);
+    let b_at = word_equals_const(&mut aig, &words[1], sync);
+    let bad = aig.and(a_at, b_at);
+    aig.add_bad(bad);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modular_counter_fails_at_expected_depth() {
+        let aig = modular(3, 6, 4);
+        let trace = aig::simulate(&aig, &vec![vec![]; 10]);
+        assert_eq!(trace.first_failure(), Some(4));
+    }
+
+    #[test]
+    fn modular_counter_holds_when_value_out_of_range() {
+        let aig = modular(3, 6, 7);
+        let trace = aig::simulate(&aig, &vec![vec![]; 20]);
+        assert_eq!(trace.first_failure(), None);
+    }
+
+    #[test]
+    fn gated_counter_only_advances_when_enabled() {
+        let aig = gated(3, 8, 2);
+        let stalled = aig::simulate(&aig, &vec![vec![false]; 6]);
+        assert_eq!(stalled.first_failure(), None);
+        let running = aig::simulate(&aig, &vec![vec![true]; 6]);
+        assert_eq!(running.first_failure(), Some(2));
+    }
+
+    #[test]
+    fn synchronised_counters_meet_at_lcm_structure() {
+        // Periods 3 and 4: both at value 2 first when t ≡ 2 (mod 3) and
+        // t ≡ 2 (mod 4) → t = 2.
+        let aig = synchronised(3, 3, 4, 2);
+        let trace = aig::simulate(&aig, &vec![vec![]; 16]);
+        assert_eq!(trace.first_failure(), Some(2));
+        // Sync value 1 with periods 2 and 3 meets at t ≡ 1 mod 2 and mod 3 → 1.
+        let aig = synchronised(3, 2, 3, 1);
+        let trace = aig::simulate(&aig, &vec![vec![]; 16]);
+        assert_eq!(trace.first_failure(), Some(1));
+    }
+
+    #[test]
+    fn names_identify_parameters() {
+        assert_eq!(modular(3, 6, 7).name(), "counter3m6b7");
+        assert!(gated(4, 10, 3).name().starts_with("gatedcounter4"));
+    }
+}

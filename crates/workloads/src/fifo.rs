@@ -1,0 +1,95 @@
+//! FIFO occupancy controllers.
+
+use aig::builder::{latch_word, word_equals_const, word_increment};
+use aig::{Aig, Lit};
+
+/// A FIFO occupancy controller with `2^width - 1` usable slots.
+///
+/// The environment drives `push` and `pop`; the controller refuses pushes
+/// when full and pops when empty, and maintains an occupancy counter.  The
+/// safety property is "the occupancy never exceeds the capacity"
+/// (`capacity = 2^width - 1`), which holds for the guarded controller.
+/// With `seeded_bug`, the full guard is dropped so the counter can wrap
+/// past the capacity and the property fails.
+pub fn controller(width: usize, seeded_bug: bool) -> Aig {
+    assert!(width >= 2, "need at least two occupancy bits");
+    let mut aig = Aig::new();
+    aig.set_name(format!(
+        "fifo{width}{}",
+        if seeded_bug { "bug" } else { "ok" }
+    ));
+    let push = Lit::positive(aig.add_input());
+    let pop = Lit::positive(aig.add_input());
+    let (ids, occupancy) = latch_word(&mut aig, width, 0);
+    let capacity = (1u64 << width) - 1;
+    let full = word_equals_const(&mut aig, &occupancy, capacity);
+    let empty = word_equals_const(&mut aig, &occupancy, 0);
+
+    let push_allowed = if seeded_bug {
+        push
+    } else {
+        aig.and(push, !full)
+    };
+    let pop_allowed = aig.and(pop, !empty);
+    // Net change: +1 on push only, -1 on pop only, 0 otherwise.
+    let up = aig.and(push_allowed, !pop_allowed);
+    let down = aig.and(pop_allowed, !push_allowed);
+    let incremented = word_increment(&mut aig, &occupancy, up);
+    // Decrement = increment by all-ones when `down` (two's complement -1).
+    let minus_one: Vec<Lit> = occupancy.iter().map(|_| down).collect();
+    let (decremented, _) = aig::builder::word_add(&mut aig, &incremented, &minus_one);
+    for (id, n) in ids.iter().zip(decremented.iter()) {
+        aig.set_next(*id, *n);
+    }
+    // Bad: the occupancy counter wrapped around, i.e. it is 0 while the
+    // previous cycle pushed into a full FIFO.  We detect the wrap by a
+    // sticky overflow flag.
+    let overflow = aig.add_latch(false);
+    let pushed_when_full = aig.and(push_allowed, full);
+    let overflow_cur = aig.latch_lit(overflow);
+    let overflow_next = aig.or(overflow_cur, pushed_when_full);
+    aig.set_next(overflow, overflow_next);
+    aig.add_bad(overflow_cur);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_fifo_never_overflows() {
+        let aig = controller(3, false);
+        let stim: Vec<Vec<bool>> = (0..30).map(|_| vec![true, false]).collect();
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), None);
+    }
+
+    #[test]
+    fn unguarded_fifo_overflows_after_capacity_pushes() {
+        let aig = controller(3, true);
+        let stim: Vec<Vec<bool>> = (0..12).map(|_| vec![true, false]).collect();
+        // Capacity is 7, so the 8th push (cycle index 7) overflows and the
+        // sticky flag is observable one cycle later.
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), Some(8));
+    }
+
+    #[test]
+    fn pops_keep_the_fifo_away_from_full() {
+        let aig = controller(3, true);
+        // Alternate push/pop: occupancy stays at 0/1, never overflows.
+        let stim: Vec<Vec<bool>> = (0..20).map(|i| vec![i % 2 == 0, i % 2 == 1]).collect();
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), None);
+    }
+
+    #[test]
+    fn exact_reachability_confirms_verdicts() {
+        assert_eq!(
+            bdd::reach::analyze(&controller(2, false), 0, 200_000).verdict,
+            bdd::BddVerdict::Pass
+        );
+        assert!(matches!(
+            bdd::reach::analyze(&controller(2, true), 0, 200_000).verdict,
+            bdd::BddVerdict::Fail { .. }
+        ));
+    }
+}

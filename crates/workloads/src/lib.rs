@@ -1,0 +1,38 @@
+//! Parametric synthetic benchmark circuits for the *Interpolation Sequences
+//! Revisited* experiments.
+//!
+//! The paper evaluates on HWMCC'08 and proprietary industrial designs that
+//! are not redistributable; this crate substitutes them with parametric
+//! synthetic families that span the same axes the paper's analysis cares
+//! about — shallow versus deep sequential behaviour, passing versus failing
+//! safety properties, and designs with large amounts of property-irrelevant
+//! state (the sweet spot of localization abstraction):
+//!
+//! * [`counter`] — modular and saturating counters (tunable diameters),
+//! * [`token_ring`] — one-hot token rings (mutual exclusion),
+//! * [`arbiter`] — round-robin arbiters with optional seeded bugs,
+//! * [`fifo`] — FIFO occupancy controllers (overflow/underflow safety),
+//! * [`traffic`] — interlocked traffic-light controllers,
+//! * [`industrial`] — deep pipelines of control logic with irrelevant
+//!   registers, standing in for the paper's `industrialA..E` rows,
+//! * [`suite`] — the curated benchmark list used by the figure and table
+//!   regenerators.
+//!
+//! # Example
+//!
+//! ```
+//! let benchmarks = workloads::suite::mid_size();
+//! assert!(benchmarks.len() >= 20);
+//! let failing = benchmarks.iter().filter(|b| b.expect_fail == Some(true)).count();
+//! assert!(failing >= 4, "the suite mixes passing and failing properties");
+//! ```
+
+pub mod arbiter;
+pub mod counter;
+pub mod fifo;
+pub mod industrial;
+pub mod suite;
+pub mod token_ring;
+pub mod traffic;
+
+pub use suite::{Benchmark, BenchmarkClass};

@@ -1,0 +1,242 @@
+//! The curated benchmark suites used by the experiment regenerators.
+
+use crate::{arbiter, counter, fifo, industrial, token_ring, traffic};
+use aig::Aig;
+
+/// Size class of a benchmark, mirroring the two halves of the paper's
+/// Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchmarkClass {
+    /// Publicly-available-style mid-size problems (upper half of Table I).
+    MidSize,
+    /// Industrial-style problems with large irrelevant state
+    /// (lower half of Table I).
+    Industrial,
+}
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Unique, human-readable name (also the design name of the AIG).
+    pub name: String,
+    /// The design; bad-state property 0 is the one to verify.
+    pub aig: Aig,
+    /// Expected verdict when known: `Some(true)` = the property fails,
+    /// `Some(false)` = the property holds, `None` = unknown a priori.
+    pub expect_fail: Option<bool>,
+    /// Which half of Table I the instance belongs to.
+    pub class: BenchmarkClass,
+}
+
+impl Benchmark {
+    fn new(aig: Aig, expect_fail: Option<bool>, class: BenchmarkClass) -> Benchmark {
+        Benchmark {
+            name: aig.name().to_string(),
+            aig,
+            expect_fail,
+            class,
+        }
+    }
+}
+
+/// The mid-size suite: counters, rings, arbiters, FIFOs and traffic
+/// controllers of varying depth, both passing and failing.
+pub fn mid_size() -> Vec<Benchmark> {
+    let mut suite = Vec::new();
+    // Counters: passing (bad value out of range) and failing at several
+    // depths, to spread convergence bounds.
+    for (width, modulus) in [(3usize, 6u64), (4, 10), (4, 14), (5, 20), (5, 28)] {
+        suite.push(Benchmark::new(
+            counter::modular(width, modulus, (1 << width) - 1),
+            Some(false),
+            BenchmarkClass::MidSize,
+        ));
+        suite.push(Benchmark::new(
+            counter::modular(width, modulus, modulus - 1),
+            Some(true),
+            BenchmarkClass::MidSize,
+        ));
+    }
+    // Gated counters (deeper counterexamples, harder bound-k checks).
+    for (width, modulus) in [(3usize, 7u64), (4, 12)] {
+        suite.push(Benchmark::new(
+            counter::gated(width, modulus, (1 << width) - 1),
+            Some(false),
+            BenchmarkClass::MidSize,
+        ));
+        suite.push(Benchmark::new(
+            counter::gated(width, modulus, modulus / 2),
+            Some(true),
+            BenchmarkClass::MidSize,
+        ));
+    }
+    // Synchronised counters.
+    suite.push(Benchmark::new(
+        counter::synchronised(3, 5, 7, 4),
+        Some(true),
+        BenchmarkClass::MidSize,
+    ));
+    suite.push(Benchmark::new(
+        counter::synchronised(3, 4, 6, 5),
+        Some(false),
+        BenchmarkClass::MidSize,
+    ));
+    // Token rings.
+    for stations in [4usize, 6, 8] {
+        suite.push(Benchmark::new(
+            token_ring::ring(stations, false),
+            Some(false),
+            BenchmarkClass::MidSize,
+        ));
+    }
+    suite.push(Benchmark::new(
+        token_ring::ring(5, true),
+        Some(true),
+        BenchmarkClass::MidSize,
+    ));
+    // Arbiters.
+    for clients in [3usize, 4, 5] {
+        suite.push(Benchmark::new(
+            arbiter::round_robin(clients, false),
+            Some(false),
+            BenchmarkClass::MidSize,
+        ));
+    }
+    suite.push(Benchmark::new(
+        arbiter::round_robin(4, true),
+        Some(true),
+        BenchmarkClass::MidSize,
+    ));
+    // FIFO controllers.
+    for width in [2usize, 3, 4] {
+        suite.push(Benchmark::new(
+            fifo::controller(width, false),
+            Some(false),
+            BenchmarkClass::MidSize,
+        ));
+    }
+    suite.push(Benchmark::new(
+        fifo::controller(3, true),
+        Some(true),
+        BenchmarkClass::MidSize,
+    ));
+    // Traffic controllers.
+    suite.push(Benchmark::new(
+        traffic::crossing(3, false),
+        Some(false),
+        BenchmarkClass::MidSize,
+    ));
+    suite.push(Benchmark::new(
+        traffic::crossing(4, false),
+        Some(false),
+        BenchmarkClass::MidSize,
+    ));
+    suite.push(Benchmark::new(
+        traffic::crossing(3, true),
+        Some(true),
+        BenchmarkClass::MidSize,
+    ));
+    suite
+}
+
+/// The industrial-like suite: control pipelines surrounded by irrelevant
+/// payload state of increasing size.
+pub fn industrial() -> Vec<Benchmark> {
+    let mut suite = Vec::new();
+    let configs = [
+        // (counter_bits, modulus, bad_at, pipeline, payload, seed, fails)
+        (4usize, 10u64, 12u64, 3usize, 16usize, 11u64, false),
+        (4, 10, 7, 3, 16, 12, true),
+        (4, 12, 14, 4, 32, 13, false),
+        (4, 12, 9, 4, 32, 14, true),
+        (5, 20, 24, 5, 48, 15, false),
+        (5, 18, 11, 5, 48, 16, true),
+        (5, 24, 28, 6, 64, 17, false),
+    ];
+    for (counter_bits, modulus, bad_at, pipeline_depth, payload_latches, seed, fails) in configs {
+        let params = industrial::IndustrialParams {
+            counter_bits,
+            modulus,
+            bad_at,
+            pipeline_depth,
+            payload_latches,
+            seed,
+        };
+        suite.push(Benchmark::new(
+            industrial::pipeline(params),
+            Some(fails),
+            BenchmarkClass::Industrial,
+        ));
+    }
+    suite
+}
+
+/// The full suite (mid-size plus industrial-like), as used by Fig. 6.
+pub fn full() -> Vec<Benchmark> {
+    let mut suite = mid_size();
+    suite.extend(industrial());
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_names_are_unique() {
+        let names: HashSet<String> = full().into_iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), full().len());
+    }
+
+    #[test]
+    fn suite_mixes_passing_and_failing_instances() {
+        let suite = full();
+        let failing = suite.iter().filter(|b| b.expect_fail == Some(true)).count();
+        let passing = suite.iter().filter(|b| b.expect_fail == Some(false)).count();
+        assert!(failing >= 8, "failing instances: {failing}");
+        assert!(passing >= 15, "passing instances: {passing}");
+    }
+
+    #[test]
+    fn every_benchmark_has_a_property() {
+        for b in full() {
+            assert_eq!(b.aig.num_bad(), 1, "{}", b.name);
+            assert!(b.aig.num_latches() >= 1, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn industrial_instances_are_larger_than_mid_size_ones() {
+        let mid_max = mid_size()
+            .iter()
+            .map(|b| b.aig.num_latches())
+            .max()
+            .unwrap();
+        let ind_min = industrial()
+            .iter()
+            .map(|b| b.aig.num_latches())
+            .min()
+            .unwrap();
+        assert!(ind_min >= mid_max.min(20));
+    }
+
+    #[test]
+    fn expected_failures_are_confirmed_by_simulation() {
+        // Drive every input high for a generous number of cycles; all the
+        // seeded-bug instances in the suite fail under this stimulus or are
+        // validated by the engine tests elsewhere.
+        for b in full() {
+            if b.expect_fail == Some(true) {
+                let stim: Vec<Vec<bool>> =
+                    (0..64).map(|_| vec![true; b.aig.num_inputs()]).collect();
+                let sim = aig::simulate(&b.aig, &stim);
+                assert!(
+                    sim.first_failure().is_some() || b.aig.num_inputs() > 1,
+                    "{} should fail under an all-ones stimulus",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! One-hot token rings.
+
+use aig::builder::at_most_one;
+use aig::{Aig, Lit};
+
+/// A ring of `stations` one-hot latches circulating a single token; the
+/// property states that at most one station ever holds the token.
+///
+/// With `seeded_bug`, the token duplicates when an external input fires
+/// while station 0 holds it, so the property fails.
+pub fn ring(stations: usize, seeded_bug: bool) -> Aig {
+    assert!(stations >= 2, "a ring needs at least two stations");
+    let mut aig = Aig::new();
+    aig.set_name(format!(
+        "ring{stations}{}",
+        if seeded_bug { "bug" } else { "ok" }
+    ));
+    let glitch = Lit::positive(aig.add_input());
+    let latches: Vec<usize> = (0..stations).map(|i| aig.add_latch(i == 0)).collect();
+    let lits: Vec<Lit> = latches.iter().map(|&l| aig.latch_lit(l)).collect();
+    for i in 0..stations {
+        let prev = lits[(i + stations - 1) % stations];
+        let next = if seeded_bug && i == 1 {
+            // Bug: station 1 also grabs the token when the glitch input
+            // fires while station 0 keeps it (duplication).
+            let dup = aig.and(lits[0], glitch);
+            aig.or(prev, dup)
+        } else if seeded_bug && i == 0 {
+            // Station 0 keeps the token during the glitch.
+            let keep = aig.and(lits[0], glitch);
+            aig.or(prev, keep)
+        } else {
+            prev
+        };
+        aig.set_next(latches[i], next);
+    }
+    let safe = at_most_one(&mut aig, &lits);
+    aig.add_bad(!safe);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_ring_never_duplicates_the_token() {
+        let aig = ring(5, false);
+        let stim: Vec<Vec<bool>> = (0..20).map(|i| vec![i % 3 == 0]).collect();
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), None);
+    }
+
+    #[test]
+    fn buggy_ring_duplicates_under_glitch() {
+        let aig = ring(4, true);
+        let stim: Vec<Vec<bool>> = vec![vec![true]; 6];
+        assert!(aig::simulate(&aig, &stim).first_failure().is_some());
+    }
+
+    #[test]
+    fn buggy_ring_is_fine_without_glitches() {
+        let aig = ring(4, true);
+        let stim: Vec<Vec<bool>> = vec![vec![false]; 12];
+        assert_eq!(aig::simulate(&aig, &stim).first_failure(), None);
+    }
+
+    #[test]
+    fn exact_reachability_confirms_verdicts() {
+        assert_eq!(
+            bdd::reach::analyze(&ring(4, false), 0, 100_000).verdict,
+            bdd::BddVerdict::Pass
+        );
+        assert!(matches!(
+            bdd::reach::analyze(&ring(4, true), 0, 100_000).verdict,
+            bdd::BddVerdict::Fail { .. }
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! Demonstrates when counterexample-based abstraction pays off: an
+//! "industrial-like" design whose property depends on a handful of latches
+//! buried inside a much larger circuit.
+//!
+//! Run with `cargo run --example abstraction_payoff --release`.
+
+use itpseq::mc::{Engine, Options};
+use itpseq::workloads::industrial::{pipeline, IndustrialParams};
+
+fn main() {
+    let design = pipeline(IndustrialParams {
+        counter_bits: 4,
+        modulus: 10,
+        bad_at: 12,
+        pipeline_depth: 4,
+        payload_latches: 40,
+        seed: 3,
+    });
+    println!(
+        "design: {} — {} latches, {} inputs, {} AND gates",
+        design.name(),
+        design.num_latches(),
+        design.num_inputs(),
+        design.num_ands()
+    );
+    let options = Options::default();
+
+    for engine in [Engine::ItpSeq, Engine::SerialItpSeq, Engine::ItpSeqCba] {
+        let result = engine.verify(&design, 0, &options);
+        println!(
+            "  {:<9} -> {:<26} visible latches: {:>3}/{:<3}  refinements: {:>2}  sat calls: {:>3}  {:.1} ms",
+            engine.name(),
+            result.verdict.to_string(),
+            result.stats.visible_latches,
+            design.num_latches(),
+            result.stats.refinements,
+            result.stats.sat_calls,
+            result.stats.time.as_secs_f64() * 1e3
+        );
+    }
+    println!(
+        "ITPSEQCBA proves the property while keeping most of the design abstracted away,\n\
+         which is exactly the effect Section V of the paper describes."
+    );
+}

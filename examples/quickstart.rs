@@ -1,0 +1,39 @@
+//! Quickstart: build a tiny sequential design, verify it with every engine
+//! and print the verdicts with their depth statistics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use itpseq::mc::{Engine, Options};
+
+fn main() {
+    // A 4-bit counter that counts 0..=9 and wraps.  The property claims the
+    // value 12 is never reached — true, because the counter wraps at 10.
+    let passing = itpseq::workloads::counter::modular(4, 10, 12);
+    // The same counter, but the property claims 7 is never reached — false.
+    let failing = itpseq::workloads::counter::modular(4, 10, 7);
+
+    let options = Options::default();
+    println!("design: {} ({} latches)", passing.name(), passing.num_latches());
+    for engine in Engine::ALL {
+        let result = engine.verify(&passing, 0, &options);
+        println!(
+            "  {:<9} -> {:<28} [{} SAT calls, {:.1} ms]",
+            engine.name(),
+            result.verdict.to_string(),
+            result.stats.sat_calls,
+            result.stats.time.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("design: {} ({} latches)", failing.name(), failing.num_latches());
+    for engine in Engine::ALL {
+        let result = engine.verify(&failing, 0, &options);
+        println!(
+            "  {:<9} -> {:<28} [{} SAT calls, {:.1} ms]",
+            engine.name(),
+            result.verdict.to_string(),
+            result.stats.sat_calls,
+            result.stats.time.as_secs_f64() * 1e3
+        );
+    }
+}

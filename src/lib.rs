@@ -1,0 +1,32 @@
+//! Umbrella crate of the *Interpolation Sequences Revisited* (DATE 2011)
+//! reproduction.
+//!
+//! Re-exports every workspace crate under a single dependency so that
+//! examples, integration tests and downstream users can write
+//! `use itpseq::mc::Engine` without tracking the individual crates:
+//!
+//! * [`aig`] — sequential circuits as And-Inverter Graphs,
+//! * [`cnf`] — partitioned CNF, Tseitin encoding and BMC unrolling,
+//! * [`sat`] — the proof-logging CDCL solver,
+//! * [`itp`] — Craig interpolants and interpolation sequences,
+//! * [`bdd`] — exact reachability and circuit diameters,
+//! * [`mc`] — the verification engines (ITP, ITPSEQ, SITPSEQ, ITPSEQCBA),
+//! * [`workloads`] — the synthetic benchmark suite.
+//!
+//! # Quick start
+//!
+//! ```
+//! use itpseq::mc::{Engine, Options, Verdict};
+//!
+//! let design = itpseq::workloads::counter::modular(3, 6, 7);
+//! let result = Engine::ItpSeqCba.verify(&design, 0, &Options::default());
+//! assert!(matches!(result.verdict, Verdict::Proved { .. }));
+//! ```
+
+pub use aig;
+pub use bdd;
+pub use cnf;
+pub use itp;
+pub use mc;
+pub use sat;
+pub use workloads;

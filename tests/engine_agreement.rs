@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: all engines must agree with each other
+//! and with exact BDD reachability on the benchmark suite's smaller
+//! instances, and falsified depths must be reproducible by simulation.
+
+use itpseq::bdd::BddVerdict;
+use itpseq::mc::{Engine, Options, Verdict};
+use std::time::Duration;
+
+fn options() -> Options {
+    Options::default()
+        .with_timeout(Duration::from_secs(10))
+        .with_max_bound(40)
+}
+
+/// Small designs for which exact BDD reachability is cheap.
+fn small_designs() -> Vec<itpseq::workloads::Benchmark> {
+    itpseq::workloads::suite::mid_size()
+        .into_iter()
+        .filter(|b| b.aig.num_latches() <= 10)
+        .collect()
+}
+
+#[test]
+fn engines_agree_with_exact_reachability() {
+    for benchmark in small_designs() {
+        let exact = itpseq::bdd::reach::analyze(&benchmark.aig, 0, 2_000_000);
+        for engine in [
+            Engine::Itp,
+            Engine::ItpSeq,
+            Engine::SerialItpSeq,
+            Engine::ItpSeqCba,
+        ] {
+            let result = engine.verify(&benchmark.aig, 0, &options());
+            match exact.verdict {
+                BddVerdict::Pass => assert!(
+                    result.verdict.is_proved(),
+                    "{} on {}: expected proof, got {}",
+                    engine.name(),
+                    benchmark.name,
+                    result.verdict
+                ),
+                BddVerdict::Fail { depth } => assert_eq!(
+                    result.verdict,
+                    Verdict::Falsified { depth },
+                    "{} on {}",
+                    engine.name(),
+                    benchmark.name
+                ),
+                BddVerdict::Overflow => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_suite_verdicts_hold() {
+    for benchmark in small_designs() {
+        if let Some(expect_fail) = benchmark.expect_fail {
+            let result = Engine::SerialItpSeq.verify(&benchmark.aig, 0, &options());
+            assert_eq!(
+                result.verdict.is_falsified(),
+                expect_fail,
+                "{}: {}",
+                benchmark.name,
+                result.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn bmc_and_sequence_engines_report_the_same_counterexample_depth() {
+    for benchmark in small_designs() {
+        if benchmark.expect_fail != Some(true) {
+            continue;
+        }
+        let bmc = Engine::Bmc.verify(&benchmark.aig, 0, &options());
+        let seq = Engine::ItpSeq.verify(&benchmark.aig, 0, &options());
+        assert_eq!(bmc.verdict, seq.verdict, "{}", benchmark.name);
+    }
+}
+
+#[test]
+fn aiger_roundtrip_preserves_verdicts() {
+    // Serialise every small design to ASCII AIGER, parse it back and check
+    // that the verification verdict is unchanged — the workflow used for
+    // external benchmark files.
+    for benchmark in small_designs().into_iter().take(6) {
+        let text = itpseq::aig::to_aag(&benchmark.aig);
+        let reparsed = itpseq::aig::parse_aag(&text).expect("reparse");
+        let original = Engine::SerialItpSeq.verify(&benchmark.aig, 0, &options());
+        let roundtrip = Engine::SerialItpSeq.verify(&reparsed, 0, &options());
+        assert_eq!(
+            original.verdict.is_proved(),
+            roundtrip.verdict.is_proved(),
+            "{}",
+            benchmark.name
+        );
+        assert_eq!(
+            original.verdict.is_falsified(),
+            roundtrip.verdict.is_falsified(),
+            "{}",
+            benchmark.name
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests of the substrate pipeline (AIG → CNF → SAT → proof →
+//! interpolant), including property-based tests with `proptest`.
+
+use itpseq::cnf::{BmcCheck, CnfBuilder, Lit, Var};
+use itpseq::itp::InterpolationContext;
+use itpseq::sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+/// The BMC formulations must order themselves by strength on any design:
+/// assume-k SAT ⇒ exact-k SAT ⇒ bound-k SAT.
+#[test]
+fn bmc_formulation_strength_ordering() {
+    let designs = [
+        itpseq::workloads::counter::modular(3, 6, 4),
+        itpseq::workloads::counter::gated(3, 7, 5),
+        itpseq::workloads::token_ring::ring(4, true),
+        itpseq::workloads::fifo::controller(2, true),
+    ];
+    for design in &designs {
+        for k in 1..=8usize {
+            let sat_of = |check: BmcCheck| {
+                let inst = itpseq::cnf::bmc::build(design, 0, k, check);
+                let mut solver = Solver::new();
+                solver.add_cnf(&inst.cnf);
+                solver.solve() == SolveResult::Sat
+            };
+            let assume = sat_of(BmcCheck::ExactAssume);
+            let exact = sat_of(BmcCheck::Exact);
+            let bound = sat_of(BmcCheck::Bound);
+            assert!(!assume || exact, "{} k={k}", design.name());
+            assert!(!exact || bound, "{} k={k}", design.name());
+        }
+    }
+}
+
+/// End-to-end pipeline: refute a BMC instance and check that the extracted
+/// interpolation sequence elements really are state over-approximations
+/// (the initial state is always contained in `I_1` after one step, and no
+/// element intersects the bad states at its own cut).
+#[test]
+fn interpolation_sequence_elements_over_approximate_reachable_states() {
+    let design = itpseq::workloads::counter::modular(3, 6, 7);
+    let k = 4usize;
+    let inst = itpseq::cnf::bmc::build(&design, 0, k, BmcCheck::Exact);
+    let mut solver = Solver::new();
+    solver.add_cnf(&inst.cnf);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = solver.proof().expect("refutation proof");
+    let ctx = InterpolationContext::new(&proof).expect("context");
+
+    // Interpolants over the frame-j latch variables, mapped onto a fresh
+    // combinational manager whose inputs are the design latches.
+    let mut mgr = itpseq::aig::Aig::new();
+    let latch_inputs: Vec<itpseq::aig::Lit> = (0..design.num_latches())
+        .map(|_| itpseq::aig::Lit::positive(mgr.add_input()))
+        .collect();
+    let mut var_to_latch = std::collections::HashMap::new();
+    for frame in &inst.frame_latches {
+        for (latch, lit) in frame.iter().enumerate() {
+            var_to_latch.insert(lit.var(), latch);
+        }
+    }
+    let cuts: Vec<u32> = (1..=k as u32).collect();
+    let seq = ctx
+        .sequence_for_cuts(&cuts, &mut mgr, &|_, v| latch_inputs[var_to_latch[&v]])
+        .expect("sequence");
+
+    // Concrete reachable states at depth j (the counter value is j for
+    // j < 6) must satisfy I_j; the bad state (value 7) must violate I_k.
+    for (idx, &itp) in seq.iter().enumerate() {
+        let depth = idx + 1;
+        let value = (depth as u64) % 6;
+        let state: Vec<bool> = (0..3).map(|b| (value >> b) & 1 == 1).collect();
+        assert!(
+            mgr.eval(itp, &state, &[]),
+            "I_{depth} must contain the concrete state reached at depth {depth}"
+        );
+    }
+    let bad_state = vec![true, true, true]; // value 7
+    let last = *seq.last().expect("non-empty sequence");
+    assert!(
+        !mgr.eval(last, &bad_state, &[]),
+        "I_k must exclude the bad states"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver agrees with a brute-force oracle on random small CNFs and
+    /// produces checkable proofs on the unsatisfiable ones.
+    #[test]
+    fn solver_matches_brute_force_on_random_cnf(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0u32..6, proptest::bool::ANY), 1..4),
+            1..24,
+        )
+    ) {
+        let mut builder = CnfBuilder::new();
+        for _ in 0..6 {
+            builder.new_var();
+        }
+        builder.set_partition(1);
+        for clause in &clauses {
+            builder.add_clause(clause.iter().map(|&(v, neg)| Lit::new(Var::new(v), neg)));
+        }
+        let cnf = builder.into_cnf();
+        let expected = (0..(1u64 << cnf.num_vars)).any(|bits| {
+            let assignment: Vec<bool> = (0..cnf.num_vars).map(|i| (bits >> i) & 1 == 1).collect();
+            cnf.evaluate(&assignment)
+        });
+        let mut solver = Solver::new();
+        solver.add_cnf(&cnf);
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            prop_assert!(cnf.evaluate(&solver.model()));
+        } else {
+            let proof = solver.proof().expect("proof");
+            prop_assert!(proof.check().is_ok());
+        }
+    }
+
+    /// Counter workloads: the engine verdict matches the arithmetic truth
+    /// for arbitrary parameters.
+    #[test]
+    fn counter_verdicts_match_arithmetic(modulus in 2u64..10, bad_at in 0u64..12) {
+        let design = itpseq::workloads::counter::modular(4, modulus, bad_at);
+        let result = itpseq::mc::Engine::SerialItpSeq.verify(
+            &design,
+            0,
+            &itpseq::mc::Options::default(),
+        );
+        if bad_at < modulus {
+            prop_assert_eq!(result.verdict, itpseq::mc::Verdict::Falsified { depth: bad_at as usize });
+        } else {
+            prop_assert!(result.verdict.is_proved());
+        }
+    }
+}
