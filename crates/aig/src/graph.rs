@@ -174,7 +174,7 @@ impl Aig {
     /// Iterates over all node ids in topological order (fan-ins precede
     /// fan-outs by construction).
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as NodeId).into_iter()
+        0..self.nodes.len() as NodeId
     }
 
     /// Adds a new primary input and returns its node id.
@@ -401,10 +401,10 @@ impl Aig {
             AigNode::Input { index } => inputs[index],
             AigNode::Latch { index } => latches[index],
             AigNode::And { left, right } => {
-                let l = self.eval_rec(left.node(), inputs, latches, values)
-                    ^ left.is_complemented();
-                let r = self.eval_rec(right.node(), inputs, latches, values)
-                    ^ right.is_complemented();
+                let l =
+                    self.eval_rec(left.node(), inputs, latches, values) ^ left.is_complemented();
+                let r =
+                    self.eval_rec(right.node(), inputs, latches, values) ^ right.is_complemented();
                 l && r
             }
         };

@@ -22,9 +22,7 @@ impl SimTrace {
     /// Returns the first cycle in which any bad-state literal is asserted,
     /// or `None` when the property holds throughout the trace.
     pub fn first_failure(&self) -> Option<usize> {
-        self.bad
-            .iter()
-            .position(|cycle| cycle.iter().any(|&b| b))
+        self.bad.iter().position(|cycle| cycle.iter().any(|&b| b))
     }
 }
 

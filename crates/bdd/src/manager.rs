@@ -250,11 +250,7 @@ impl Manager {
         let node = self.nodes[f as usize];
         let lo = self.exists_rec(node.lo, quantified, cache)?;
         let hi = self.exists_rec(node.hi, quantified, cache)?;
-        let result = if quantified
-            .get(node.var as usize)
-            .copied()
-            .unwrap_or(false)
-        {
+        let result = if quantified.get(node.var as usize).copied().unwrap_or(false) {
             self.ite_rec(lo, 1, hi)?
         } else {
             self.mk(node.var, lo, hi)?

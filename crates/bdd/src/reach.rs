@@ -110,7 +110,11 @@ impl SymbolicModel {
     }
 }
 
-fn build_model(aig: &Aig, bad_index: usize, node_limit: usize) -> Result<SymbolicModel, BddOverflow> {
+fn build_model(
+    aig: &Aig,
+    bad_index: usize,
+    node_limit: usize,
+) -> Result<SymbolicModel, BddOverflow> {
     let n = aig.num_latches();
     let m = aig.num_inputs();
     let mut mgr = Manager::new(2 * n + m, node_limit);
@@ -133,9 +137,17 @@ fn build_model(aig: &Aig, bad_index: usize, node_limit: usize) -> Result<Symboli
             AigNode::Latch { index } => mgr.var(index)?,
             AigNode::And { left, right } => {
                 let l = node_bdd(aig, left.node(), n, mgr, cache)?;
-                let l = if left.is_complemented() { mgr.not(l)? } else { l };
+                let l = if left.is_complemented() {
+                    mgr.not(l)?
+                } else {
+                    l
+                };
                 let r = node_bdd(aig, right.node(), n, mgr, cache)?;
-                let r = if right.is_complemented() { mgr.not(r)? } else { r };
+                let r = if right.is_complemented() {
+                    mgr.not(r)?
+                } else {
+                    r
+                };
                 mgr.and(l, r)?
             }
         };
@@ -378,6 +390,11 @@ mod tests {
         let a = analyze(&aig, 0, 100_000);
         let inputs = vec![vec![]; 10];
         let trace = aig::simulate(&aig, &inputs);
-        assert_eq!(a.verdict, BddVerdict::Fail { depth: trace.first_failure().unwrap() });
+        assert_eq!(
+            a.verdict,
+            BddVerdict::Fail {
+                depth: trace.first_failure().unwrap()
+            }
+        );
     }
 }

@@ -9,14 +9,15 @@ fn fig7_exact_vs_assume(c: &mut Criterion) {
     let base = Options::default()
         .with_timeout(Duration::from_secs(10))
         .with_max_bound(30);
-    let suite: Vec<workloads::Benchmark> = workloads::suite::mid_size()
-        .into_iter()
-        .take(4)
-        .collect();
+    let suite: Vec<workloads::Benchmark> =
+        workloads::suite::mid_size().into_iter().take(4).collect();
     let mut group = c.benchmark_group("fig7_exact_vs_assume");
     group.sample_size(10);
     for benchmark in &suite {
-        for (label, check) in [("exact", BmcCheck::Exact), ("assume", BmcCheck::ExactAssume)] {
+        for (label, check) in [
+            ("exact", BmcCheck::Exact),
+            ("assume", BmcCheck::ExactAssume),
+        ] {
             let options = base.clone().with_check(check);
             group.bench_function(format!("{}/{}", label, benchmark.name), |b| {
                 b.iter(|| Engine::ItpSeq.verify(&benchmark.aig, 0, &options))

@@ -1,0 +1,26 @@
+//! Criterion group comparing the PDR engine against ITPSEQCBA — the
+//! paper's strongest interpolation engine — across the full benchmark
+//! suite (mid-size plus industrial-like halves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc::{Engine, Options};
+use std::time::Duration;
+
+fn fig_pdr_engines(c: &mut Criterion) {
+    let options = Options::default()
+        .with_timeout(Duration::from_secs(5))
+        .with_max_bound(40);
+    let mut group = c.benchmark_group("fig_pdr");
+    group.sample_size(10);
+    for benchmark in workloads::suite::full() {
+        for engine in [Engine::Pdr, Engine::ItpSeqCba] {
+            group.bench_function(format!("{}/{}", engine.name(), benchmark.name), |b| {
+                b.iter(|| engine.verify(&benchmark.aig, 0, &options))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_pdr_engines);
+criterion_main!(benches);

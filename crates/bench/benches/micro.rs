@@ -20,7 +20,10 @@ fn pigeonhole_cnf(holes: usize) -> cnf::Cnf {
     for h in 0..holes {
         for p1 in 0..pigeons {
             for p2 in (p1 + 1)..pigeons {
-                b.add_clause([cnf::Lit::negative(var(p1, h)), cnf::Lit::negative(var(p2, h))]);
+                b.add_clause([
+                    cnf::Lit::negative(var(p1, h)),
+                    cnf::Lit::negative(var(p2, h)),
+                ]);
             }
         }
     }
@@ -65,5 +68,10 @@ fn bdd_reachability(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, sat_with_proof, interpolant_extraction, bdd_reachability);
+criterion_group!(
+    benches,
+    sat_with_proof,
+    interpolant_extraction,
+    bdd_reachability
+);
 criterion_main!(benches);

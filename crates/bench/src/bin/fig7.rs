@@ -40,7 +40,10 @@ fn main() {
             assume_wins += 1;
         }
         total += 1;
-        println!("{:<34} {:>10.1} {:>10.1}", benchmark.name, exact_ms, assume_ms);
+        println!(
+            "{:<34} {:>10.1} {:>10.1}",
+            benchmark.name, exact_ms, assume_ms
+        );
     }
     println!("# assume-k at least as fast on {assume_wins}/{total} instances");
 }

@@ -15,6 +15,7 @@ fn main() {
         Engine::ItpSeq,
         Engine::SerialItpSeq,
         Engine::ItpSeqCba,
+        Engine::Pdr,
     ];
 
     println!("# Table I — ovf means budget exhausted, '-' means not available");

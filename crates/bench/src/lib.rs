@@ -55,15 +55,21 @@ impl RunRecord {
     /// Table-friendly rendering of the verdict cells.
     pub fn cells(&self) -> (String, String, String) {
         match &self.result.verdict {
-            Verdict::Proved { k_fp, j_fp } => {
-                (format!("{:.0}", self.millis()), k_fp.to_string(), j_fp.to_string())
-            }
-            Verdict::Falsified { depth } => {
-                (format!("{:.0}", self.millis()), depth.to_string(), "0".to_string())
-            }
-            Verdict::Inconclusive { bound_reached, .. } => {
-                ("ovf".to_string(), format!("({bound_reached})"), "-".to_string())
-            }
+            Verdict::Proved { k_fp, j_fp } => (
+                format!("{:.0}", self.millis()),
+                k_fp.to_string(),
+                j_fp.to_string(),
+            ),
+            Verdict::Falsified { depth } => (
+                format!("{:.0}", self.millis()),
+                depth.to_string(),
+                "0".to_string(),
+            ),
+            Verdict::Inconclusive { bound_reached, .. } => (
+                "ovf".to_string(),
+                format!("({bound_reached})"),
+                "-".to_string(),
+            ),
         }
     }
 }

@@ -177,9 +177,15 @@ mod tests {
         let aig = toggler();
         // bad holds at frames 1, 3, 5, ...; with assume-k, a violation at
         // frame 3 requires p to hold at frames 1 and 2, impossible.
-        assert!(brute_force_sat(&build(&aig, 0, 1, BmcCheck::ExactAssume).cnf));
-        assert!(!brute_force_sat(&build(&aig, 0, 2, BmcCheck::ExactAssume).cnf));
-        assert!(!brute_force_sat(&build(&aig, 0, 3, BmcCheck::ExactAssume).cnf));
+        assert!(brute_force_sat(
+            &build(&aig, 0, 1, BmcCheck::ExactAssume).cnf
+        ));
+        assert!(!brute_force_sat(
+            &build(&aig, 0, 2, BmcCheck::ExactAssume).cnf
+        ));
+        assert!(!brute_force_sat(
+            &build(&aig, 0, 3, BmcCheck::ExactAssume).cnf
+        ));
         // exact-k instead allows the earlier violation at frame 1.
         assert!(brute_force_sat(&build(&aig, 0, 3, BmcCheck::Exact).cnf));
     }

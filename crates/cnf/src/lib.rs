@@ -30,9 +30,9 @@
 //! ```
 
 pub mod bmc;
+pub mod dimacs;
 #[cfg(test)]
 mod testutil;
-pub mod dimacs;
 pub mod tseitin;
 mod types;
 pub mod unroll;

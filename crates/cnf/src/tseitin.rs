@@ -119,11 +119,11 @@ mod tests {
             // Allocate one SAT var per primary input, in order.
             let input_vars: Vec<Lit> = (0..n).map(|_| builder.new_lit()).collect();
             let mut cache = HashMap::new();
-            let root_lit = encode_cone(&mut builder, aig, root, &mut cache, &mut |_, id| {
-                match aig.node(id) {
-                    aig::AigNode::Input { index } => input_vars[index],
-                    _ => unreachable!("combinational cone has only input leaves"),
-                }
+            let root_lit = encode_cone(&mut builder, aig, root, &mut cache, &mut |_, id| match aig
+                .node(id)
+            {
+                aig::AigNode::Input { index } => input_vars[index],
+                _ => unreachable!("combinational cone has only input leaves"),
             });
             // Pin the inputs and the root, then check satisfiability by
             // brute-force evaluation over the auxiliary variables.

@@ -262,10 +262,10 @@ impl<'a> Unroller<'a> {
             self.aig.num_latches(),
             "one guard slot per latch is required"
         );
-        for i in 0..self.aig.num_latches() {
+        for (i, &guard) in guards.iter().enumerate() {
             let lit = self.latch_lit(frame, i);
             let unit = if self.aig.init(i) { lit } else { !lit };
-            match guards[i] {
+            match guard {
                 None => self.builder.add_unit(unit),
                 Some(guard) => self.builder.add_clause([!guard, unit]),
             }

@@ -90,7 +90,14 @@ impl Abstraction {
         // functions of visible latches and from the property.
         let mut cache: HashMap<u32, Lit> = HashMap::new();
         for &(orig, new) in &abs_latches {
-            let next = copy_cone(design, design.next(orig), &mut abs, &input_map, &latch_repr, &mut cache);
+            let next = copy_cone(
+                design,
+                design.next(orig),
+                &mut abs,
+                &input_map,
+                &latch_repr,
+                &mut cache,
+            );
             abs.set_next(new, next);
         }
         let bad = copy_cone(
@@ -215,13 +222,7 @@ mod tests {
         let fail = concrete.first_failure().expect("concrete trace fails");
         // Abstract inputs: [orig input, cut for a1, cut for b0].
         let abs_stim: Vec<Vec<bool>> = (0..4)
-            .map(|t| {
-                vec![
-                    true,
-                    concrete.latches[t][1],
-                    concrete.latches[t][2],
-                ]
-            })
+            .map(|t| vec![true, concrete.latches[t][1], concrete.latches[t][2]])
             .collect();
         let abstracted = aig::simulate(&model, &abs_stim);
         assert_eq!(abstracted.first_failure(), Some(fail));

@@ -11,7 +11,6 @@ use cnf::BmcCheck;
 use sat::{SolveResult, Solver};
 use std::time::Instant;
 
-
 /// Returns `true` when a bad state is already reachable at depth 0, i.e.
 /// the initial states themselves violate the property.  All engines run
 /// this check before their main loops, which start at bound 1.
@@ -44,10 +43,7 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
     stats.sat_calls += 1;
     // `bound-k` already covers all depths up to k, so for plain BMC the
     // exact/assume schemes are the natural incremental formulations.
-    let check = match options.check {
-        BmcCheck::Bound => BmcCheck::Bound,
-        other => other,
-    };
+    let check = options.check;
     for k in 1..=options.max_bound {
         if start.elapsed() > options.timeout {
             stats.time = start.elapsed();
@@ -129,7 +125,10 @@ mod tests {
         let result = verify(&aig, 0, &Options::default().with_max_bound(5));
         assert!(matches!(
             result.verdict,
-            Verdict::Inconclusive { bound_reached: 5, .. }
+            Verdict::Inconclusive {
+                bound_reached: 5,
+                ..
+            }
         ));
     }
 

@@ -65,7 +65,11 @@ mod tests {
         for bad_at in [2u64, 7] {
             let aig = modular_counter(3, 6, bad_at);
             let exact = verify(&aig, 0, &Options::default().with_check(BmcCheck::Exact));
-            let assume = verify(&aig, 0, &Options::default().with_check(BmcCheck::ExactAssume));
+            let assume = verify(
+                &aig,
+                0,
+                &Options::default().with_check(BmcCheck::ExactAssume),
+            );
             assert_eq!(
                 exact.verdict.is_proved(),
                 assume.verdict.is_proved(),
@@ -104,7 +108,10 @@ mod tests {
         let result = verify(&aig, 0, &Options::default().with_max_bound(2));
         assert!(matches!(
             result.verdict,
-            Verdict::Inconclusive { bound_reached: 2, .. } | Verdict::Proved { .. }
+            Verdict::Inconclusive {
+                bound_reached: 2,
+                ..
+            } | Verdict::Proved { .. }
         ));
     }
 }

@@ -1,8 +1,10 @@
-//! The verification engines evaluated in the paper.
+//! The verification engines evaluated in the paper, plus the IC3/PDR
+//! competitor every modern checker ships.
 
 pub mod bmc;
 pub mod itp;
 pub mod itpseq;
 pub mod itpseq_cba;
-mod seq;
+pub mod pdr;
+pub(crate) mod seq;
 pub mod sitpseq;

@@ -1,0 +1,628 @@
+//! Property-directed reachability (IC3/PDR).
+//!
+//! PDR is the post-2011 competitor to the paper's interpolation engines:
+//! instead of extracting over-approximations from one monolithic BMC
+//! refutation, it maintains a *trace* of frames `F_0 = I ⊆ F_1 ⊆ … ⊆ F_k`
+//! (each an over-approximation of the states reachable in that many
+//! steps, represented by learned clauses over the latches) and refines it
+//! with thousands of small one-step relative-induction queries:
+//!
+//! * [`frames`] — the delta-encoded frame trace and the cube algebra,
+//! * [`obligations`] — the priority queue of proof obligations driving
+//!   the blocking phase,
+//! * [`generalize`] — cube generalization by assumption-core shrinking
+//!   plus CTG-style literal dropping,
+//! * this module — the top-level loop: bad-state extraction at the
+//!   frontier, obligation processing, clause propagation and fixpoint
+//!   detection.
+//!
+//! The SAT side uses one [`IncrementalSolver`] per frame (each loaded
+//! with the shared two-frame transition template) and activation-literal
+//! clause retirement for the temporary `¬cube` clauses of the queries.
+//!
+//! Obligations are *not* re-enqueued at higher frames after being
+//! blocked, so every obligation chain satisfies `frame + depth = level`
+//! and a chain reaching frame 0 is a counterexample of exactly `level`
+//! transitions.  Combined with the level-by-level outer loop this makes
+//! reported counterexample depths minimal, matching BMC and exact BDD
+//! reachability.
+
+mod frames;
+mod generalize;
+mod obligations;
+
+use crate::{EngineResult, EngineStats, Options, Verdict};
+use aig::Aig;
+use cnf::{Cnf, Lit, Unroller};
+use frames::{Cube, FrameTrace};
+use obligations::{Obligation, ObligationQueue};
+use sat::{IncrementalSolver, SolveResult};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runs PDR on bad-state property `bad_index` of `aig`.
+pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    let start = Instant::now();
+    let mut stats = EngineStats {
+        visible_latches: aig.num_latches(),
+        ..EngineStats::default()
+    };
+    if crate::engines::bmc::initial_violation(aig, bad_index) {
+        stats.sat_calls += 1;
+        stats.time = start.elapsed();
+        return EngineResult {
+            verdict: Verdict::Falsified { depth: 0 },
+            stats,
+        };
+    }
+    stats.sat_calls += 1;
+    Pdr::new(aig, bad_index, options, start, stats).run()
+}
+
+/// Outcome of one relative-induction query.
+enum Query {
+    /// The cube is unreachable from the previous frame; the payload is the
+    /// assumption-core-shrunk (and initiation-repaired) sub-cube.
+    Blocked(Cube),
+    /// The cube has a predecessor in the previous frame; the payload is
+    /// the lifted predecessor cube.
+    Predecessor(Cube),
+}
+
+/// Outcome of one level's blocking phase.
+enum Phase {
+    /// Every bad state at the frontier was blocked.
+    Done,
+    /// A proof obligation reached frame 0: counterexample of this depth.
+    Falsified(usize),
+    /// The time budget ran out.
+    Timeout,
+}
+
+/// The PDR engine state shared by the loop and the generalization module.
+struct Pdr<'a> {
+    options: &'a Options,
+    start: Instant,
+    stats: EngineStats,
+    /// The (unique) initial state, one value per latch.
+    init: Vec<bool>,
+    /// Two-frame transition template `T(V⁰, V¹)` with the bad cone at
+    /// frame 0, shared by every per-frame solver.
+    template: Cnf,
+    /// Latch variables of frame 0 / frame 1 of the template.
+    latch0: Vec<Lit>,
+    latch1: Vec<Lit>,
+    /// Primary-input variables of frame 0.
+    input0: Vec<Lit>,
+    /// The bad literal at frame 0.
+    bad0: Lit,
+    latch_of_var0: HashMap<u32, usize>,
+    latch_of_var1: HashMap<u32, usize>,
+    /// `solvers[i]` decides queries against `F_i ∧ T`; `solvers[0]` is
+    /// `I ∧ T` exactly.
+    solvers: Vec<IncrementalSolver>,
+    /// Lifting solver: the bare template, queried only under assumptions
+    /// and retirable clauses.
+    lift: IncrementalSolver,
+    frames: FrameTrace,
+    obligations: ObligationQueue,
+}
+
+impl<'a> Pdr<'a> {
+    fn new(
+        aig: &'a Aig,
+        bad_index: usize,
+        options: &'a Options,
+        start: Instant,
+        stats: EngineStats,
+    ) -> Pdr<'a> {
+        let mut unroller = Unroller::new(aig);
+        for input in 0..aig.num_inputs() {
+            let _ = unroller.input_lit(0, input);
+        }
+        let bad0 = unroller.bad_lit(0, bad_index);
+        unroller.add_frame();
+        let latch0 = unroller.latch_lits(0);
+        let latch1 = unroller.latch_lits(1);
+        let input0: Vec<Lit> = (0..aig.num_inputs())
+            .map(|input| unroller.input_lit(0, input))
+            .collect();
+        let template = unroller.into_cnf();
+
+        let latch_of_var0 = latch0
+            .iter()
+            .enumerate()
+            .map(|(latch, lit)| (lit.var().index(), latch))
+            .collect();
+        let latch_of_var1 = latch1
+            .iter()
+            .enumerate()
+            .map(|(latch, lit)| (lit.var().index(), latch))
+            .collect();
+
+        let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
+        let mut init_solver = IncrementalSolver::with_base(&template);
+        for (latch, &value) in init.iter().enumerate() {
+            let lit = if value { latch0[latch] } else { !latch0[latch] };
+            init_solver.add_clause([lit]);
+        }
+        let lift = IncrementalSolver::with_base(&template);
+
+        Pdr {
+            options,
+            start,
+            stats,
+            init,
+            template,
+            latch0,
+            latch1,
+            input0,
+            bad0,
+            latch_of_var0,
+            latch_of_var1,
+            solvers: vec![init_solver],
+            lift,
+            frames: FrameTrace::new(),
+            obligations: ObligationQueue::new(),
+        }
+    }
+
+    /// The standard IC3 major loop: extend the trace one frame, block
+    /// every frontier bad state, propagate clauses forward, detect the
+    /// fixpoint.
+    fn run(mut self) -> EngineResult {
+        for level in 1..=self.options.max_bound {
+            self.extend();
+            match self.blocking_phase() {
+                Phase::Falsified(depth) => {
+                    return self.finish(Verdict::Falsified { depth });
+                }
+                Phase::Timeout => {
+                    return self.finish(Verdict::Inconclusive {
+                        reason: "timeout".to_string(),
+                        bound_reached: level - 1,
+                    });
+                }
+                Phase::Done => {}
+            }
+            if let Some(frame) = self.propagate() {
+                return self.finish(Verdict::Proved {
+                    k_fp: level,
+                    j_fp: frame,
+                });
+            }
+            if self.timed_out() {
+                return self.finish(Verdict::Inconclusive {
+                    reason: "timeout".to_string(),
+                    bound_reached: level,
+                });
+            }
+        }
+        let bound_reached = self.options.max_bound;
+        self.finish(Verdict::Inconclusive {
+            reason: "bound exhausted".to_string(),
+            bound_reached,
+        })
+    }
+
+    fn finish(mut self, verdict: Verdict) -> EngineResult {
+        self.stats.time = self.start.elapsed();
+        EngineResult {
+            verdict,
+            stats: self.stats,
+        }
+    }
+
+    fn timed_out(&self) -> bool {
+        self.start.elapsed() > self.options.timeout
+    }
+
+    /// Opens frame `k`: a fresh unconstrained frontier with its own solver.
+    fn extend(&mut self) {
+        self.frames.push_frame();
+        self.solvers
+            .push(IncrementalSolver::with_base(&self.template));
+    }
+
+    /// Blocks frontier bad states until none remain (or a counterexample
+    /// or timeout surfaces).
+    fn blocking_phase(&mut self) -> Phase {
+        let level = self.frames.level();
+        loop {
+            if self.timed_out() {
+                return Phase::Timeout;
+            }
+            let Some(bad) = self.get_bad() else {
+                return Phase::Done;
+            };
+            self.obligations.clear();
+            self.obligations.push(Obligation {
+                frame: level,
+                depth: 0,
+                cube: bad,
+            });
+            while let Some(obligation) = self.obligations.pop() {
+                if self.timed_out() {
+                    return Phase::Timeout;
+                }
+                if obligation.frame == 0 {
+                    debug_assert_eq!(obligation.depth, level);
+                    return Phase::Falsified(obligation.depth);
+                }
+                match self.relative_induction(obligation.frame, &obligation.cube) {
+                    Query::Blocked(core) => {
+                        let lemma = generalize::generalize(self, obligation.frame, core);
+                        self.add_lemma(obligation.frame, lemma);
+                    }
+                    Query::Predecessor(cube) => {
+                        let child = Obligation {
+                            frame: obligation.frame - 1,
+                            depth: obligation.depth + 1,
+                            cube,
+                        };
+                        self.obligations.push(obligation);
+                        self.obligations.push(child);
+                    }
+                }
+            }
+            debug_assert!(self.obligations.is_empty());
+        }
+    }
+
+    /// Returns a (lifted) frontier state that exhibits the bad property,
+    /// or `None` when `F_k ∧ bad` is unsatisfiable.
+    fn get_bad(&mut self) -> Option<Cube> {
+        let level = self.frames.level();
+        let bad0 = self.bad0;
+        let result = Self::solve_on(&mut self.solvers[level], &mut self.stats, &[bad0]);
+        if result == SolveResult::Unsat {
+            return None;
+        }
+        let (state, inputs) = self.model_state_and_inputs(level);
+        // Lift: with the inputs fixed, which part of the state forces bad?
+        let mut assumptions = inputs;
+        assumptions.push(!bad0);
+        assumptions.extend_from_slice(&state);
+        let lifted = Self::solve_on(&mut self.lift, &mut self.stats, &assumptions);
+        let cube = if lifted == SolveResult::Unsat {
+            // When the bad cone is a bare latch literal, `¬bad0` aliases a
+            // state variable and shows up in the core next to the opposite
+            // state literal — drop it before reading the core as a cube.
+            let core: Vec<Lit> = self
+                .lift
+                .assumption_core()
+                .into_iter()
+                .filter(|&lit| lit != !bad0)
+                .collect();
+            self.cube_from_core0(&core)
+        } else {
+            debug_assert!(false, "a total assignment must decide the bad cone");
+            Cube::new(Vec::new())
+        };
+        Some(if cube.is_empty() {
+            self.cube_from_state_lits(&state)
+        } else {
+            cube
+        })
+    }
+
+    /// The one-step relative-induction query
+    /// `SAT?[F_{frame-1} ∧ ¬cube ∧ T ∧ cube′]`.
+    fn relative_induction(&mut self, frame: usize, cube: &Cube) -> Query {
+        debug_assert!(frame >= 1 && frame <= self.frames.level());
+        let clause: Vec<Lit> = cube
+            .iter()
+            .map(|(latch, value)| !Self::state_lit(&self.latch0, latch, value))
+            .collect();
+        let assumptions: Vec<Lit> = cube
+            .iter()
+            .map(|(latch, value)| Self::state_lit(&self.latch1, latch, value))
+            .collect();
+        let guard = self.solvers[frame - 1].add_retirable_clause(clause);
+        let result = Self::solve_on(&mut self.solvers[frame - 1], &mut self.stats, &assumptions);
+        match result {
+            SolveResult::Unsat => {
+                let core = self.solvers[frame - 1].assumption_core();
+                self.solvers[frame - 1].retire(guard);
+                let mut seed = self.cube_from_core1(&core);
+                if seed.is_empty() {
+                    seed = cube.clone();
+                }
+                Query::Blocked(self.repair_initiation(seed, cube))
+            }
+            SolveResult::Sat => {
+                let (state, inputs) = self.model_state_and_inputs(frame - 1);
+                self.solvers[frame - 1].retire(guard);
+                Query::Predecessor(self.lift_predecessor(state, inputs, cube))
+            }
+        }
+    }
+
+    /// Shrinks a concrete predecessor (state + inputs) to the sub-cube
+    /// that is forced to step into `successor` under those inputs.
+    fn lift_predecessor(&mut self, state: Vec<Lit>, inputs: Vec<Lit>, successor: &Cube) -> Cube {
+        let blocking: Vec<Lit> = successor
+            .iter()
+            .map(|(latch, value)| !Self::state_lit(&self.latch1, latch, value))
+            .collect();
+        let guard = self.lift.add_retirable_clause(blocking);
+        let mut assumptions = inputs;
+        assumptions.extend_from_slice(&state);
+        let result = Self::solve_on(&mut self.lift, &mut self.stats, &assumptions);
+        let cube = if result == SolveResult::Unsat {
+            self.cube_from_core0(&self.lift.assumption_core())
+        } else {
+            debug_assert!(false, "a total assignment determines its successor");
+            Cube::new(Vec::new())
+        };
+        self.lift.retire(guard);
+        if cube.is_empty() {
+            self.cube_from_state_lits(&state)
+        } else {
+            cube
+        }
+    }
+
+    /// Pushes every lemma that also holds one frame later; returns the
+    /// converged frame when the trace reaches a fixpoint.
+    fn propagate(&mut self) -> Option<usize> {
+        let level = self.frames.level();
+        for frame in 1..level {
+            let cubes = self.frames.take_frame(frame);
+            for cube in cubes {
+                let assumptions: Vec<Lit> = cube
+                    .iter()
+                    .map(|(latch, value)| Self::state_lit(&self.latch1, latch, value))
+                    .collect();
+                let result =
+                    Self::solve_on(&mut self.solvers[frame], &mut self.stats, &assumptions);
+                if result == SolveResult::Unsat {
+                    if self.frames.add(frame + 1, cube.clone()) {
+                        self.add_lemma_clause(frame + 1, &cube);
+                    }
+                } else {
+                    self.frames.restore(frame, cube);
+                }
+            }
+            if self.frames.frame_converged(frame) {
+                return Some(frame);
+            }
+            if self.timed_out() {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Records `¬cube` as a lemma of frames `1..=frame`.
+    fn add_lemma(&mut self, frame: usize, cube: Cube) {
+        debug_assert!(
+            !cube.contains_state(&self.init),
+            "lemmas must exclude the initial state"
+        );
+        if self.frames.add(frame, cube.clone()) {
+            for f in 1..=frame {
+                self.add_lemma_clause(f, &cube);
+            }
+        }
+    }
+
+    /// Installs the clause `¬cube` into one frame solver.
+    fn add_lemma_clause(&mut self, frame: usize, cube: &Cube) {
+        let clause: Vec<Lit> = cube
+            .iter()
+            .map(|(latch, value)| !Self::state_lit(&self.latch0, latch, value))
+            .collect();
+        self.solvers[frame].add_clause(clause);
+    }
+
+    /// Re-adds one initiation-separating literal when core shrinking made
+    /// the cube contain the initial state.
+    fn repair_initiation(&self, seed: Cube, full: &Cube) -> Cube {
+        if !seed.contains_state(&self.init) {
+            return seed;
+        }
+        for (latch, value) in full.iter() {
+            if self.init[latch] != value {
+                return seed.with(latch, value);
+            }
+        }
+        debug_assert!(false, "obligation cubes never contain the initial state");
+        full.clone()
+    }
+
+    fn state_lit(vars: &[Lit], latch: usize, value: bool) -> Lit {
+        if value {
+            vars[latch]
+        } else {
+            !vars[latch]
+        }
+    }
+
+    /// Reads the frame-0 state and input literals of the model of the last
+    /// satisfiable query on `solvers[index]`.
+    fn model_state_and_inputs(&self, index: usize) -> (Vec<Lit>, Vec<Lit>) {
+        let solver = &self.solvers[index];
+        let state = self
+            .latch0
+            .iter()
+            .map(|&lit| {
+                if solver.lit_value(lit).unwrap_or(false) {
+                    lit
+                } else {
+                    !lit
+                }
+            })
+            .collect();
+        let inputs = self
+            .input0
+            .iter()
+            .map(|&lit| {
+                if solver.lit_value(lit).unwrap_or(false) {
+                    lit
+                } else {
+                    !lit
+                }
+            })
+            .collect();
+        (state, inputs)
+    }
+
+    /// Converts a full frame-0 state assignment into a cube.
+    fn cube_from_state_lits(&self, state: &[Lit]) -> Cube {
+        Cube::new(
+            state
+                .iter()
+                .map(|lit| {
+                    let latch = self.latch_of_var0[&lit.var().index()];
+                    (latch, lit.is_positive())
+                })
+                .collect(),
+        )
+    }
+
+    /// Keeps the frame-0 latch literals of an assumption core as a cube.
+    fn cube_from_core0(&self, core: &[Lit]) -> Cube {
+        Cube::new(
+            core.iter()
+                .filter_map(|lit| {
+                    self.latch_of_var0
+                        .get(&lit.var().index())
+                        .map(|&latch| (latch, lit.is_positive()))
+                })
+                .collect(),
+        )
+    }
+
+    /// Keeps the frame-1 latch literals of an assumption core as a cube.
+    fn cube_from_core1(&self, core: &[Lit]) -> Cube {
+        Cube::new(
+            core.iter()
+                .filter_map(|lit| {
+                    self.latch_of_var1
+                        .get(&lit.var().index())
+                        .map(|&latch| (latch, lit.is_positive()))
+                })
+                .collect(),
+        )
+    }
+
+    fn solve_on(
+        solver: &mut IncrementalSolver,
+        stats: &mut EngineStats,
+        assumptions: &[Lit],
+    ) -> SolveResult {
+        let before = solver.stats().conflicts;
+        let result = solver.solve(assumptions);
+        stats.sat_calls += 1;
+        stats.conflicts += solver.stats().conflicts - before;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::builder::{latch_word, word_equals_const, word_increment, word_mux};
+    use std::time::Duration;
+
+    fn modular_counter(width: usize, modulus: u64, bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+        let inc = word_increment(&mut aig, &bits, aig::Lit::TRUE);
+        let zero = aig::builder::word_const(width, 0);
+        let next = word_mux(&mut aig, wrap, &zero, &inc);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &bits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    fn options() -> Options {
+        Options::default()
+            .with_timeout(Duration::from_secs(10))
+            .with_max_bound(40)
+    }
+
+    #[test]
+    fn proves_unreachable_counter_values() {
+        let aig = modular_counter(3, 6, 7);
+        let result = verify(&aig, 0, &options());
+        assert!(result.verdict.is_proved(), "{}", result.verdict);
+        assert!(result.stats.sat_calls > 0);
+    }
+
+    #[test]
+    fn finds_minimal_counterexample_depths() {
+        for bad_at in [1u64, 3, 5, 9] {
+            let aig = modular_counter(4, 10, bad_at);
+            let result = verify(&aig, 0, &options());
+            assert_eq!(
+                result.verdict,
+                Verdict::Falsified {
+                    depth: bad_at as usize
+                },
+                "bad_at = {bad_at}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_depth_zero_violations() {
+        let aig = modular_counter(3, 6, 0);
+        let result = verify(&aig, 0, &options());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 0 });
+    }
+
+    #[test]
+    fn respects_the_bound_budget() {
+        // The bad value 30 needs 30 steps; a bound of 3 must give up.
+        let aig = modular_counter(5, 32, 30);
+        let result = verify(&aig, 0, &options().with_max_bound(3));
+        assert!(matches!(
+            result.verdict,
+            Verdict::Inconclusive {
+                bound_reached: 3,
+                ..
+            } | Verdict::Inconclusive {
+                bound_reached: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn handles_inputs_in_the_bad_cone() {
+        // Bad = input ∧ latch; the latch turns on after one step.
+        let mut aig = Aig::new();
+        let trigger = aig::Lit::positive(aig.add_input());
+        let armed = aig.add_latch(false);
+        let armed_lit = aig.latch_lit(armed);
+        aig.set_next(armed, aig::Lit::TRUE);
+        let bad = aig.and(trigger, armed_lit);
+        aig.add_bad(bad);
+        let result = verify(&aig, 0, &options());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 1 });
+    }
+
+    #[test]
+    fn proves_a_design_with_irrelevant_latches() {
+        // A stuck-at-zero flag plus free-running noise latches: the lemma
+        // generalization must discard the noise.
+        let mut aig = Aig::new();
+        let flag = aig.add_latch(false);
+        let flag_lit = aig.latch_lit(flag);
+        aig.set_next(flag, aig::Lit::FALSE);
+        for _ in 0..8 {
+            let noise_input = aig::Lit::positive(aig.add_input());
+            let noise = aig.add_latch(false);
+            aig.set_next(noise, noise_input);
+        }
+        aig.add_bad(flag_lit);
+        let result = verify(&aig, 0, &options());
+        assert!(result.verdict.is_proved(), "{}", result.verdict);
+    }
+}

@@ -1,0 +1,237 @@
+//! The PDR trace: cubes over latches and the delta-encoded frame sequence.
+
+/// A cube (conjunction) of latch literals: sorted `(latch, value)` pairs.
+///
+/// Cubes denote *sets of states* — a state is in the cube iff it agrees
+/// with every pair.  The negation of a cube is the frame *lemma* (a clause
+/// over the latch variables) that PDR learns.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Cube {
+    lits: Vec<(usize, bool)>,
+}
+
+impl Cube {
+    /// Builds a cube from `(latch, value)` pairs (sorted and deduplicated).
+    pub fn new(mut lits: Vec<(usize, bool)>) -> Cube {
+        lits.sort_unstable();
+        lits.dedup();
+        debug_assert!(
+            lits.windows(2).all(|w| w[0].0 != w[1].0),
+            "a cube cannot constrain one latch both ways"
+        );
+        Cube { lits }
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` when the cube has no literals (the universal cube).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Iterates over the `(latch, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.lits.iter().copied()
+    }
+
+    /// Returns a copy with the literal at `index` removed.
+    pub fn without(&self, index: usize) -> Cube {
+        let mut lits = self.lits.clone();
+        lits.remove(index);
+        Cube { lits }
+    }
+
+    /// Returns a copy with `(latch, value)` inserted.
+    pub fn with(&self, latch: usize, value: bool) -> Cube {
+        let mut lits = self.lits.clone();
+        lits.push((latch, value));
+        Cube::new(lits)
+    }
+
+    /// Returns `true` when the concrete state `state` (one value per latch)
+    /// lies inside the cube.
+    pub fn contains_state(&self, state: &[bool]) -> bool {
+        self.lits
+            .iter()
+            .all(|&(latch, value)| state[latch] == value)
+    }
+
+    /// Returns `true` when `self`'s literals are a subset of `other`'s —
+    /// i.e. `self` denotes a superset of states, so the lemma `¬self`
+    /// subsumes the lemma `¬other`.
+    pub fn subsumes(&self, other: &Cube) -> bool {
+        if self.lits.len() > other.lits.len() {
+            return false;
+        }
+        let mut rest = other.lits.iter();
+        'outer: for lit in &self.lits {
+            for candidate in rest.by_ref() {
+                if candidate == lit {
+                    continue 'outer;
+                }
+                if candidate.0 > lit.0 {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// The monotone frame sequence `F_0 ⊆ F_1 ⊆ … ⊆ F_k` (as state sets), kept
+/// in *delta encoding*: `delta[i]` holds the cubes whose highest blocked
+/// frame is `i`, so the lemma set of `F_i` is `¬delta[i] ∪ ¬delta[i+1] ∪ …`.
+///
+/// `delta[0]` is a sentinel for the initial-states frame and stays empty —
+/// `F_0 = I` is represented exactly by the init solver, not by lemmas.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FrameTrace {
+    delta: Vec<Vec<Cube>>,
+}
+
+impl FrameTrace {
+    /// Creates a trace holding only the `F_0` sentinel.
+    pub fn new() -> FrameTrace {
+        FrameTrace {
+            delta: vec![Vec::new()],
+        }
+    }
+
+    /// Index of the frontier frame (the current level `k`).
+    pub fn level(&self) -> usize {
+        self.delta.len() - 1
+    }
+
+    /// Opens a new (initially unconstrained) frontier frame.
+    pub fn push_frame(&mut self) {
+        self.delta.push(Vec::new());
+    }
+
+    /// Records `cube` as blocked up to `frame`.
+    ///
+    /// Returns `false` (and changes nothing) when an existing lemma at
+    /// `frame` or above already subsumes it.  Otherwise drops the weaker
+    /// lemmas it subsumes at `frame` and below, installs the cube and
+    /// returns `true`.
+    pub fn add(&mut self, frame: usize, cube: Cube) -> bool {
+        debug_assert!(frame >= 1 && frame <= self.level());
+        if self.delta[frame..]
+            .iter()
+            .any(|cubes| cubes.iter().any(|d| d.subsumes(&cube)))
+        {
+            return false;
+        }
+        for cubes in &mut self.delta[1..=frame] {
+            cubes.retain(|d| !cube.subsumes(d));
+        }
+        self.delta[frame].push(cube);
+        true
+    }
+
+    /// The cubes whose highest blocked frame is exactly `frame`.
+    #[cfg(test)]
+    pub fn cubes_at(&self, frame: usize) -> &[Cube] {
+        &self.delta[frame]
+    }
+
+    /// Removes and returns the cubes at `frame` (used by propagation).
+    pub fn take_frame(&mut self, frame: usize) -> Vec<Cube> {
+        std::mem::take(&mut self.delta[frame])
+    }
+
+    /// Re-installs a cube at `frame` without subsumption checks (used by
+    /// propagation to put back cubes that did not move).
+    pub fn restore(&mut self, frame: usize, cube: Cube) {
+        self.delta[frame].push(cube);
+    }
+
+    /// Returns `true` when `F_frame` and `F_{frame+1}` hold the same
+    /// lemmas — the PDR fixpoint.
+    pub fn frame_converged(&self, frame: usize) -> bool {
+        self.delta[frame].is_empty()
+    }
+
+    /// Total number of live lemmas in the trace.
+    #[cfg(test)]
+    pub fn total_lemmas(&self) -> usize {
+        self.delta.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(lits: &[(usize, bool)]) -> Cube {
+        Cube::new(lits.to_vec())
+    }
+
+    #[test]
+    fn cubes_sort_and_answer_membership() {
+        let c = cube(&[(2, false), (0, true)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains_state(&[true, false, false]));
+        assert!(c.contains_state(&[true, true, false]));
+        assert!(!c.contains_state(&[false, true, false]));
+        assert!(cube(&[]).contains_state(&[false, false]));
+    }
+
+    #[test]
+    fn subsumption_is_literal_subset() {
+        let small = cube(&[(1, true)]);
+        let big = cube(&[(0, false), (1, true), (3, false)]);
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(small.subsumes(&small));
+        assert!(!cube(&[(1, false)]).subsumes(&big));
+        assert!(cube(&[]).subsumes(&small));
+    }
+
+    #[test]
+    fn without_and_with_edit_literals() {
+        let c = cube(&[(0, true), (2, false)]);
+        assert_eq!(c.without(0), cube(&[(2, false)]));
+        assert_eq!(c.with(1, true), cube(&[(0, true), (1, true), (2, false)]));
+    }
+
+    #[test]
+    fn trace_add_prunes_weaker_lemmas_below() {
+        let mut trace = FrameTrace::new();
+        trace.push_frame();
+        trace.push_frame();
+        // A weak lemma at frame 1, then a stronger one at frame 2.
+        assert!(trace.add(1, cube(&[(0, true), (1, true)])));
+        assert!(trace.add(2, cube(&[(0, true)])));
+        assert!(trace.cubes_at(1).is_empty(), "weaker lemma must be pruned");
+        assert_eq!(trace.cubes_at(2).len(), 1);
+        assert!(trace.frame_converged(1));
+    }
+
+    #[test]
+    fn trace_add_rejects_subsumed_cubes() {
+        let mut trace = FrameTrace::new();
+        trace.push_frame();
+        trace.push_frame();
+        assert!(trace.add(2, cube(&[(0, true)])));
+        // Weaker cube at a lower frame: already covered by the lemma above.
+        assert!(!trace.add(1, cube(&[(0, true), (1, false)])));
+        assert_eq!(trace.total_lemmas(), 1);
+    }
+
+    #[test]
+    fn take_and_restore_support_propagation() {
+        let mut trace = FrameTrace::new();
+        trace.push_frame();
+        trace.push_frame();
+        assert!(trace.add(1, cube(&[(0, true)])));
+        let taken = trace.take_frame(1);
+        assert_eq!(taken.len(), 1);
+        assert!(trace.frame_converged(1));
+        trace.restore(1, taken.into_iter().next().unwrap());
+        assert_eq!(trace.cubes_at(1).len(), 1);
+    }
+}

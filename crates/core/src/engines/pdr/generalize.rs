@@ -1,0 +1,82 @@
+//! Cube generalization: assumption-core shrinking plus CTG-style down.
+//!
+//! A blocked obligation yields a core-shrunk cube whose negation is a
+//! valid lemma — but usually not the *strongest* one.  This module drops
+//! further literals MIC-style: each candidate (cube minus one literal) is
+//! re-checked for relative induction, and when the check fails on a
+//! *counterexample to generalization* (a predecessor state that is itself
+//! unreachable), the CTG is blocked one frame down first and the
+//! candidate retried (Hassan, Bradley, Somenzi — *Better generalization
+//! in IC3*, FMCAD 2013).
+
+use super::frames::Cube;
+use super::{Pdr, Query};
+
+/// Counterexamples-to-generalization handled per candidate before giving
+/// up on a literal drop.
+const MAX_CTGS: usize = 3;
+
+/// Strengthens the lemma `¬seed` (already blocked at `frame`) by dropping
+/// as many literals as relative induction allows.
+pub(super) fn generalize(pdr: &mut Pdr<'_>, frame: usize, seed: Cube) -> Cube {
+    let mut cube = seed;
+    let mut index = 0;
+    while index < cube.len() && cube.len() > 1 {
+        if pdr.timed_out() {
+            break;
+        }
+        let candidate = cube.without(index);
+        match try_block(pdr, frame, candidate) {
+            // The candidate (or a sub-cube of it) is blocked too: adopt it
+            // and retry the same position, which now holds the next
+            // literal.
+            Some(shrunk) => cube = shrunk,
+            None => index += 1,
+        }
+    }
+    cube
+}
+
+/// Attempts to show `cube` unreachable relative to `F_{frame-1}`,
+/// dispatching up to [`MAX_CTGS`] counterexamples-to-generalization along
+/// the way.  Returns the core-shrunk blocked cube on success.
+fn try_block(pdr: &mut Pdr<'_>, frame: usize, cube: Cube) -> Option<Cube> {
+    let mut ctgs = 0;
+    loop {
+        if cube.is_empty() || cube.contains_state(&pdr.init) || pdr.timed_out() {
+            return None;
+        }
+        match pdr.relative_induction(frame, &cube) {
+            Query::Blocked(core) => return Some(core),
+            Query::Predecessor(ctg) => {
+                // The candidate has a predecessor.  If that predecessor is
+                // itself unreachable one frame down, learn a lemma against
+                // it and retry; otherwise the drop fails.
+                if ctgs >= MAX_CTGS || frame < 2 || ctg.contains_state(&pdr.init) {
+                    return None;
+                }
+                match pdr.relative_induction(frame - 1, &ctg) {
+                    Query::Blocked(ctg_core) => {
+                        ctgs += 1;
+                        let at = push_lemma_up(pdr, frame - 1, &ctg_core);
+                        pdr.add_lemma(at, ctg_core);
+                    }
+                    Query::Predecessor(_) => return None,
+                }
+            }
+        }
+    }
+}
+
+/// Returns the highest frame (at least `from`, at most the frontier) at
+/// which `cube` is still relatively inductive.
+fn push_lemma_up(pdr: &mut Pdr<'_>, from: usize, cube: &Cube) -> usize {
+    let mut at = from;
+    while at < pdr.frames.level() {
+        match pdr.relative_induction(at + 1, cube) {
+            Query::Blocked(_) => at += 1,
+            Query::Predecessor(_) => break,
+        }
+    }
+    at
+}

@@ -1,0 +1,118 @@
+//! The proof-obligation priority queue of the PDR blocking phase.
+
+use super::frames::Cube;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One proof obligation: "`cube` must be shown unreachable at `frame`".
+///
+/// `depth` is the number of transitions from any state in the cube to a
+/// state exhibiting the bad property — when an obligation reaches frame 0
+/// its cube contains an initial state and `depth` is the exact length of
+/// the counterexample.  Because obligations are never pushed forward to
+/// higher frames, `frame + depth` equals the level at which the chain
+/// started, so reported counterexamples are depth-minimal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Obligation {
+    /// Frame the cube must be blocked at.
+    pub frame: usize,
+    /// Backward distance (in transitions) to a bad state.
+    pub depth: usize,
+    /// The states to block.
+    pub cube: Cube,
+}
+
+impl Ord for Obligation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lowest frame first (deepest in the trace); break ties towards
+        // smaller cubes (more general), then deterministically by content.
+        self.frame
+            .cmp(&other.frame)
+            .then_with(|| self.cube.len().cmp(&other.cube.len()))
+            .then_with(|| self.cube.cmp(&other.cube))
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+impl PartialOrd for Obligation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue of proof obligations, keyed by [`Obligation`]'s ordering.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ObligationQueue {
+    heap: BinaryHeap<Reverse<Obligation>>,
+}
+
+impl ObligationQueue {
+    /// Creates an empty queue.
+    pub fn new() -> ObligationQueue {
+        ObligationQueue::default()
+    }
+
+    /// Enqueues an obligation.
+    pub fn push(&mut self, obligation: Obligation) {
+        self.heap.push(Reverse(obligation));
+    }
+
+    /// Removes and returns the most urgent obligation (lowest frame).
+    pub fn pop(&mut self) -> Option<Obligation> {
+        self.heap.pop().map(|Reverse(o)| o)
+    }
+
+    /// Drops every obligation (after a counterexample or a completed
+    /// blocking phase).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Returns `true` when no obligations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ob(frame: usize, depth: usize, lits: &[(usize, bool)]) -> Obligation {
+        Obligation {
+            frame,
+            depth,
+            cube: Cube::new(lits.to_vec()),
+        }
+    }
+
+    #[test]
+    fn pops_lowest_frame_first() {
+        let mut q = ObligationQueue::new();
+        q.push(ob(3, 0, &[(0, true)]));
+        q.push(ob(1, 2, &[(0, false)]));
+        q.push(ob(2, 1, &[(1, true)]));
+        assert_eq!(q.pop().unwrap().frame, 1);
+        assert_eq!(q.pop().unwrap().frame, 2);
+        assert_eq!(q.pop().unwrap().frame, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_prefer_smaller_cubes() {
+        let mut q = ObligationQueue::new();
+        q.push(ob(2, 1, &[(0, true), (1, true)]));
+        q.push(ob(2, 1, &[(1, false)]));
+        assert_eq!(q.pop().unwrap().cube.len(), 1);
+        assert_eq!(q.pop().unwrap().cube.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = ObligationQueue::new();
+        q.push(ob(1, 0, &[(0, true)]));
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -8,6 +8,13 @@
 //! * the BMC check formulation (*exact-k* or *exact-assume-k*),
 //! * the serial fraction `αs` (0 = fully parallel, 1 = fully serial),
 //! * whether counterexample-based abstraction is enabled.
+//!
+//! The module is `pub(crate)` (rather than private) so that engine
+//! families outside `engines/` — a portfolio runner combining
+//! [`SeqConfig`]/[`run`] with [`crate::engines::pdr`], for instance —
+//! can drive this loop without re-deriving it.  The PDR subsystem itself
+//! keeps its own frame machinery (clause traces, not interpolant
+//! columns) and does not depend on this module.
 
 use crate::abstraction::Abstraction;
 use crate::state::{encode_state_lit, StateSpace};
@@ -78,7 +85,7 @@ fn build_instance(
     for f in 1..=transitions {
         unroller.builder_mut().set_partition((f + 1) as u32);
         let absolute = offset + f - 1;
-        if check == BmcCheck::ExactAssume && absolute >= 1 && absolute + 1 <= total_bound {
+        if check == BmcCheck::ExactAssume && absolute >= 1 && absolute < total_bound {
             let bad_prev = unroller.bad_lit(f - 1, bad_index);
             unroller.assert_lit(!bad_prev);
         }
@@ -183,7 +190,9 @@ fn compute_sequence(
             );
             let (result, proof) = solve(&inst.cnf, stats);
             if result == SolveResult::Sat {
-                return Err(format!("serial interpolation step {j} was unexpectedly satisfiable"));
+                return Err(format!(
+                    "serial interpolation step {j} was unexpectedly satisfiable"
+                ));
             }
             (Some(inst), proof.expect("unsat result has a proof"))
         };
@@ -224,13 +233,14 @@ fn compute_sequence(
             );
             let (result, proof) = solve(&inst.cnf, stats);
             if result == SolveResult::Sat {
-                return Err("parallel remainder of the serial sequence was unexpectedly satisfiable"
-                    .to_string());
+                return Err(
+                    "parallel remainder of the serial sequence was unexpectedly satisfiable"
+                        .to_string(),
+                );
             }
             let proof = proof.expect("unsat result has a proof");
             let cuts: Vec<u32> = (2..=(bound - serial + 1) as u32).collect();
-            let itps =
-                extract_interpolants(&proof, &inst, &cuts, space, model_to_concrete, stats)?;
+            let itps = extract_interpolants(&proof, &inst, &cuts, space, model_to_concrete, stats)?;
             sequence.extend(itps);
         }
     }
@@ -259,10 +269,10 @@ fn extend_or_refine(
     let mut unroller = Unroller::new(design);
     let mut guards: Vec<Option<cnf::Lit>> = vec![None; design.num_latches()];
     let mut activation: Vec<(cnf::Lit, usize)> = Vec::new();
-    for latch in 0..design.num_latches() {
+    for (latch, guard) in guards.iter_mut().enumerate() {
         if !abstraction.is_visible(latch) {
             let a = unroller.builder_mut().new_lit();
-            guards[latch] = Some(a);
+            *guard = Some(a);
             activation.push((a, latch));
         }
     }

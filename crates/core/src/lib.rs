@@ -15,10 +15,15 @@
 //!   (`SITPSEQ`, Fig. 4, Definition 3),
 //! * [`engines::itpseq_cba`] — serial interpolation sequences tightly
 //!   integrated with counterexample-based abstraction
-//!   (`ITPSEQCBAVERIF`, Fig. 5).
+//!   (`ITPSEQCBAVERIF`, Fig. 5),
+//! * [`engines::pdr`] — IC3/property-directed reachability, the
+//!   post-2011 competitor every modern checker ships, included for
+//!   head-to-head comparisons against the paper's engines.
 //!
 //! All engines return an [`EngineResult`] carrying the verdict together
-//! with the depth statistics `(k_fp, j_fp)` the paper's Table I reports.
+//! with the depth statistics `(k_fp, j_fp)` the paper's Table I reports
+//! (for PDR, `k_fp` is the convergence level and `j_fp` the frame at
+//! which the trace reached its fixpoint).
 //!
 //! # Example
 //!
@@ -48,5 +53,5 @@ pub mod engines;
 pub mod state;
 mod types;
 
-pub use engines::{bmc, itp, itpseq, itpseq_cba, sitpseq};
+pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, sitpseq};
 pub use types::{Engine, EngineResult, EngineStats, Options, Verdict};

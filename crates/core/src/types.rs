@@ -140,7 +140,7 @@ impl Options {
     }
 }
 
-/// The verification engines evaluated in the paper.
+/// The verification engines evaluated in the paper, plus IC3/PDR.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Plain bounded model checking (falsification only).
@@ -154,16 +154,20 @@ pub enum Engine {
     /// Serial interpolation sequences with counterexample-based abstraction
     /// (Fig. 5).
     ItpSeqCba,
+    /// Property-directed reachability (IC3/PDR) — the post-2011 competitor
+    /// of the interpolation engines.
+    Pdr,
 }
 
 impl Engine {
-    /// All engines, in the order the paper presents them.
-    pub const ALL: [Engine; 5] = [
+    /// All engines: the paper's five in presentation order, then PDR.
+    pub const ALL: [Engine; 6] = [
         Engine::Bmc,
         Engine::Itp,
         Engine::ItpSeq,
         Engine::SerialItpSeq,
         Engine::ItpSeqCba,
+        Engine::Pdr,
     ];
 
     /// The name used in reports and plots.
@@ -174,6 +178,7 @@ impl Engine {
             Engine::ItpSeq => "ITPSEQ",
             Engine::SerialItpSeq => "SITPSEQ",
             Engine::ItpSeqCba => "ITPSEQCBA",
+            Engine::Pdr => "PDR",
         }
     }
 
@@ -185,6 +190,7 @@ impl Engine {
             Engine::ItpSeq => crate::engines::itpseq::verify(aig, bad_index, options),
             Engine::SerialItpSeq => crate::engines::sitpseq::verify(aig, bad_index, options),
             Engine::ItpSeqCba => crate::engines::itpseq_cba::verify(aig, bad_index, options),
+            Engine::Pdr => crate::engines::pdr::verify(aig, bad_index, options),
         }
     }
 }

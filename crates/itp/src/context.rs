@@ -274,14 +274,11 @@ mod tests {
     /// Helper: evaluate the conjunction of the clauses with partition in
     /// `range` under a total assignment.
     fn eval_side(cnf: &Cnf, assignment: &[bool], pred: impl Fn(u32) -> bool) -> bool {
-        cnf.clauses
-            .iter()
-            .filter(|c| pred(c.partition))
-            .all(|c| {
-                c.lits
-                    .iter()
-                    .any(|l| assignment[l.var().index() as usize] != l.is_negative())
-            })
+        cnf.clauses.iter().filter(|c| pred(c.partition)).all(|c| {
+            c.lits
+                .iter()
+                .any(|l| assignment[l.var().index() as usize] != l.is_negative())
+        })
     }
 
     /// Checks the three defining properties of an interpolant for every cut,

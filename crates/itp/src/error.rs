@@ -61,7 +61,9 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_problem() {
-        assert!(ItpError::MissingRefutation.to_string().contains("empty clause"));
+        assert!(ItpError::MissingRefutation
+            .to_string()
+            .contains("empty clause"));
         assert!(ItpError::UnpartitionedClause { clause: 3 }
             .to_string()
             .contains("clause 3"));

@@ -1,0 +1,235 @@
+//! Incremental solving with activation-literal clause retirement.
+//!
+//! The base [`Solver`](crate::Solver) only ever *adds* clauses.  That is
+//! enough for the one-shot refutations of the interpolation engines, but
+//! IC3/PDR-style engines issue thousands of queries against a slowly
+//! growing clause database and need *temporary* clauses: the `¬cube` part
+//! of a relative-induction query must disappear once the query is
+//! answered.
+//!
+//! [`IncrementalSolver`] implements the classic activation-literal scheme:
+//!
+//! * a *permanent* clause `C` is added as-is,
+//! * a *retirable* clause `C` is added as `(¬a ∨ C)` for a fresh
+//!   activation variable `a`; the clause is only in force while `a` is
+//!   assumed true,
+//! * [`retire`](IncrementalSolver::retire) adds the unit `¬a`, which
+//!   permanently satisfies (and thereby deactivates) the guarded clause,
+//! * [`solve`](IncrementalSolver::solve) automatically assumes every
+//!   live activation literal, so callers only pass their own assumptions,
+//! * [`assumption_core`](IncrementalSolver::assumption_core) filters the
+//!   activation literals back out, so callers see a core over *their*
+//!   assumptions only.
+//!
+//! ```
+//! use cnf::Lit;
+//! use sat::{IncrementalSolver, SolveResult};
+//!
+//! let mut solver = IncrementalSolver::new();
+//! let x = Lit::positive(solver.new_var());
+//! solver.add_clause([x]);
+//! let guard = solver.add_retirable_clause([!x]);
+//! assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+//! solver.retire(guard);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! ```
+
+use crate::solver::{SolveResult, Solver, SolverStats};
+use cnf::{Cnf, Lit, Var};
+
+/// Handle of a retirable clause: the activation literal guarding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClauseGuard(Lit);
+
+/// A [`Solver`] wrapper supporting temporary clauses through activation
+/// literals.
+///
+/// See the [module documentation](self) for the scheme and an example.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalSolver {
+    solver: Solver,
+    /// Activation literals of clauses that are still in force.
+    live: Vec<Lit>,
+    /// Count of clauses retired so far (statistics only).
+    retired: u64,
+}
+
+impl IncrementalSolver {
+    /// Creates an empty incremental solver.
+    pub fn new() -> IncrementalSolver {
+        IncrementalSolver::default()
+    }
+
+    /// Creates an incremental solver preloaded with a base formula.
+    pub fn with_base(cnf: &Cnf) -> IncrementalSolver {
+        let mut solver = IncrementalSolver::new();
+        solver.solver.add_cnf(cnf);
+        solver
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.solver.num_vars()
+    }
+
+    /// Number of retirable clauses still in force.
+    pub fn num_live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of clauses retired so far.
+    pub fn num_retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Returns the accumulated search statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Adds a permanent clause (partition 0: incremental queries take no
+    /// part in interpolation).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.solver.add_clause(lits, 0);
+    }
+
+    /// Adds a clause that can later be retired; returns its guard.
+    ///
+    /// The clause is in force for every [`solve`](Self::solve) call until
+    /// [`retire`](Self::retire) is called on the guard.
+    pub fn add_retirable_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> ClauseGuard {
+        let activation = Lit::positive(self.solver.new_var());
+        let guarded: Vec<Lit> = std::iter::once(!activation).chain(lits).collect();
+        self.solver.add_clause(guarded, 0);
+        self.live.push(activation);
+        ClauseGuard(activation)
+    }
+
+    /// Permanently deactivates the clause behind `guard`.
+    ///
+    /// The guarded clause stays in the solver but is satisfied by the unit
+    /// `¬a`, so it never constrains or propagates again.
+    pub fn retire(&mut self, guard: ClauseGuard) {
+        if let Some(position) = self.live.iter().position(|&a| a == guard.0) {
+            self.live.swap_remove(position);
+            self.solver.add_clause([!guard.0], 0);
+            self.retired += 1;
+        }
+    }
+
+    /// Solves under `assumptions` with every live retirable clause active.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        // Activation literals go first: they are unconditionally true, so a
+        // core caused by the caller's assumptions stays expressed in terms
+        // of the trailing (caller) positions.
+        let mut all = self.live.clone();
+        all.extend_from_slice(assumptions);
+        self.solver.solve_with_assumptions(&all)
+    }
+
+    /// Returns the subset of the *caller's* assumptions responsible for the
+    /// last `Unsat` answer, with activation literals filtered out.
+    pub fn assumption_core(&self) -> Vec<Lit> {
+        self.solver
+            .assumption_core()
+            .iter()
+            .copied()
+            .filter(|l| !self.live.contains(l) && !self.live.contains(&!*l))
+            .collect()
+    }
+
+    /// Returns the value assigned to `var` by the most recent satisfiable
+    /// call, or `None` when unassigned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.solver.value(var)
+    }
+
+    /// Returns the value of a literal under the current assignment.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.solver.lit_value(lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut IncrementalSolver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(solver.new_var())).collect()
+    }
+
+    #[test]
+    fn retired_clauses_stop_constraining() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let g1 = s.add_retirable_clause([!v[0]]);
+        let g2 = s.add_retirable_clause([!v[1]]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        s.retire(g1);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.lit_value(v[1]), Some(false));
+        assert_eq!(s.lit_value(v[0]), Some(true));
+        s.retire(g2);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.num_retired(), 2);
+        assert_eq!(s.num_live(), 0);
+    }
+
+    #[test]
+    fn double_retire_is_harmless() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 1);
+        let g = s.add_retirable_clause([v[0]]);
+        s.retire(g);
+        s.retire(g);
+        assert_eq!(s.num_retired(), 1);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cores_hide_activation_literals() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 3);
+        // Retirable clause (¬x0 ∨ ¬x1) plus irrelevant assumption x2.
+        let _g = s.add_retirable_clause([!v[0], !v[1]]);
+        assert_eq!(s.solve(&[v[2], v[0], v[1]]), SolveResult::Unsat);
+        let core = s.assumption_core();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(
+                [v[0], v[1], v[2]].contains(l),
+                "core literal {l} must be a caller assumption"
+            );
+        }
+    }
+
+    #[test]
+    fn live_clauses_survive_interleaved_queries() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 2);
+        let _keep = s.add_retirable_clause([v[0]]);
+        let drop = s.add_retirable_clause([v[1]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.lit_value(v[0]), Some(true));
+        s.retire(drop);
+        assert_eq!(s.solve(&[!v[1]]), SolveResult::Sat);
+        assert_eq!(s.lit_value(v[0]), Some(true));
+        assert_eq!(s.lit_value(v[1]), Some(false));
+    }
+
+    #[test]
+    fn with_base_loads_the_formula() {
+        let mut builder = cnf::CnfBuilder::new();
+        let x = builder.new_lit();
+        builder.add_clause([x]);
+        let mut s = IncrementalSolver::with_base(&builder.into_cnf());
+        assert_eq!(s.solve(&[!x]), SolveResult::Unsat);
+        assert_eq!(s.assumption_core(), vec![!x]);
+    }
+}

@@ -14,6 +14,9 @@
 //! * phase saving and Luby restarts,
 //! * incremental assumptions with assumption-core extraction (used by the
 //!   counterexample-based abstraction refinement),
+//! * activation-literal clause retirement for the thousands of temporary
+//!   `¬cube` clauses issued by IC3/PDR-style engines
+//!   ([`IncrementalSolver`]),
 //! * resolution chains recorded for every learned clause and for the final
 //!   empty clause ([`Proof`]).
 //!
@@ -34,10 +37,12 @@
 //! assert!(!proof.clauses.is_empty());
 //! ```
 
+mod incremental;
 mod luby;
 mod proof;
 mod solver;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
+pub use incremental::{ClauseGuard, IncrementalSolver};
 pub use proof::{Chain, ClauseOrigin, Proof, ProofClause};
 pub use solver::{SolveResult, Solver, SolverStats};

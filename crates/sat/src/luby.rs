@@ -13,8 +13,6 @@ pub(crate) fn luby(i: u64) -> u64 {
         size = 2 * size + 1;
     }
     let mut i = i;
-    let mut size = size;
-    let mut seq = seq;
     while size - 1 != i {
         size = (size - 1) / 2;
         seq -= 1;

@@ -163,7 +163,9 @@ impl Proof {
                 if derived.is_empty() {
                     Ok(())
                 } else {
-                    Err(format!("final chain derives {derived:?}, not the empty clause"))
+                    Err(format!(
+                        "final chain derives {derived:?}, not the empty clause"
+                    ))
                 }
             }
         }

@@ -783,10 +783,7 @@ mod tests {
         for h in 0..holes {
             for p1 in 0..pigeons {
                 for p2 in (p1 + 1)..pigeons {
-                    solver.add_clause(
-                        [Lit::negative(var(p1, h)), Lit::negative(var(p2, h))],
-                        2,
-                    );
+                    solver.add_clause([Lit::negative(var(p1, h)), Lit::negative(var(p2, h))], 2);
                 }
             }
         }
@@ -895,7 +892,10 @@ mod tests {
         let v = vars(&mut s, 2);
         s.add_clause([lit(&v, 0, false), lit(&v, 1, false)], 1);
         assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(s.solve_with_assumptions(&[lit(&v, 0, true)]), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 0, true)]),
+            SolveResult::Sat
+        );
         assert_eq!(s.value(v[1]), Some(true));
         assert_eq!(
             s.solve_with_assumptions(&[lit(&v, 0, true), lit(&v, 1, true)]),
@@ -932,7 +932,9 @@ mod tests {
         s.add_clause(std::iter::empty(), 1);
         assert_eq!(s.solve(), SolveResult::Unsat);
         let proof = s.proof().expect("proof");
-        proof.check().expect("empty clause proof is trivially valid");
+        proof
+            .check()
+            .expect("empty clause proof is trivially valid");
     }
 
     #[test]

@@ -14,7 +14,10 @@ use aig::{Aig, Lit};
 ///
 /// Panics if `modulus` does not fit in `width` bits or is zero.
 pub fn modular(width: usize, modulus: u64, bad_at: u64) -> Aig {
-    assert!(modulus >= 1 && modulus <= 1u64 << width, "modulus must fit the width");
+    assert!(
+        modulus >= 1 && modulus <= 1u64 << width,
+        "modulus must fit the width"
+    );
     let mut aig = Aig::new();
     aig.set_name(format!("counter{width}m{modulus}b{bad_at}"));
     let (ids, bits) = latch_word(&mut aig, width, 0);
@@ -34,7 +37,10 @@ pub fn modular(width: usize, modulus: u64, bad_at: u64) -> Aig {
 /// asserts `enable`, which stretches counterexamples and makes bound-k
 /// checks harder than exact-k ones.
 pub fn gated(width: usize, modulus: u64, bad_at: u64) -> Aig {
-    assert!(modulus >= 1 && modulus <= 1u64 << width, "modulus must fit the width");
+    assert!(
+        modulus >= 1 && modulus <= 1u64 << width,
+        "modulus must fit the width"
+    );
     let mut aig = Aig::new();
     aig.set_name(format!("gatedcounter{width}m{modulus}b{bad_at}"));
     let enable = Lit::positive(aig.add_input());

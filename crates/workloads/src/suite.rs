@@ -193,7 +193,10 @@ mod tests {
     fn suite_mixes_passing_and_failing_instances() {
         let suite = full();
         let failing = suite.iter().filter(|b| b.expect_fail == Some(true)).count();
-        let passing = suite.iter().filter(|b| b.expect_fail == Some(false)).count();
+        let passing = suite
+            .iter()
+            .filter(|b| b.expect_fail == Some(false))
+            .count();
         assert!(failing >= 8, "failing instances: {failing}");
         assert!(passing >= 15, "passing instances: {passing}");
     }

@@ -13,7 +13,11 @@ fn main() {
     let failing = itpseq::workloads::counter::modular(4, 10, 7);
 
     let options = Options::default();
-    println!("design: {} ({} latches)", passing.name(), passing.num_latches());
+    println!(
+        "design: {} ({} latches)",
+        passing.name(),
+        passing.num_latches()
+    );
     for engine in Engine::ALL {
         let result = engine.verify(&passing, 0, &options);
         println!(
@@ -25,7 +29,11 @@ fn main() {
         );
     }
 
-    println!("design: {} ({} latches)", failing.name(), failing.num_latches());
+    println!(
+        "design: {} ({} latches)",
+        failing.name(),
+        failing.num_latches()
+    );
     for engine in Engine::ALL {
         let result = engine.verify(&failing, 0, &options);
         println!(

@@ -21,7 +21,10 @@ fn main() {
 
     let result = Engine::SerialItpSeq.verify(&correct, 0, &options);
     println!("SITPSEQ on the correct arbiter: {}", result.verdict);
-    assert!(result.verdict.is_proved(), "mutual exclusion must be proved");
+    assert!(
+        result.verdict.is_proved(),
+        "mutual exclusion must be proved"
+    );
 
     let result = Engine::ItpSeq.verify(&buggy, 0, &options);
     println!("ITPSEQ on the buggy arbiter:    {}", result.verdict);

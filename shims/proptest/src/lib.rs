@@ -1,0 +1,281 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API used by the
+//! workspace's integration tests: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, [`test_runner::Config`] (`ProptestConfig`), integer
+//! range strategies, tuple strategies, [`bool::ANY`] and
+//! [`collection::vec`].
+//!
+//! The build environment has no access to crates.io.  The shim samples each
+//! strategy with a deterministic per-case SplitMix64 stream and reports the
+//! first failing case's inputs; it does not shrink.
+
+use std::ops::Range;
+
+/// Deterministic sample stream handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the stream for one test case.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty strategy range");
+        self.next_u64() % bound
+    }
+}
+
+/// A source of generated values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing unbiased booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Unbiased boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing vectors of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and failure types, mirroring
+/// `proptest::test_runner`.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Stand-in for `proptest::test_runner::Config` (`ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// Returns a configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Everything the tests import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Fails the surrounding property when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `arg in strategy` binding is sampled per
+/// case and the body runs with `prop_assert!`-style early returns.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $config; $($rest)*);
+    };
+    (@with_config $config:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                // Distinct deterministic stream per test and case: FNV-1a
+                // over the test name, mixed with the case index.
+                let seed = {
+                    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                    for byte in stringify!($name).bytes() {
+                        hash = (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                    hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                };
+                let mut rng = $crate::TestRng::new(seed);
+                $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(error) = outcome {
+                    panic!(
+                        "proptest case {case} failed: {error}\n  inputs: {:?}",
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sampled_ranges_stay_in_bounds(value in 3u32..17) {
+            prop_assert!((3..17).contains(&value));
+        }
+
+        #[test]
+        fn vectors_respect_size_bounds(
+            values in crate::collection::vec((0u32..6, crate::bool::ANY), 1..4)
+        ) {
+            prop_assert!((1..4).contains(&values.len()));
+            for (v, _) in &values {
+                prop_assert!(*v < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_assert_eq_reports_both_sides() {
+        let failing = || -> Result<(), crate::test_runner::TestCaseError> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        };
+        let message = failing().unwrap_err().to_string();
+        assert!(message.contains("left: 2"), "{message}");
+        assert!(message.contains("right: 3"), "{message}");
+    }
+}

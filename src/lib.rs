@@ -7,10 +7,12 @@
 //!
 //! * [`aig`] — sequential circuits as And-Inverter Graphs,
 //! * [`cnf`] — partitioned CNF, Tseitin encoding and BMC unrolling,
-//! * [`sat`] — the proof-logging CDCL solver,
+//! * [`sat`] — the proof-logging CDCL solver, with activation-literal
+//!   clause retirement for incremental engines,
 //! * [`itp`] — Craig interpolants and interpolation sequences,
 //! * [`bdd`] — exact reachability and circuit diameters,
-//! * [`mc`] — the verification engines (ITP, ITPSEQ, SITPSEQ, ITPSEQCBA),
+//! * [`mc`] — the verification engines: the paper's ITP, ITPSEQ, SITPSEQ
+//!   and ITPSEQCBA plus an IC3/PDR competitor,
 //! * [`workloads`] — the synthetic benchmark suite.
 //!
 //! # Quick start

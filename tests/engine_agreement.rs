@@ -1,6 +1,7 @@
-//! Cross-crate integration tests: all engines must agree with each other
-//! and with exact BDD reachability on the benchmark suite's smaller
-//! instances, and falsified depths must be reproducible by simulation.
+//! Cross-crate integration tests: all engines (the paper's five plus
+//! IC3/PDR) must agree with each other and with exact BDD reachability on
+//! the benchmark suite's smaller instances, and falsified depths must be
+//! reproducible by simulation.
 
 use itpseq::bdd::BddVerdict;
 use itpseq::mc::{Engine, Options, Verdict};
@@ -24,21 +25,29 @@ fn small_designs() -> Vec<itpseq::workloads::Benchmark> {
 fn engines_agree_with_exact_reachability() {
     for benchmark in small_designs() {
         let exact = itpseq::bdd::reach::analyze(&benchmark.aig, 0, 2_000_000);
-        for engine in [
-            Engine::Itp,
-            Engine::ItpSeq,
-            Engine::SerialItpSeq,
-            Engine::ItpSeqCba,
-        ] {
+        for engine in Engine::ALL {
             let result = engine.verify(&benchmark.aig, 0, &options());
             match exact.verdict {
-                BddVerdict::Pass => assert!(
-                    result.verdict.is_proved(),
-                    "{} on {}: expected proof, got {}",
-                    engine.name(),
-                    benchmark.name,
-                    result.verdict
-                ),
+                BddVerdict::Pass => {
+                    // BMC can only falsify; every proving engine must
+                    // conclude with a proof.
+                    if engine == Engine::Bmc {
+                        assert!(
+                            !result.verdict.is_falsified(),
+                            "BMC on {}: {}",
+                            benchmark.name,
+                            result.verdict
+                        );
+                    } else {
+                        assert!(
+                            result.verdict.is_proved(),
+                            "{} on {}: expected proof, got {}",
+                            engine.name(),
+                            benchmark.name,
+                            result.verdict
+                        );
+                    }
+                }
                 BddVerdict::Fail { depth } => assert_eq!(
                     result.verdict,
                     Verdict::Falsified { depth },
@@ -56,14 +65,17 @@ fn engines_agree_with_exact_reachability() {
 fn expected_suite_verdicts_hold() {
     for benchmark in small_designs() {
         if let Some(expect_fail) = benchmark.expect_fail {
-            let result = Engine::SerialItpSeq.verify(&benchmark.aig, 0, &options());
-            assert_eq!(
-                result.verdict.is_falsified(),
-                expect_fail,
-                "{}: {}",
-                benchmark.name,
-                result.verdict
-            );
+            for engine in [Engine::SerialItpSeq, Engine::Pdr] {
+                let result = engine.verify(&benchmark.aig, 0, &options());
+                assert_eq!(
+                    result.verdict.is_falsified(),
+                    expect_fail,
+                    "{} on {}: {}",
+                    engine.name(),
+                    benchmark.name,
+                    result.verdict
+                );
+            }
         }
     }
 }
@@ -75,8 +87,16 @@ fn bmc_and_sequence_engines_report_the_same_counterexample_depth() {
             continue;
         }
         let bmc = Engine::Bmc.verify(&benchmark.aig, 0, &options());
-        let seq = Engine::ItpSeq.verify(&benchmark.aig, 0, &options());
-        assert_eq!(bmc.verdict, seq.verdict, "{}", benchmark.name);
+        for engine in [Engine::ItpSeq, Engine::Pdr] {
+            let result = engine.verify(&benchmark.aig, 0, &options());
+            assert_eq!(
+                bmc.verdict,
+                result.verdict,
+                "{} on {}",
+                engine.name(),
+                benchmark.name
+            );
+        }
     }
 }
 

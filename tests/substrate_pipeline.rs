@@ -3,7 +3,7 @@
 
 use itpseq::cnf::{BmcCheck, CnfBuilder, Lit, Var};
 use itpseq::itp::InterpolationContext;
-use itpseq::sat::{SolveResult, Solver};
+use itpseq::sat::{IncrementalSolver, SolveResult, Solver};
 use proptest::prelude::*;
 
 /// The BMC formulations must order themselves by strength on any design:
@@ -84,6 +84,58 @@ fn interpolation_sequence_elements_over_approximate_reachable_states() {
     );
 }
 
+/// The incremental pipeline the PDR engine is built on: a two-frame
+/// transition template queried under assumptions, with temporary `¬cube`
+/// clauses retired between queries.
+#[test]
+fn incremental_one_step_queries_match_reachability() {
+    // 2-bit free-running counter; one-step successors of state `n` are
+    // exactly `n + 1 (mod 4)`.
+    let design = itpseq::workloads::counter::modular(2, 4, 3);
+    let mut unroller = itpseq::cnf::Unroller::new(&design);
+    unroller.add_frame();
+    let latch0 = unroller.latch_lits(0);
+    let latch1 = unroller.latch_lits(1);
+    let mut solver = IncrementalSolver::with_base(&unroller.into_cnf());
+
+    let state_lits = |vars: &[Lit], value: usize| -> Vec<Lit> {
+        (0..2)
+            .map(|bit| {
+                if value >> bit & 1 == 1 {
+                    vars[bit]
+                } else {
+                    !vars[bit]
+                }
+            })
+            .collect()
+    };
+
+    for from in 0..4usize {
+        for to in 0..4usize {
+            let mut assumptions = state_lits(&latch0, from);
+            assumptions.extend(state_lits(&latch1, to));
+            let expected = (from + 1) % 4 == to;
+            assert_eq!(
+                solver.solve(&assumptions) == SolveResult::Sat,
+                expected,
+                "{from} -> {to}"
+            );
+        }
+    }
+
+    // A retirable clause blocking state 2 at frame 1 rules out 1 -> 2
+    // while it is live and restores it once retired.
+    let blocking: Vec<Lit> = state_lits(&latch1, 2).into_iter().map(|l| !l).collect();
+    let guard = solver.add_retirable_clause(blocking);
+    let mut assumptions = state_lits(&latch0, 1);
+    assumptions.extend(state_lits(&latch1, 2));
+    assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+    let core = solver.assumption_core();
+    assert!(core.iter().all(|l| assumptions.contains(l)));
+    solver.retire(guard);
+    assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -121,20 +173,21 @@ proptest! {
         }
     }
 
-    /// Counter workloads: the engine verdict matches the arithmetic truth
-    /// for arbitrary parameters.
+    /// Counter workloads: the interpolation and PDR verdicts both match
+    /// the arithmetic truth for arbitrary parameters.
     #[test]
     fn counter_verdicts_match_arithmetic(modulus in 2u64..10, bad_at in 0u64..12) {
         let design = itpseq::workloads::counter::modular(4, modulus, bad_at);
-        let result = itpseq::mc::Engine::SerialItpSeq.verify(
-            &design,
-            0,
-            &itpseq::mc::Options::default(),
-        );
-        if bad_at < modulus {
-            prop_assert_eq!(result.verdict, itpseq::mc::Verdict::Falsified { depth: bad_at as usize });
-        } else {
-            prop_assert!(result.verdict.is_proved());
+        for engine in [itpseq::mc::Engine::SerialItpSeq, itpseq::mc::Engine::Pdr] {
+            let result = engine.verify(&design, 0, &itpseq::mc::Options::default());
+            if bad_at < modulus {
+                prop_assert_eq!(
+                    result.verdict,
+                    itpseq::mc::Verdict::Falsified { depth: bad_at as usize }
+                );
+            } else {
+                prop_assert!(result.verdict.is_proved(), "{}: {}", engine.name(), result.verdict);
+            }
         }
     }
 }
