@@ -17,7 +17,7 @@ pub enum AigNode {
     Const,
     /// A primary input; `index` is its position in the input list.
     Input {
-        /// Position of the input in [`Aig::inputs`] order.
+        /// Position of the input in the `Aig` input-list order.
         index: usize,
     },
     /// A latch (state-holding register); `index` is its position in the

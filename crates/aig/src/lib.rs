@@ -19,7 +19,7 @@
 //! * [`builder`] — word-level helpers (adders, comparators, multiplexers,
 //!   one-hot encoders) used by the synthetic workload generators,
 //! * ASCII AIGER (`.aag`) [`reader`] and [`writer`],
-//! * [`simulate`] — cycle-accurate three-valued-free simulation,
+//! * [`simulate()`] — cycle-accurate three-valued-free simulation,
 //! * [`coi`] — sequential cone-of-influence extraction used by the
 //!   localization abstraction of the CBA engine.
 //!

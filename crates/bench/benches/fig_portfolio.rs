@@ -1,0 +1,55 @@
+//! Criterion group racing `Engine::Portfolio` against its own entrants
+//! (PDR, ITPSEQCBA, BMC) across the full benchmark suite.
+//!
+//! The portfolio's value proposition is worst-case latency: per instance
+//! it should track the *fastest* entrant (plus cancellation overhead),
+//! where every single engine has instances it loses badly.  The second
+//! group measures PDR's parallel frame phases against the sequential
+//! reference on the industrial-style designs, where propagation and
+//! generalization dominate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc::{Engine, Options};
+use std::time::Duration;
+
+fn fig_portfolio_race(c: &mut Criterion) {
+    let options = Options::default()
+        .with_timeout(Duration::from_secs(5))
+        .with_max_bound(40);
+    let mut group = c.benchmark_group("fig_portfolio");
+    group.sample_size(10);
+    for benchmark in workloads::suite::full() {
+        for engine in [
+            Engine::Portfolio,
+            Engine::Pdr,
+            Engine::ItpSeqCba,
+            Engine::Bmc,
+        ] {
+            group.bench_function(format!("{}/{}", engine.name(), benchmark.name), |b| {
+                b.iter(|| engine.verify(&benchmark.aig, 0, &options))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig_portfolio_parallel_pdr(c: &mut Criterion) {
+    let sequential = Options::default()
+        .with_timeout(Duration::from_secs(5))
+        .with_max_bound(40);
+    let parallel = sequential.clone().with_threads(0); // 0 = auto
+    let mut group = c.benchmark_group("fig_portfolio_pdr_threads");
+    group.sample_size(10);
+    for benchmark in workloads::suite::industrial() {
+        group.bench_function(format!("PDR-seq/{}", benchmark.name), |b| {
+            b.iter(|| Engine::Pdr.verify(&benchmark.aig, 0, &sequential))
+        });
+        group.bench_function(format!("PDR-par/{}", benchmark.name), |b| {
+            b.iter(|| Engine::Pdr.verify(&benchmark.aig, 0, &parallel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig_portfolio_race, fig_portfolio_parallel_pdr);
+criterion_main!(benches);

@@ -1,14 +1,38 @@
 //! Regenerates Table I: per-benchmark detail with #PI, #FF, the exact BDD
-//! diameters (d_F, d_B) and Time / k_fp / j_fp for each engine.
+//! diameters (d_F, d_B) and Time / k_fp / j_fp for each engine, including
+//! the racing portfolio.
 //!
 //! Run with `cargo run -p itpseq-bench --bin table1 --release`.
+//!
+//! Options:
+//!
+//! * `--suite full|mid|industrial|smoke` — benchmark selection (default
+//!   `full`; `smoke` is the fast subset CI reruns on every push),
+//! * `--json PATH` — additionally write the records as machine-readable
+//!   JSON (schema `itpseq-table1/v1`), the artifact CI uploads.
 
-use itpseq_bench::{experiment_options, run_engine};
+use itpseq_bench::{experiment_options, records_to_json, run_engine, suite_by_name, RunRecord};
 use mc::Engine;
 use std::time::Instant;
 
+fn usage() -> ! {
+    eprintln!("usage: table1 [--suite full|mid|industrial|smoke] [--json PATH]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let suite = workloads::suite::full();
+    let mut suite_name = "full".to_string();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => suite_name = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let suite = suite_by_name(&suite_name).unwrap_or_else(|| usage());
+
     let options = experiment_options();
     let engines = [
         Engine::Itp,
@@ -16,6 +40,7 @@ fn main() {
         Engine::SerialItpSeq,
         Engine::ItpSeqCba,
         Engine::Pdr,
+        Engine::Portfolio,
     ];
 
     println!("# Table I — ovf means budget exhausted, '-' means not available");
@@ -30,11 +55,12 @@ fn main() {
         "TimeB",
         engines
             .iter()
-            .map(|e| format!("{:>8} {:>5} {:>5}", e.name(), "k_fp", "j_fp"))
+            .map(|e| format!("{:>9} {:>5} {:>5}", e.name(), "k_fp", "j_fp"))
             .collect::<Vec<_>>()
             .join(" | ")
     );
 
+    let mut records: Vec<RunRecord> = Vec::new();
     for benchmark in &suite {
         // BDD columns (diameters), with a node limit standing in for the
         // paper's memory limit.
@@ -61,7 +87,8 @@ fn main() {
         for engine in engines {
             let record = run_engine(benchmark, engine, &options);
             let (time, k, j) = record.cells();
-            engine_cells.push(format!("{time:>8} {k:>5} {j:>5}"));
+            engine_cells.push(format!("{time:>9} {k:>5} {j:>5}"));
+            records.push(record);
         }
 
         println!(
@@ -75,5 +102,11 @@ fn main() {
             bdd_time,
             engine_cells.join(" | ")
         );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, records_to_json(&records))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {} records to {path}", records.len());
     }
 }

@@ -5,9 +5,15 @@
 //!
 //! * `fig6` — sorted run-time curves of the four engines over the suite,
 //! * `table1` — the per-benchmark table with BDD diameters and
-//!   `Time / k_fp / j_fp` per engine,
+//!   `Time / k_fp / j_fp` per engine (now including the racing
+//!   portfolio); `--suite` selects a benchmark subset and `--json`
+//!   additionally emits the machine-readable records CI archives,
 //! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
 //! * `ablation_alpha` — the `αs` sweep for the serial sequences.
+//!
+//! The criterion benches under `benches/` add `fig_pdr` (PDR vs
+//! ITPSEQCBA) and `fig_portfolio` (the portfolio against its own
+//! entrants, plus sequential-vs-parallel PDR).
 //!
 //! Absolute run times obviously differ from the paper's 2011 hardware and
 //! benchmark set; the *shapes* (which engine wins, where overflows appear,
@@ -16,6 +22,20 @@
 use mc::{Engine, EngineResult, Options, Verdict};
 use std::time::Duration;
 use workloads::Benchmark;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Result of one engine on one benchmark.
 #[derive(Clone, Debug)]
@@ -50,6 +70,50 @@ impl RunRecord {
             Verdict::Falsified { .. } => Some(0),
             Verdict::Inconclusive { .. } => None,
         }
+    }
+
+    /// One flat JSON object per record, for the machine-readable artifact
+    /// CI uploads next to the text table.
+    pub fn to_json(&self) -> String {
+        let (verdict, k_fp, j_fp, depth, bound, reason) = match &self.result.verdict {
+            Verdict::Proved { k_fp, j_fp } => {
+                ("proved", Some(*k_fp), Some(*j_fp), None, None, None)
+            }
+            Verdict::Falsified { depth } => ("falsified", None, None, Some(*depth), None, None),
+            Verdict::Inconclusive {
+                bound_reached,
+                reason,
+            } => (
+                "inconclusive",
+                None,
+                None,
+                None,
+                Some(*bound_reached),
+                Some(reason.as_str()),
+            ),
+        };
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
+        let opt_str =
+            |v: Option<&str>| v.map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s)));
+        format!(
+            concat!(
+                r#"{{"benchmark":"{}","engine":"{}","verdict":"{}","time_ms":{:.3},"#,
+                r#""k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"reason":{},"#,
+                r#""sat_calls":{},"conflicts":{},"winner":{}}}"#
+            ),
+            json_escape(&self.benchmark),
+            self.engine.name(),
+            verdict,
+            self.millis(),
+            opt(k_fp),
+            opt(j_fp),
+            opt(depth),
+            opt(bound),
+            opt_str(reason),
+            self.result.stats.sat_calls,
+            self.result.stats.conflicts,
+            opt_str(self.result.stats.winner),
+        )
     }
 
     /// Table-friendly rendering of the verdict cells.
@@ -93,6 +157,40 @@ pub fn experiment_options() -> Options {
         .with_max_bound(40)
 }
 
+/// Renders a batch of records as the machine-readable JSON document CI
+/// uploads as a build artifact.
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let body: Vec<String> = records
+        .iter()
+        .map(|record| format!("    {}", record.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"itpseq-table1/v1\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+/// The perf-smoke selection: the fastest mid-size instances, small enough
+/// for CI to rerun on every push and still produce comparable curves.
+pub fn smoke_suite() -> Vec<Benchmark> {
+    workloads::suite::mid_size()
+        .into_iter()
+        .filter(|b| b.aig.num_latches() <= 8)
+        .collect()
+}
+
+/// Resolves the benchmark selections the experiment binaries accept with
+/// `--suite`: `full`, `mid`, `industrial` or `smoke`.
+pub fn suite_by_name(name: &str) -> Option<Vec<Benchmark>> {
+    match name {
+        "full" => Some(workloads::suite::full()),
+        "mid" => Some(workloads::suite::mid_size()),
+        "industrial" => Some(workloads::suite::industrial()),
+        "smoke" => Some(smoke_suite()),
+        _ => None,
+    }
+}
+
 /// Formats a monotone (sorted) run-time curve like Fig. 6: the i-th value
 /// is the i-th smallest solved-instance time; unsolved instances are
 /// reported as the timeout value.
@@ -124,6 +222,64 @@ mod tests {
         let record = run_engine(&suite[0], Engine::ItpSeq, &options);
         let (time, k, j) = record.cells();
         assert!(!time.is_empty() && !k.is_empty() && !j.is_empty());
+    }
+
+    #[test]
+    fn json_records_cover_all_verdict_shapes() {
+        let mk = |verdict: Verdict| RunRecord {
+            benchmark: "counter \"quoted\"".to_string(),
+            engine: Engine::Portfolio,
+            result: mc::EngineResult {
+                verdict,
+                stats: mc::EngineStats {
+                    sat_calls: 3,
+                    winner: Some("PDR"),
+                    ..Default::default()
+                },
+            },
+        };
+        let proved = mk(Verdict::Proved { k_fp: 4, j_fp: 2 }).to_json();
+        assert!(proved.contains(r#""verdict":"proved""#), "{proved}");
+        assert!(proved.contains(r#""k_fp":4"#), "{proved}");
+        assert!(proved.contains(r#""winner":"PDR""#), "{proved}");
+        assert!(proved.contains(r#"counter \"quoted\""#), "{proved}");
+        let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
+        assert!(falsified.contains(r#""depth":7"#), "{falsified}");
+        assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
+        let inconclusive = mk(Verdict::Inconclusive {
+            reason: "timeout".to_string(),
+            bound_reached: 9,
+        })
+        .to_json();
+        assert!(
+            inconclusive.contains(r#""bound_reached":9"#),
+            "{inconclusive}"
+        );
+        assert!(
+            inconclusive.contains(r#""reason":"timeout""#),
+            "{inconclusive}"
+        );
+        assert!(proved.contains(r#""reason":null"#), "{proved}");
+        let document = records_to_json(&[
+            mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
+            mk(Verdict::Falsified { depth: 2 }),
+        ]);
+        assert!(document.contains("itpseq-table1/v1"));
+        assert_eq!(document.matches("\"benchmark\"").count(), 2);
+        let opens = document.matches('{').count();
+        assert_eq!(opens, document.matches('}').count());
+    }
+
+    #[test]
+    fn suite_names_resolve() {
+        assert!(suite_by_name("bogus").is_none());
+        for name in ["full", "mid", "industrial", "smoke"] {
+            let suite = suite_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(!suite.is_empty(), "{name} must not be empty");
+        }
+        let smoke = smoke_suite();
+        assert!(smoke.len() < workloads::suite::full().len());
+        assert!(smoke.iter().all(|b| b.aig.num_latches() <= 8));
     }
 
     #[test]

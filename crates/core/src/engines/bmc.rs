@@ -5,6 +5,7 @@
 //! contrasts the cost of the three target formulations (*bound-k*,
 //! *exact-k*, *exact-assume-k*).
 
+use crate::engines::CancelToken;
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::BmcCheck;
@@ -27,6 +28,17 @@ pub(crate) fn initial_violation(aig: &Aig, bad_index: usize) -> bool {
 /// Runs BMC on bad-state property `bad_index`, increasing the bound until a
 /// counterexample is found or the bound/time budget is exhausted.
 pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    verify_with_cancel(aig, bad_index, options, &CancelToken::new())
+}
+
+/// [`verify`] under a cancellation token: the bound loop and each SAT
+/// query stop soon after the token is cancelled.
+pub fn verify_with_cancel(
+    aig: &Aig,
+    bad_index: usize,
+    options: &Options,
+    cancel: &CancelToken,
+) -> EngineResult {
     let start = Instant::now();
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
@@ -45,11 +57,11 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
     // exact/assume schemes are the natural incremental formulations.
     let check = options.check;
     for k in 1..=options.max_bound {
-        if start.elapsed() > options.timeout {
+        if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
             stats.time = start.elapsed();
             return EngineResult {
                 verdict: Verdict::Inconclusive {
-                    reason: "timeout".to_string(),
+                    reason: reason.to_string(),
                     bound_reached: k.saturating_sub(1),
                 },
                 stats,
@@ -57,16 +69,32 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
         }
         let instance = cnf::bmc::build(aig, bad_index, k, check);
         let mut solver = Solver::new();
+        solver.set_interrupt(Some(cancel.flag()));
         solver.add_cnf(&instance.cnf);
         stats.sat_calls += 1;
         let result = solver.solve();
         stats.conflicts += solver.stats().conflicts;
-        if result == SolveResult::Sat {
-            stats.time = start.elapsed();
-            return EngineResult {
-                verdict: Verdict::Falsified { depth: k },
-                stats,
-            };
+        match result {
+            SolveResult::Sat => {
+                stats.time = start.elapsed();
+                return EngineResult {
+                    verdict: Verdict::Falsified { depth: k },
+                    stats,
+                };
+            }
+            SolveResult::Unsat => {}
+            // Answering "no counterexample at k" without solving would let
+            // the loop report a non-minimal depth later — stop instead.
+            SolveResult::Interrupted => {
+                stats.time = start.elapsed();
+                return EngineResult {
+                    verdict: Verdict::Inconclusive {
+                        reason: "cancelled".to_string(),
+                        bound_reached: k - 1,
+                    },
+                    stats,
+                };
+            }
         }
     }
     stats.time = start.elapsed();

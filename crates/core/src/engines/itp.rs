@@ -7,6 +7,7 @@
 //! substituted for `S0` and the process repeats until either a fixed point
 //! proves the property or a satisfiable instance forces the bound to grow.
 
+use crate::engines::CancelToken;
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -56,8 +57,13 @@ fn build_bound_instance(
     }
 }
 
-fn solve(cnf: &cnf::Cnf, stats: &mut EngineStats) -> (SolveResult, Option<Proof>) {
+fn solve(
+    cnf: &cnf::Cnf,
+    stats: &mut EngineStats,
+    cancel: &CancelToken,
+) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
+    solver.set_interrupt(Some(cancel.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     let result = solver.solve();
@@ -96,6 +102,18 @@ fn extract_interpolant(
 
 /// Runs standard interpolation on bad-state property `bad_index`.
 pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    verify_with_cancel(design, bad_index, options, &CancelToken::new())
+}
+
+/// [`verify`] under a cancellation token: the bound loop, the inner
+/// fixed-point iteration and each refutation stop soon after the token is
+/// cancelled.
+pub fn verify_with_cancel(
+    design: &Aig,
+    bad_index: usize,
+    options: &Options,
+    cancel: &CancelToken,
+) -> EngineResult {
     let start = Instant::now();
     let mut stats = EngineStats {
         visible_latches: design.num_latches(),
@@ -121,11 +139,11 @@ pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult
     };
 
     for k in 1..=options.max_bound {
-        if start.elapsed() > options.timeout {
+        if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: "timeout".to_string(),
+                    reason: reason.to_string(),
                     bound_reached: k - 1,
                 },
                 start,
@@ -133,11 +151,21 @@ pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult
         }
         // Initial check from the real initial states.
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
-        let (result, proof) = solve(&instance.cnf, &mut stats);
+        let (result, proof) = solve(&instance.cnf, &mut stats, cancel);
         if result == SolveResult::Sat {
             // bound-(k-1) was unsatisfiable, so the counterexample has
             // length exactly k.
             return finish(stats, Verdict::Falsified { depth: k }, start);
+        }
+        if result == SolveResult::Interrupted {
+            return finish(
+                stats,
+                Verdict::Inconclusive {
+                    reason: "cancelled".to_string(),
+                    bound_reached: k - 1,
+                },
+                start,
+            );
         }
         let mut proof = proof.expect("unsat result has a proof");
         let mut instance = instance;
@@ -162,21 +190,31 @@ pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult
                 return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, start);
             }
             reached = space.or(reached, itp);
-            if start.elapsed() > options.timeout {
+            if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: "timeout".to_string(),
+                        reason: reason.to_string(),
                         bound_reached: k,
                     },
                     start,
                 );
             }
             instance = build_bound_instance(design, bad_index, k, Some((&space, itp)), &identity);
-            let (result, next_proof) = solve(&instance.cnf, &mut stats);
+            let (result, next_proof) = solve(&instance.cnf, &mut stats, cancel);
             if result == SolveResult::Sat {
                 // Spurious hit from the over-approximated frontier: deepen.
                 break;
+            }
+            if result == SolveResult::Interrupted {
+                return finish(
+                    stats,
+                    Verdict::Inconclusive {
+                        reason: "cancelled".to_string(),
+                        bound_reached: k,
+                    },
+                    start,
+                );
             }
             proof = next_proof.expect("unsat result has a proof");
         }

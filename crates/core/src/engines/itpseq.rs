@@ -6,12 +6,23 @@
 //! inclusion in the running reachability over-approximation.
 
 use crate::engines::seq::{run, SeqConfig};
+use crate::engines::CancelToken;
 use crate::{EngineResult, Options};
 use aig::Aig;
 
 /// Runs the parallel interpolation-sequence engine on bad-state property
 /// `bad_index`.
 pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    verify_with_cancel(design, bad_index, options, &CancelToken::new())
+}
+
+/// [`verify`] under a cancellation token (see [`crate::CancelToken`]).
+pub fn verify_with_cancel(
+    design: &Aig,
+    bad_index: usize,
+    options: &Options,
+    cancel: &CancelToken,
+) -> EngineResult {
     run(
         design,
         bad_index,
@@ -20,6 +31,7 @@ pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult
             alpha_serial: 0.0,
             use_cba: false,
         },
+        cancel,
     )
 }
 

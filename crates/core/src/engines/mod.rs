@@ -1,10 +1,115 @@
-//! The verification engines evaluated in the paper, plus the IC3/PDR
-//! competitor every modern checker ships.
+//! The verification engines evaluated in the paper, the IC3/PDR
+//! competitor every modern checker ships, and the racing portfolio that
+//! combines them.
 
 pub mod bmc;
 pub mod itp;
 pub mod itpseq;
 pub mod itpseq_cba;
 pub mod pdr;
+pub(crate) mod pool;
+pub mod portfolio;
 pub(crate) mod seq;
 pub mod sitpseq;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation token shared between an engine run and its
+/// supervisor.
+///
+/// Every engine polls its token at the head of each major-loop iteration
+/// and hands the underlying flag to its SAT solvers, so even a long
+/// individual query stops within a bounded number of conflicts (see
+/// [`sat::Solver::set_interrupt`]).  A cancelled run returns
+/// [`Verdict::Inconclusive`](crate::Verdict::Inconclusive) with reason
+/// `"cancelled"` — cancellation never fabricates a verdict.
+///
+/// Clones share the flag: [`Engine::Portfolio`](crate::Engine::Portfolio)
+/// hands one token per entrant to its workers and cancels the losers as
+/// soon as a conclusive verdict arrives.
+///
+/// ```
+/// use mc::{CancelToken, Engine, Options, Verdict};
+///
+/// // A one-latch design whose property holds; a pre-cancelled run still
+/// // refuses to answer.
+/// let mut design = aig::Aig::new();
+/// let latch = design.add_latch(false);
+/// design.set_next(latch, aig::Lit::FALSE);
+/// let bad = design.latch_lit(latch);
+/// design.add_bad(bad);
+///
+/// let cancel = CancelToken::new();
+/// cancel.cancel();
+/// let result = Engine::Pdr.verify_with_cancel(&design, 0, &Options::default(), &cancel);
+/// assert!(matches!(result.verdict, Verdict::Inconclusive { .. }));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh (non-cancelled) token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every engine and solver holding this token (or a
+    /// clone) stops at its next cancellation point.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The shared flag in the form the SAT layer consumes
+    /// ([`sat::Solver::set_interrupt`]).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// The stop decision shared by the engine main loops: cancellation takes
+/// precedence over the wall-clock budget, and the returned string is the
+/// `Verdict::Inconclusive` reason.
+pub(crate) fn stop_reason(
+    cancel: &CancelToken,
+    start: std::time::Instant,
+    timeout: std::time::Duration,
+) -> Option<&'static str> {
+    if cancel.is_cancelled() {
+        Some("cancelled")
+    } else if start.elapsed() > timeout {
+        Some("timeout")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_start_clear_and_latch_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let clone = token.clone();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn flag_view_matches_the_token() {
+        let token = CancelToken::new();
+        let flag = token.flag();
+        token.cancel();
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

@@ -7,10 +7,10 @@
 //! steps, represented by learned clauses over the latches) and refines it
 //! with thousands of small one-step relative-induction queries:
 //!
-//! * [`frames`] — the delta-encoded frame trace and the cube algebra,
-//! * [`obligations`] — the priority queue of proof obligations driving
+//! * `frames` — the delta-encoded frame trace and the cube algebra,
+//! * `obligations` — the priority queue of proof obligations driving
 //!   the blocking phase,
-//! * [`generalize`] — cube generalization by assumption-core shrinking
+//! * `generalize` — cube generalization by assumption-core shrinking
 //!   plus CTG-style literal dropping,
 //! * this module — the top-level loop: bad-state extraction at the
 //!   frontier, obligation processing, clause propagation and fixpoint
@@ -26,11 +26,42 @@
 //! transitions.  Combined with the level-by-level outer loop this makes
 //! reported counterexample depths minimal, matching BMC and exact BDD
 //! reachability.
+//!
+//! # Concurrency
+//!
+//! With [`Options::threads`] above 1, the two embarrassingly parallel
+//! parts of a PDR iteration are farmed out to worker threads:
+//!
+//! * **propagation** — the per-frame push queries of one frame all run
+//!   against a read-only snapshot of that frame's solver, so they are
+//!   answered on cloned solvers in parallel and merged back *in cube
+//!   order*;
+//! * **generalization** — the literal-drop candidates of one lemma are
+//!   screened in parallel, each on its own pristine clone of the
+//!   predecessor frame's solver, and the first (lowest-index) successful
+//!   drop is adopted.
+//!
+//! Both merges depend only on item order and every query is answered
+//! from a state independent of chunk boundaries, so *within the parallel
+//! mode* results are bit-identical for every thread count above 1 —
+//! parallelism changes wall-clock time, not answers.  Between the
+//! sequential mode (`threads == 1`, CTG-aware generalization) and the
+//! parallel mode (CTG-free screening) the learned *lemmas* can differ,
+//! so the convergence bookkeeping (`k_fp`, `j_fp`) may shift; verdict
+//! kinds and counterexample depths still always agree, because both are
+//! semantic facts — soundness fixes which properties prove, and depths
+//! are structurally minimal (they come from the obligation bookkeeping,
+//! not from SAT models).
+//!
+//! All loops also poll a [`CancelToken`], making the engine a portfolio
+//! citizen: a cancelled run stops within one bounded SAT query and
+//! reports [`Verdict::Inconclusive`] with reason `"cancelled"`.
 
 mod frames;
 mod generalize;
 mod obligations;
 
+use crate::engines::{pool, CancelToken};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::{Cnf, Lit, Unroller};
@@ -40,8 +71,24 @@ use sat::{IncrementalSolver, SolveResult};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Minimum number of per-frame queries before the engine bothers cloning
+/// solvers for a parallel pass.
+const PAR_MIN_ITEMS: usize = 4;
+
 /// Runs PDR on bad-state property `bad_index` of `aig`.
 pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    verify_with_cancel(aig, bad_index, options, &CancelToken::new())
+}
+
+/// [`verify`] under a cancellation token: the outer loop, the blocking
+/// phase, propagation, generalization and every SAT query stop soon after
+/// the token is cancelled.
+pub fn verify_with_cancel(
+    aig: &Aig,
+    bad_index: usize,
+    options: &Options,
+    cancel: &CancelToken,
+) -> EngineResult {
     let start = Instant::now();
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
@@ -56,7 +103,7 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
         };
     }
     stats.sat_calls += 1;
-    Pdr::new(aig, bad_index, options, start, stats).run()
+    Pdr::new(aig, bad_index, options, start, stats, cancel).run()
 }
 
 /// Outcome of one relative-induction query.
@@ -67,6 +114,8 @@ enum Query {
     /// The cube has a predecessor in the previous frame; the payload is
     /// the lifted predecessor cube.
     Predecessor(Cube),
+    /// The query was interrupted by cancellation before an answer.
+    Cancelled,
 }
 
 /// Outcome of one level's blocking phase.
@@ -75,8 +124,8 @@ enum Phase {
     Done,
     /// A proof obligation reached frame 0: counterexample of this depth.
     Falsified(usize),
-    /// The time budget ran out.
-    Timeout,
+    /// The time budget ran out or the run was cancelled.
+    Stopped,
 }
 
 /// The PDR engine state shared by the loop and the generalization module.
@@ -84,6 +133,9 @@ struct Pdr<'a> {
     options: &'a Options,
     start: Instant,
     stats: EngineStats,
+    cancel: &'a CancelToken,
+    /// Worker threads for the parallel frame phases (1 = sequential).
+    threads: usize,
     /// The (unique) initial state, one value per latch.
     init: Vec<bool>,
     /// Two-frame transition template `T(V⁰, V¹)` with the bad cone at
@@ -115,6 +167,7 @@ impl<'a> Pdr<'a> {
         options: &'a Options,
         start: Instant,
         stats: EngineStats,
+        cancel: &'a CancelToken,
     ) -> Pdr<'a> {
         let mut unroller = Unroller::new(aig);
         for input in 0..aig.num_inputs() {
@@ -142,16 +195,20 @@ impl<'a> Pdr<'a> {
 
         let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
         let mut init_solver = IncrementalSolver::with_base(&template);
+        init_solver.set_interrupt(Some(cancel.flag()));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
         }
-        let lift = IncrementalSolver::with_base(&template);
+        let mut lift = IncrementalSolver::with_base(&template);
+        lift.set_interrupt(Some(cancel.flag()));
 
         Pdr {
             options,
             start,
             stats,
+            cancel,
+            threads: options.effective_threads().max(1),
             init,
             template,
             latch0,
@@ -177,9 +234,10 @@ impl<'a> Pdr<'a> {
                 Phase::Falsified(depth) => {
                     return self.finish(Verdict::Falsified { depth });
                 }
-                Phase::Timeout => {
+                Phase::Stopped => {
+                    let reason = self.stop_reason().to_string();
                     return self.finish(Verdict::Inconclusive {
-                        reason: "timeout".to_string(),
+                        reason,
                         bound_reached: level - 1,
                     });
                 }
@@ -191,9 +249,10 @@ impl<'a> Pdr<'a> {
                     j_fp: frame,
                 });
             }
-            if self.timed_out() {
+            if self.stopped() {
+                let reason = self.stop_reason().to_string();
                 return self.finish(Verdict::Inconclusive {
-                    reason: "timeout".to_string(),
+                    reason,
                     bound_reached: level,
                 });
             }
@@ -213,15 +272,24 @@ impl<'a> Pdr<'a> {
         }
     }
 
-    fn timed_out(&self) -> bool {
-        self.start.elapsed() > self.options.timeout
+    /// Returns `true` when the engine must stop: the time budget ran out
+    /// or the supervisor cancelled the run.
+    fn stopped(&self) -> bool {
+        crate::engines::stop_reason(self.cancel, self.start, self.options.timeout).is_some()
+    }
+
+    /// The reason to report for a stop, cancellation taking precedence.
+    fn stop_reason(&self) -> &'static str {
+        crate::engines::stop_reason(self.cancel, self.start, self.options.timeout)
+            .unwrap_or("timeout")
     }
 
     /// Opens frame `k`: a fresh unconstrained frontier with its own solver.
     fn extend(&mut self) {
         self.frames.push_frame();
-        self.solvers
-            .push(IncrementalSolver::with_base(&self.template));
+        let mut solver = IncrementalSolver::with_base(&self.template);
+        solver.set_interrupt(Some(self.cancel.flag()));
+        self.solvers.push(solver);
     }
 
     /// Blocks frontier bad states until none remain (or a counterexample
@@ -229,10 +297,15 @@ impl<'a> Pdr<'a> {
     fn blocking_phase(&mut self) -> Phase {
         let level = self.frames.level();
         loop {
-            if self.timed_out() {
-                return Phase::Timeout;
+            if self.stopped() {
+                return Phase::Stopped;
             }
             let Some(bad) = self.get_bad() else {
+                // `None` also covers an interrupted query: distinguish a
+                // clean "no bad states" from a cancelled probe.
+                if self.stopped() {
+                    return Phase::Stopped;
+                }
                 return Phase::Done;
             };
             self.obligations.clear();
@@ -242,8 +315,8 @@ impl<'a> Pdr<'a> {
                 cube: bad,
             });
             while let Some(obligation) = self.obligations.pop() {
-                if self.timed_out() {
-                    return Phase::Timeout;
+                if self.stopped() {
+                    return Phase::Stopped;
                 }
                 if obligation.frame == 0 {
                     debug_assert_eq!(obligation.depth, level);
@@ -263,6 +336,7 @@ impl<'a> Pdr<'a> {
                         self.obligations.push(obligation);
                         self.obligations.push(child);
                     }
+                    Query::Cancelled => return Phase::Stopped,
                 }
             }
             debug_assert!(self.obligations.is_empty());
@@ -275,7 +349,9 @@ impl<'a> Pdr<'a> {
         let level = self.frames.level();
         let bad0 = self.bad0;
         let result = Self::solve_on(&mut self.solvers[level], &mut self.stats, &[bad0]);
-        if result == SolveResult::Unsat {
+        if result != SolveResult::Sat {
+            // Unsat: the frontier is clean.  Interrupted: the caller
+            // re-checks `stopped` and winds down.
             return None;
         }
         let (state, inputs) = self.model_state_and_inputs(level);
@@ -284,6 +360,9 @@ impl<'a> Pdr<'a> {
         assumptions.push(!bad0);
         assumptions.extend_from_slice(&state);
         let lifted = Self::solve_on(&mut self.lift, &mut self.stats, &assumptions);
+        if lifted == SolveResult::Interrupted {
+            return None;
+        }
         let cube = if lifted == SolveResult::Unsat {
             // When the bad cone is a bare latch literal, `¬bad0` aliases a
             // state variable and shows up in the core next to the opposite
@@ -335,6 +414,10 @@ impl<'a> Pdr<'a> {
                 self.solvers[frame - 1].retire(guard);
                 Query::Predecessor(self.lift_predecessor(state, inputs, cube))
             }
+            SolveResult::Interrupted => {
+                self.solvers[frame - 1].retire(guard);
+                Query::Cancelled
+            }
         }
     }
 
@@ -352,7 +435,12 @@ impl<'a> Pdr<'a> {
         let cube = if result == SolveResult::Unsat {
             self.cube_from_core0(&self.lift.assumption_core())
         } else {
-            debug_assert!(false, "a total assignment determines its successor");
+            // Interrupted lifts fall back to the full (sound) predecessor;
+            // a genuine Sat answer would contradict totality.
+            debug_assert!(
+                result == SolveResult::Interrupted,
+                "a total assignment determines its successor"
+            );
             Cube::new(Vec::new())
         };
         self.lift.retire(guard);
@@ -365,33 +453,151 @@ impl<'a> Pdr<'a> {
 
     /// Pushes every lemma that also holds one frame later; returns the
     /// converged frame when the trace reaches a fixpoint.
+    ///
+    /// The push queries of one frame are mutually independent — they only
+    /// *read* `solvers[frame]` (lemmas move into `frame + 1`) — so with
+    /// `threads > 1` they are answered on cloned solvers in parallel.
+    /// Results are merged in cube order, which reproduces the sequential
+    /// pass exactly: whether a query is answered by the original solver or
+    /// a clone cannot change its Sat/Unsat answer, only its running time.
     fn propagate(&mut self) -> Option<usize> {
         let level = self.frames.level();
         for frame in 1..level {
             let cubes = self.frames.take_frame(frame);
-            for cube in cubes {
-                let assumptions: Vec<Lit> = cube
-                    .iter()
-                    .map(|(latch, value)| Self::state_lit(&self.latch1, latch, value))
-                    .collect();
-                let result =
-                    Self::solve_on(&mut self.solvers[frame], &mut self.stats, &assumptions);
-                if result == SolveResult::Unsat {
+            let outcomes = self.push_queries(frame, &cubes);
+            let mut interrupted = false;
+            for (index, cube) in cubes.into_iter().enumerate() {
+                let outcome = outcomes.get(index).copied();
+                if outcome == Some(SolveResult::Unsat) && !interrupted {
                     if self.frames.add(frame + 1, cube.clone()) {
                         self.add_lemma_clause(frame + 1, &cube);
                     }
                 } else {
+                    // Sat answers stay put; interrupted or unissued
+                    // queries must be restored so no lemma is ever lost
+                    // (a lost lemma could fake frame convergence).
+                    if outcome != Some(SolveResult::Sat) {
+                        interrupted = true;
+                    }
                     self.frames.restore(frame, cube);
                 }
+            }
+            if interrupted {
+                return None;
             }
             if self.frames.frame_converged(frame) {
                 return Some(frame);
             }
-            if self.timed_out() {
+            if self.stopped() {
                 return None;
             }
         }
         None
+    }
+
+    /// Answers the push queries `SAT?[F_frame ∧ T ∧ cube′]` for all cubes
+    /// of one frame, sequentially or chunked across worker threads.
+    fn push_queries(&mut self, frame: usize, cubes: &[Cube]) -> Vec<SolveResult> {
+        let assumption_sets: Vec<Vec<Lit>> = cubes
+            .iter()
+            .map(|cube| {
+                cube.iter()
+                    .map(|(latch, value)| Self::state_lit(&self.latch1, latch, value))
+                    .collect()
+            })
+            .collect();
+        if self.threads > 1 && cubes.len() >= PAR_MIN_ITEMS {
+            let solver = &self.solvers[frame];
+            let answers: Vec<(SolveResult, u64)> = pool::map_chunked(
+                &assumption_sets,
+                self.threads,
+                || solver.clone(),
+                |worker, assumptions| {
+                    let before = worker.stats().conflicts;
+                    let result = worker.solve(assumptions);
+                    (result, worker.stats().conflicts - before)
+                },
+            );
+            for &(_, conflicts) in &answers {
+                self.stats.sat_calls += 1;
+                self.stats.conflicts += conflicts;
+            }
+            answers.into_iter().map(|(result, _)| result).collect()
+        } else {
+            let mut results = Vec::with_capacity(assumption_sets.len());
+            for assumptions in &assumption_sets {
+                let result = Self::solve_on(&mut self.solvers[frame], &mut self.stats, assumptions);
+                let done = result == SolveResult::Interrupted;
+                results.push(result);
+                if done {
+                    // The caller restores the unqueried remainder.
+                    break;
+                }
+            }
+            results
+        }
+    }
+
+    /// Screens generalization candidates concurrently: every candidate's
+    /// relative-induction query `SAT?[F_{frame-1} ∧ ¬cand ∧ T ∧ cand′]`
+    /// runs on its own clone of `solvers[frame - 1]`, and a blocked
+    /// candidate yields its core-shrunk, initiation-repaired sub-cube.
+    ///
+    /// Candidates that are empty or contain the initial state screen as
+    /// `None` without a query.  Every clone starts from the same solver
+    /// state, so the outcome vector is independent of the thread count.
+    fn screen_drop_candidates(&mut self, frame: usize, candidates: &[Cube]) -> Vec<Option<Cube>> {
+        debug_assert!(frame >= 1 && frame <= self.frames.level());
+        let this = &*self;
+        let solver = &this.solvers[frame - 1];
+        let answers: Vec<(Option<Vec<Lit>>, u64, bool)> = pool::map_chunked(
+            candidates,
+            this.threads,
+            || solver,
+            |base, candidate| {
+                if candidate.is_empty() || candidate.contains_state(&this.init) {
+                    return (None, 0, false);
+                }
+                // Every candidate gets its own pristine clone: a shared
+                // clone would accumulate the earlier candidates' live
+                // `¬cand` clauses (IncrementalSolver::solve activates all
+                // of them), poisoning later queries with non-lemmas and
+                // making answers depend on chunk boundaries.  The clone is
+                // dropped after one query, so nothing needs retiring.
+                let mut worker = (*base).clone();
+                let clause: Vec<Lit> = candidate
+                    .iter()
+                    .map(|(latch, value)| !Self::state_lit(&this.latch0, latch, value))
+                    .collect();
+                let assumptions: Vec<Lit> = candidate
+                    .iter()
+                    .map(|(latch, value)| Self::state_lit(&this.latch1, latch, value))
+                    .collect();
+                worker.add_retirable_clause(clause);
+                let before = worker.stats().conflicts;
+                let result = worker.solve(&assumptions);
+                let conflicts = worker.stats().conflicts - before;
+                match result {
+                    SolveResult::Unsat => (Some(worker.assumption_core()), conflicts, true),
+                    SolveResult::Sat | SolveResult::Interrupted => (None, conflicts, true),
+                }
+            },
+        );
+        let mut outcomes = Vec::with_capacity(candidates.len());
+        for ((core, conflicts, queried), candidate) in answers.into_iter().zip(candidates) {
+            if queried {
+                self.stats.sat_calls += 1;
+                self.stats.conflicts += conflicts;
+            }
+            outcomes.push(core.map(|core| {
+                let mut seed = self.cube_from_core1(&core);
+                if seed.is_empty() {
+                    seed = candidate.clone();
+                }
+                self.repair_initiation(seed, candidate)
+            }));
+        }
+        outcomes
     }
 
     /// Records `¬cube` as a lemma of frames `1..=frame`.
@@ -624,5 +830,52 @@ mod tests {
         aig.add_bad(flag_lit);
         let result = verify(&aig, 0, &options());
         assert!(result.verdict.is_proved(), "{}", result.verdict);
+        // The parallel generalization screening must reach the same proof.
+        let parallel = verify(&aig, 0, &options().with_threads(4));
+        assert!(parallel.verdict.is_proved(), "{}", parallel.verdict);
+    }
+
+    #[test]
+    fn parallel_frames_match_the_sequential_verdicts() {
+        for (modulus, bad_at) in [(6u64, 7u64), (6, 3), (10, 9), (14, 15)] {
+            let aig = modular_counter(4, modulus, bad_at);
+            let sequential = verify(&aig, 0, &options());
+            let parallel = verify(&aig, 0, &options().with_threads(4));
+            assert_eq!(
+                sequential.verdict.is_proved(),
+                parallel.verdict.is_proved(),
+                "modulus={modulus} bad_at={bad_at}: {} vs {}",
+                sequential.verdict,
+                parallel.verdict
+            );
+            if let Verdict::Falsified { depth } = sequential.verdict {
+                assert_eq!(parallel.verdict, Verdict::Falsified { depth });
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        // Chunked merges are ordered, so repeated parallel runs (and runs
+        // with different worker counts) must report identical verdicts.
+        let aig = modular_counter(5, 20, 31);
+        let reference = verify(&aig, 0, &options().with_threads(2));
+        for threads in [2usize, 3, 8] {
+            let again = verify(&aig, 0, &options().with_threads(threads));
+            assert_eq!(reference.verdict, again.verdict, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_run() {
+        use crate::engines::CancelToken;
+        let aig = modular_counter(5, 28, 27);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = verify_with_cancel(&aig, 0, &options(), &cancel);
+        match result.verdict {
+            Verdict::Inconclusive { ref reason, .. } => assert_eq!(reason, "cancelled"),
+            ref other => panic!("cancelled run must be inconclusive, got {other}"),
+        }
     }
 }

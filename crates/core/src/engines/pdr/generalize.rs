@@ -8,9 +8,19 @@
 //! unreachable), the CTG is blocked one frame down first and the
 //! candidate retried (Hassan, Bradley, Somenzi — *Better generalization
 //! in IC3*, FMCAD 2013).
+//!
+//! With worker threads available ([`Options::threads`](crate::Options)
+//! above 1) and a cube large enough to amortise solver cloning, the
+//! engine switches to a *parallel down*: every single-literal drop of the
+//! current cube is screened concurrently on cloned frame solvers, the
+//! first (lowest-index) blocked candidate is adopted, and the round
+//! repeats until no drop survives.  Screening has no side effects on the
+//! frames, so the result depends only on the cube — never on scheduling
+//! or thread count.  The parallel mode trades the sequential mode's CTG
+//! strengthening for wall-clock speed; both produce sound lemmas.
 
 use super::frames::Cube;
-use super::{Pdr, Query};
+use super::{Pdr, Query, PAR_MIN_ITEMS};
 
 /// Counterexamples-to-generalization handled per candidate before giving
 /// up on a literal drop.
@@ -19,10 +29,19 @@ const MAX_CTGS: usize = 3;
 /// Strengthens the lemma `¬seed` (already blocked at `frame`) by dropping
 /// as many literals as relative induction allows.
 pub(super) fn generalize(pdr: &mut Pdr<'_>, frame: usize, seed: Cube) -> Cube {
+    if pdr.threads > 1 && seed.len() >= PAR_MIN_ITEMS {
+        parallel_down(pdr, frame, seed)
+    } else {
+        sequential_down(pdr, frame, seed)
+    }
+}
+
+/// The classic sequential MIC loop with CTG handling.
+fn sequential_down(pdr: &mut Pdr<'_>, frame: usize, seed: Cube) -> Cube {
     let mut cube = seed;
     let mut index = 0;
     while index < cube.len() && cube.len() > 1 {
-        if pdr.timed_out() {
+        if pdr.stopped() {
             break;
         }
         let candidate = cube.without(index);
@@ -37,17 +56,39 @@ pub(super) fn generalize(pdr: &mut Pdr<'_>, frame: usize, seed: Cube) -> Cube {
     cube
 }
 
+/// Screens every single-literal drop of the cube in parallel and adopts
+/// the first surviving candidate, until the cube is minimal.
+///
+/// Each adopted cube is a strict sub-cube of its predecessor, so the loop
+/// terminates after at most `seed.len()` rounds.
+fn parallel_down(pdr: &mut Pdr<'_>, frame: usize, seed: Cube) -> Cube {
+    let mut cube = seed;
+    while cube.len() > 1 {
+        if pdr.stopped() {
+            break;
+        }
+        let candidates: Vec<Cube> = (0..cube.len()).map(|index| cube.without(index)).collect();
+        let screened = pdr.screen_drop_candidates(frame, &candidates);
+        match screened.into_iter().flatten().next() {
+            Some(shrunk) => cube = shrunk,
+            None => break,
+        }
+    }
+    cube
+}
+
 /// Attempts to show `cube` unreachable relative to `F_{frame-1}`,
 /// dispatching up to [`MAX_CTGS`] counterexamples-to-generalization along
 /// the way.  Returns the core-shrunk blocked cube on success.
 fn try_block(pdr: &mut Pdr<'_>, frame: usize, cube: Cube) -> Option<Cube> {
     let mut ctgs = 0;
     loop {
-        if cube.is_empty() || cube.contains_state(&pdr.init) || pdr.timed_out() {
+        if cube.is_empty() || cube.contains_state(&pdr.init) || pdr.stopped() {
             return None;
         }
         match pdr.relative_induction(frame, &cube) {
             Query::Blocked(core) => return Some(core),
+            Query::Cancelled => return None,
             Query::Predecessor(ctg) => {
                 // The candidate has a predecessor.  If that predecessor is
                 // itself unreachable one frame down, learn a lemma against
@@ -61,7 +102,7 @@ fn try_block(pdr: &mut Pdr<'_>, frame: usize, cube: Cube) -> Option<Cube> {
                         let at = push_lemma_up(pdr, frame - 1, &ctg_core);
                         pdr.add_lemma(at, ctg_core);
                     }
-                    Query::Predecessor(_) => return None,
+                    Query::Predecessor(_) | Query::Cancelled => return None,
                 }
             }
         }
@@ -75,7 +116,7 @@ fn push_lemma_up(pdr: &mut Pdr<'_>, from: usize, cube: &Cube) -> usize {
     while at < pdr.frames.level() {
         match pdr.relative_induction(at + 1, cube) {
             Query::Blocked(_) => at += 1,
-            Query::Predecessor(_) => break,
+            Query::Predecessor(_) | Query::Cancelled => break,
         }
     }
     at

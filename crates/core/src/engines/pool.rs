@@ -1,0 +1,115 @@
+//! Deterministic fork–join helpers shared by the concurrent engines.
+//!
+//! Both the racing portfolio and PDR's parallel frame phases fan work out
+//! to scoped worker threads.  The helper here enforces the property the
+//! determinism guarantees rest on: work is split into *contiguous chunks
+//! by index* and results are stitched back together *in item order*, so
+//! the output of [`map_chunked`] is a pure function of the inputs — never
+//! of thread scheduling or of the number of workers.
+
+use std::num::NonZeroUsize;
+
+/// Worker threads the current machine comfortably supports.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Maps every item through `work` on at most `threads` scoped worker
+/// threads, returning results in item order.
+///
+/// `seed` builds one mutable context per chunk on the calling thread
+/// (e.g. a cloned SAT solver); `work` consumes it item by item.  Because
+/// every context is seeded from the same caller state and chunks are
+/// contiguous, the result vector is identical for every `threads` value —
+/// parallelism changes wall-clock time, not answers.
+pub(crate) fn map_chunked<T, C, R>(
+    items: &[T],
+    threads: usize,
+    mut seed: impl FnMut() -> C,
+    work: impl Fn(&mut C, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    C: Send,
+    R: Send,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        let mut context = seed();
+        return items.iter().map(|item| work(&mut context, item)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let contexts: Vec<C> = (0..chunks.len()).map(|_| seed()).collect();
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .zip(contexts)
+            .map(|(chunk, mut context)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|item| work(&mut context, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("worker threads do not panic"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..23).collect();
+        let doubled = map_chunked(&items, 4, || (), |_, &i| i * 2);
+        assert_eq!(doubled, (0..23).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_invariant_in_the_thread_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let reference = map_chunked(&items, 1, || 3u64, |offset, &i| i + *offset);
+        for threads in [2, 3, 5, 8, 64] {
+            let parallel = map_chunked(&items, threads, || 3u64, |offset, &i| i + *offset);
+            assert_eq!(parallel, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_chunked(&empty, 8, || (), |_, &i| i).is_empty());
+        assert_eq!(map_chunked(&[7u8], 8, || (), |_, &i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn contexts_are_per_chunk() {
+        // Each chunk's context counts its own items; totals must cover all.
+        let items: Vec<usize> = (0..10).collect();
+        let counted = map_chunked(
+            &items,
+            3,
+            || 0usize,
+            |seen, &i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(counted.len(), 10);
+        let total: usize = counted
+            .iter()
+            .map(|&(_, seen)| usize::from(seen == 1))
+            .sum();
+        assert!(total >= 3, "at least one fresh context per chunk");
+    }
+}

@@ -17,6 +17,7 @@
 //! columns) and does not depend on this module.
 
 use crate::abstraction::Abstraction;
+use crate::engines::CancelToken;
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -103,8 +104,13 @@ fn build_instance(
     }
 }
 
-fn solve(cnf: &cnf::Cnf, stats: &mut EngineStats) -> (SolveResult, Option<Proof>) {
+fn solve(
+    cnf: &cnf::Cnf,
+    stats: &mut EngineStats,
+    cancel: &CancelToken,
+) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
+    solver.set_interrupt(Some(cancel.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     let result = solver.solve();
@@ -162,6 +168,7 @@ fn compute_sequence(
     full_instance: &SeqInstance,
     full_proof: &Proof,
     stats: &mut EngineStats,
+    cancel: &CancelToken,
 ) -> Result<Vec<aig::Lit>, String> {
     let n = bound + 1;
     let serial = ((alpha_serial * n as f64).floor() as usize).min(bound);
@@ -188,11 +195,15 @@ fn compute_sequence(
                     concrete_to_model,
                 },
             );
-            let (result, proof) = solve(&inst.cnf, stats);
-            if result == SolveResult::Sat {
-                return Err(format!(
-                    "serial interpolation step {j} was unexpectedly satisfiable"
-                ));
+            let (result, proof) = solve(&inst.cnf, stats, cancel);
+            match result {
+                SolveResult::Unsat => {}
+                SolveResult::Sat => {
+                    return Err(format!(
+                        "serial interpolation step {j} was unexpectedly satisfiable"
+                    ));
+                }
+                SolveResult::Interrupted => return Err("cancelled".to_string()),
             }
             (Some(inst), proof.expect("unsat result has a proof"))
         };
@@ -231,12 +242,16 @@ fn compute_sequence(
                     concrete_to_model,
                 },
             );
-            let (result, proof) = solve(&inst.cnf, stats);
-            if result == SolveResult::Sat {
-                return Err(
-                    "parallel remainder of the serial sequence was unexpectedly satisfiable"
-                        .to_string(),
-                );
+            let (result, proof) = solve(&inst.cnf, stats, cancel);
+            match result {
+                SolveResult::Unsat => {}
+                SolveResult::Sat => {
+                    return Err(
+                        "parallel remainder of the serial sequence was unexpectedly satisfiable"
+                            .to_string(),
+                    );
+                }
+                SolveResult::Interrupted => return Err("cancelled".to_string()),
             }
             let proof = proof.expect("unsat result has a proof");
             let cuts: Vec<u32> = (2..=(bound - serial + 1) as u32).collect();
@@ -253,11 +268,14 @@ enum ExtendOutcome {
     ConcreteCounterexample,
     /// The counterexample was spurious; the abstraction has been refined.
     Refined,
+    /// The run was cancelled mid-check.
+    Cancelled,
 }
 
 /// Checks an abstract counterexample against the concrete design
 /// (Fig. 5's `EXTEND`) and refines the abstraction from the unsatisfiable
 /// assumption core when it is spurious (`REFINE`).
+#[allow(clippy::too_many_arguments)]
 fn extend_or_refine(
     design: &Aig,
     bad_index: usize,
@@ -265,6 +283,7 @@ fn extend_or_refine(
     abstraction: &mut Abstraction,
     check: BmcCheck,
     stats: &mut EngineStats,
+    cancel: &CancelToken,
 ) -> ExtendOutcome {
     let mut unroller = Unroller::new(design);
     let mut guards: Vec<Option<cnf::Lit>> = vec![None; design.num_latches()];
@@ -288,6 +307,7 @@ fn extend_or_refine(
     unroller.assert_lit(bad);
 
     let mut solver = Solver::new();
+    solver.set_interrupt(Some(cancel.flag()));
     solver.add_cnf(&unroller.into_cnf());
     stats.sat_calls += 1;
     let assumptions: Vec<cnf::Lit> = activation.iter().map(|&(a, _)| a).collect();
@@ -295,6 +315,7 @@ fn extend_or_refine(
     stats.conflicts += solver.stats().conflicts;
     match result {
         SolveResult::Sat => ExtendOutcome::ConcreteCounterexample,
+        SolveResult::Interrupted => ExtendOutcome::Cancelled,
         SolveResult::Unsat => {
             let core = solver.assumption_core();
             let mut to_add: Vec<usize> = activation
@@ -318,8 +339,10 @@ pub(crate) fn run(
     bad_index: usize,
     options: &Options,
     config: SeqConfig,
+    cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
+    let stop_reason = || crate::engines::stop_reason(cancel, start, options.timeout);
     let mut stats = EngineStats::default();
     let mut space = StateSpace::new(design.num_latches());
     // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
@@ -349,11 +372,11 @@ pub(crate) fn run(
     };
 
     for k in 1..=options.max_bound {
-        if start.elapsed() > options.timeout {
+        if let Some(reason) = stop_reason() {
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: "timeout".to_string(),
+                    reason: reason.to_string(),
                     bound_reached: k - 1,
                 },
                 start,
@@ -365,9 +388,19 @@ pub(crate) fn run(
         let (instance, proof) = loop {
             let (model, _) = &current;
             let instance = build_instance(model, 0, k, 0, k, options.check, InitKind::Reset);
-            let (result, proof) = solve(&instance.cnf, &mut stats);
+            let (result, proof) = solve(&instance.cnf, &mut stats, cancel);
             match result {
                 SolveResult::Unsat => break (instance, proof.expect("unsat result has a proof")),
+                SolveResult::Interrupted => {
+                    return finish(
+                        stats,
+                        Verdict::Inconclusive {
+                            reason: "cancelled".to_string(),
+                            bound_reached: k - 1,
+                        },
+                        start,
+                    );
+                }
                 SolveResult::Sat => {
                     if !config.use_cba || abstraction.is_complete(design) {
                         return finish(stats, Verdict::Falsified { depth: k }, start);
@@ -379,9 +412,20 @@ pub(crate) fn run(
                         &mut abstraction,
                         options.check,
                         &mut stats,
+                        cancel,
                     ) {
                         ExtendOutcome::ConcreteCounterexample => {
                             return finish(stats, Verdict::Falsified { depth: k }, start);
+                        }
+                        ExtendOutcome::Cancelled => {
+                            return finish(
+                                stats,
+                                Verdict::Inconclusive {
+                                    reason: "cancelled".to_string(),
+                                    bound_reached: k - 1,
+                                },
+                                start,
+                            );
                         }
                         ExtendOutcome::Refined => {
                             stats.refinements += 1;
@@ -391,11 +435,11 @@ pub(crate) fn run(
                     }
                 }
             }
-            if start.elapsed() > options.timeout {
+            if let Some(reason) = stop_reason() {
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: "timeout".to_string(),
+                        reason: reason.to_string(),
                         bound_reached: k,
                     },
                     start,
@@ -420,6 +464,7 @@ pub(crate) fn run(
             &instance,
             &proof,
             &mut stats,
+            cancel,
         ) {
             Ok(sequence) => sequence,
             Err(reason) => {

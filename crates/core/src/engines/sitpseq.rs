@@ -7,6 +7,7 @@
 //! and converge at smaller depths, at the price of extra SAT calls.
 
 use crate::engines::seq::{run, SeqConfig};
+use crate::engines::CancelToken;
 use crate::{EngineResult, Options};
 use aig::Aig;
 
@@ -14,6 +15,16 @@ use aig::Aig;
 /// `bad_index`, with the serial fraction taken from
 /// [`Options::alpha_serial`].
 pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult {
+    verify_with_cancel(design, bad_index, options, &CancelToken::new())
+}
+
+/// [`verify`] under a cancellation token (see [`crate::CancelToken`]).
+pub fn verify_with_cancel(
+    design: &Aig,
+    bad_index: usize,
+    options: &Options,
+    cancel: &CancelToken,
+) -> EngineResult {
     run(
         design,
         bad_index,
@@ -22,6 +33,7 @@ pub fn verify(design: &Aig, bad_index: usize, options: &Options) -> EngineResult
             alpha_serial: options.alpha_serial,
             use_cba: false,
         },
+        cancel,
     )
 }
 

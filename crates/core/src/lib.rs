@@ -18,12 +18,23 @@
 //!   (`ITPSEQCBAVERIF`, Fig. 5),
 //! * [`engines::pdr`] — IC3/property-directed reachability, the
 //!   post-2011 competitor every modern checker ships, included for
-//!   head-to-head comparisons against the paper's engines.
+//!   head-to-head comparisons against the paper's engines,
+//! * [`engines::portfolio`] — the racing portfolio ([`Engine::Portfolio`]):
+//!   PDR, ITPSEQCBA and BMC run concurrently per property, the first
+//!   conclusive verdict wins and the losers are cancelled through
+//!   [`CancelToken`]s.
 //!
 //! All engines return an [`EngineResult`] carrying the verdict together
 //! with the depth statistics `(k_fp, j_fp)` the paper's Table I reports
 //! (for PDR, `k_fp` is the convergence level and `j_fp` the frame at
 //! which the trace reached its fixpoint).
+//!
+//! Every engine also exposes a `verify_with_cancel` entry point taking a
+//! [`CancelToken`]; with [`Options::threads`] above 1, PDR additionally
+//! parallelizes its per-frame propagation queries and generalization
+//! candidates across worker threads without changing verdict kinds or
+//! counterexample depths (see [`engines::pdr`] for the precise
+//! determinism contract).
 //!
 //! # Example
 //!
@@ -53,5 +64,5 @@ pub mod engines;
 pub mod state;
 mod types;
 
-pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, sitpseq};
+pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, portfolio, sitpseq, CancelToken};
 pub use types::{Engine, EngineResult, EngineStats, Options, Verdict};

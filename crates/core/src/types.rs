@@ -1,5 +1,6 @@
 //! Common result and configuration types for the verification engines.
 
+use crate::engines::CancelToken;
 use cnf::BmcCheck;
 use std::fmt;
 use std::time::Duration;
@@ -76,6 +77,9 @@ pub struct EngineStats {
     /// Number of latches visible in the final abstraction (CBA engine only;
     /// equals the total latch count for the other engines).
     pub visible_latches: usize,
+    /// Name of the entrant whose verdict a portfolio run adopted
+    /// ([`Engine::Portfolio`] only; `None` for direct engine runs).
+    pub winner: Option<&'static str>,
 }
 
 /// The verdict plus the statistics of one engine run.
@@ -101,6 +105,17 @@ pub struct Options {
     /// Serial fraction `αs` of [`crate::engines::sitpseq`] (0 = fully
     /// parallel, 1 = fully serial).  The paper uses 0.5.
     pub alpha_serial: f64,
+    /// Worker threads for the concurrent modes.
+    ///
+    /// `1` (the default) keeps every engine's internals strictly
+    /// sequential — the deterministic reference.  Values above `1` let
+    /// [`Engine::Pdr`] farm its per-frame propagation queries and
+    /// generalization candidates out to that many workers, and give
+    /// [`Engine::Portfolio`] its total worker budget (the race always
+    /// uses one thread per entrant; the surplus parallelizes the PDR
+    /// entrant).  `0` means "ask the machine"
+    /// (`std::thread::available_parallelism`).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -110,6 +125,7 @@ impl Default for Options {
             timeout: Duration::from_secs(30),
             check: BmcCheck::ExactAssume,
             alpha_serial: 0.5,
+            threads: 1,
         }
     }
 }
@@ -138,6 +154,22 @@ impl Options {
         self.alpha_serial = alpha;
         self
     }
+
+    /// Returns a copy with the given worker-thread count (see
+    /// [`Options::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Options {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count with the `0 = auto` convention resolved.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            crate::engines::pool::default_threads()
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// The verification engines evaluated in the paper, plus IC3/PDR.
@@ -157,17 +189,24 @@ pub enum Engine {
     /// Property-directed reachability (IC3/PDR) — the post-2011 competitor
     /// of the interpolation engines.
     Pdr,
+    /// A racing portfolio: PDR, ITPSEQCBA and BMC run concurrently on
+    /// worker threads, the first conclusive verdict wins and the losers
+    /// are cancelled (the paper's own conclusion that no single engine
+    /// dominates, turned into a mode).
+    Portfolio,
 }
 
 impl Engine {
-    /// All engines: the paper's five in presentation order, then PDR.
-    pub const ALL: [Engine; 6] = [
+    /// All engines: the paper's five in presentation order, then PDR and
+    /// the racing portfolio.
+    pub const ALL: [Engine; 7] = [
         Engine::Bmc,
         Engine::Itp,
         Engine::ItpSeq,
         Engine::SerialItpSeq,
         Engine::ItpSeqCba,
         Engine::Pdr,
+        Engine::Portfolio,
     ];
 
     /// The name used in reports and plots.
@@ -179,18 +218,41 @@ impl Engine {
             Engine::SerialItpSeq => "SITPSEQ",
             Engine::ItpSeqCba => "ITPSEQCBA",
             Engine::Pdr => "PDR",
+            Engine::Portfolio => "PORTFOLIO",
         }
     }
 
     /// Runs this engine on bad-state property `bad_index` of `aig`.
     pub fn verify(self, aig: &aig::Aig, bad_index: usize, options: &Options) -> EngineResult {
+        self.verify_with_cancel(aig, bad_index, options, &CancelToken::new())
+    }
+
+    /// Runs this engine under a cancellation token: the run stops with
+    /// [`Verdict::Inconclusive`] (reason `"cancelled"`) soon after
+    /// [`CancelToken::cancel`] is called from any thread.
+    pub fn verify_with_cancel(
+        self,
+        aig: &aig::Aig,
+        bad_index: usize,
+        options: &Options,
+        cancel: &CancelToken,
+    ) -> EngineResult {
         match self {
-            Engine::Bmc => crate::engines::bmc::verify(aig, bad_index, options),
-            Engine::Itp => crate::engines::itp::verify(aig, bad_index, options),
-            Engine::ItpSeq => crate::engines::itpseq::verify(aig, bad_index, options),
-            Engine::SerialItpSeq => crate::engines::sitpseq::verify(aig, bad_index, options),
-            Engine::ItpSeqCba => crate::engines::itpseq_cba::verify(aig, bad_index, options),
-            Engine::Pdr => crate::engines::pdr::verify(aig, bad_index, options),
+            Engine::Bmc => crate::engines::bmc::verify_with_cancel(aig, bad_index, options, cancel),
+            Engine::Itp => crate::engines::itp::verify_with_cancel(aig, bad_index, options, cancel),
+            Engine::ItpSeq => {
+                crate::engines::itpseq::verify_with_cancel(aig, bad_index, options, cancel)
+            }
+            Engine::SerialItpSeq => {
+                crate::engines::sitpseq::verify_with_cancel(aig, bad_index, options, cancel)
+            }
+            Engine::ItpSeqCba => {
+                crate::engines::itpseq_cba::verify_with_cancel(aig, bad_index, options, cancel)
+            }
+            Engine::Pdr => crate::engines::pdr::verify_with_cancel(aig, bad_index, options, cancel),
+            Engine::Portfolio => {
+                crate::engines::portfolio::verify_with_cancel(aig, bad_index, options, cancel)
+            }
         }
     }
 }

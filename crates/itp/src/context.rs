@@ -267,7 +267,7 @@ mod tests {
         solver.add_cnf(cnf);
         match solver.solve() {
             SolveResult::Unsat => Some(solver.proof().expect("proof")),
-            SolveResult::Sat => None,
+            SolveResult::Sat | SolveResult::Interrupted => None,
         }
     }
 

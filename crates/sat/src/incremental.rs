@@ -21,6 +21,24 @@
 //!   activation literals back out, so callers see a core over *their*
 //!   assumptions only.
 //!
+//! # Activation-variable recycling
+//!
+//! A retired activation variable is pinned false forever, so its slot can
+//! never be reused directly — a long PDR run would leak one variable per
+//! relative-induction query.  The solver therefore *recycles*: once every
+//! [`recycle threshold`](IncrementalSolver::set_recycle_threshold) many
+//! retirements (and only while no retirable clause is live), it rebuilds
+//! the underlying solver from the recorded base formula and permanent
+//! clauses, compacting the variable range back to the caller's own
+//! variables.  Search statistics are carried across rebuilds; learned
+//! clauses and cached models are discarded.
+//!
+//! Recycling silently disables itself when caller variables and
+//! activation variables interleave (a [`new_var`](IncrementalSolver::new_var)
+//! or implicit clause-literal allocation after the first retirable
+//! clause), because a rebuild could not preserve the caller's variable
+//! numbering in that case.
+//!
 //! ```
 //! use cnf::Lit;
 //! use sat::{IncrementalSolver, SolveResult};
@@ -36,22 +54,69 @@
 
 use crate::solver::{SolveResult, Solver, SolverStats};
 use cnf::{Cnf, Lit, Var};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Default number of retirements between two recycling rebuilds.
+const DEFAULT_RECYCLE_THRESHOLD: u64 = 4096;
 
 /// Handle of a retirable clause: the activation literal guarding it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ClauseGuard(Lit);
 
 /// A [`Solver`] wrapper supporting temporary clauses through activation
-/// literals.
+/// literals, with periodic recycling of retired activation variables.
 ///
-/// See the [module documentation](self) for the scheme and an example.
-#[derive(Clone, Debug, Default)]
+/// See the module-level documentation of `sat::incremental` for the
+/// scheme and an example.
+#[derive(Clone, Debug)]
 pub struct IncrementalSolver {
     solver: Solver,
     /// Activation literals of clauses that are still in force.
     live: Vec<Lit>,
     /// Count of clauses retired so far (statistics only).
     retired: u64,
+    /// The formula the solver was seeded with, replayed on recycling.
+    base: Cnf,
+    /// Permanent clauses added after construction, replayed on recycling.
+    permanent: Vec<Vec<Lit>>,
+    /// Number of caller-owned variables (base formula plus `new_var`).
+    user_vars: u32,
+    /// Set when caller variables were allocated after activation
+    /// variables; disables recycling to preserve variable numbering.
+    interleaved: bool,
+    /// Retirements since the last rebuild.
+    retired_since_rebuild: u64,
+    /// Retirements between rebuilds (0 disables recycling).
+    recycle_threshold: u64,
+    /// Total activation variables reclaimed by rebuilds.
+    recycled_vars: u64,
+    /// Statistics of solvers discarded by rebuilds.
+    stats_offset: SolverStats,
+    /// Interrupt flag re-installed on every rebuilt solver.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Conflict budget re-installed on every rebuilt solver.
+    conflict_limit: Option<u64>,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> IncrementalSolver {
+        IncrementalSolver {
+            solver: Solver::new(),
+            live: Vec::new(),
+            retired: 0,
+            base: Cnf::default(),
+            permanent: Vec::new(),
+            user_vars: 0,
+            interleaved: false,
+            retired_since_rebuild: 0,
+            recycle_threshold: DEFAULT_RECYCLE_THRESHOLD,
+            recycled_vars: 0,
+            stats_offset: SolverStats::default(),
+            interrupt: None,
+            conflict_limit: None,
+        }
+    }
 }
 
 impl IncrementalSolver {
@@ -63,12 +128,21 @@ impl IncrementalSolver {
     /// Creates an incremental solver preloaded with a base formula.
     pub fn with_base(cnf: &Cnf) -> IncrementalSolver {
         let mut solver = IncrementalSolver::new();
+        solver.base = cnf.clone();
+        solver.user_vars = cnf.num_vars;
         solver.solver.add_cnf(cnf);
         solver
     }
 
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
+        if self.solver.num_vars() > self.user_vars {
+            // Caller variables now interleave with activation variables; a
+            // rebuild could not keep this variable's index stable.
+            self.interleaved = true;
+        } else {
+            self.user_vars += 1;
+        }
         self.solver.new_var()
     }
 
@@ -87,14 +161,58 @@ impl IncrementalSolver {
         self.retired
     }
 
-    /// Returns the accumulated search statistics.
+    /// Total activation variables reclaimed by recycling rebuilds.
+    pub fn num_recycled_vars(&self) -> u64 {
+        self.recycled_vars
+    }
+
+    /// Sets how many retirements may accumulate before the solver rebuilds
+    /// itself to reclaim retired activation variables (0 disables
+    /// recycling).
+    pub fn set_recycle_threshold(&mut self, threshold: u64) {
+        self.recycle_threshold = threshold;
+    }
+
+    /// Installs (or clears) a shared interrupt flag; see
+    /// [`Solver::set_interrupt`].  The flag survives recycling rebuilds.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag.clone();
+        self.solver.set_interrupt(flag);
+    }
+
+    /// Caps the conflicts of each solve call; see
+    /// [`Solver::set_conflict_limit`].  The budget survives recycling
+    /// rebuilds.
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+        self.solver.set_conflict_limit(limit);
+    }
+
+    /// Returns the accumulated search statistics (including solvers
+    /// discarded by recycling rebuilds).
     pub fn stats(&self) -> SolverStats {
-        self.solver.stats()
+        let mut stats = self.stats_offset;
+        stats += self.solver.stats();
+        stats
     }
 
     /// Adds a permanent clause (partition 0: incremental queries take no
     /// part in interpolation).
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var().index() + 1).max() {
+            if max > self.user_vars {
+                if self.solver.num_vars() > self.user_vars {
+                    // The clause implicitly allocates variables above the
+                    // live activation range: numbering is no longer
+                    // rebuild-stable.
+                    self.interleaved = true;
+                } else {
+                    self.user_vars = max;
+                }
+            }
+        }
+        self.permanent.push(lits.clone());
         self.solver.add_clause(lits, 0);
     }
 
@@ -113,13 +231,43 @@ impl IncrementalSolver {
     /// Permanently deactivates the clause behind `guard`.
     ///
     /// The guarded clause stays in the solver but is satisfied by the unit
-    /// `¬a`, so it never constrains or propagates again.
+    /// `¬a`, so it never constrains or propagates again.  Once enough
+    /// retirements accumulate (and no retirable clause is live), the
+    /// solver rebuilds itself and reclaims the retired activation
+    /// variables — any [`ClauseGuard`] held across such a rebuild is
+    /// stale and must not be retired again.
     pub fn retire(&mut self, guard: ClauseGuard) {
         if let Some(position) = self.live.iter().position(|&a| a == guard.0) {
             self.live.swap_remove(position);
             self.solver.add_clause([!guard.0], 0);
             self.retired += 1;
+            self.retired_since_rebuild += 1;
+            self.maybe_recycle();
         }
+    }
+
+    /// Rebuilds the underlying solver when enough activation variables
+    /// have been retired, reclaiming their variable slots.
+    fn maybe_recycle(&mut self) {
+        if self.interleaved
+            || self.recycle_threshold == 0
+            || self.retired_since_rebuild < self.recycle_threshold
+            || !self.live.is_empty()
+        {
+            return;
+        }
+        let mut fresh = Solver::new();
+        fresh.add_cnf(&self.base);
+        fresh.ensure_vars(self.user_vars);
+        for clause in &self.permanent {
+            fresh.add_clause(clause.iter().copied(), 0);
+        }
+        fresh.set_interrupt(self.interrupt.clone());
+        fresh.set_conflict_limit(self.conflict_limit);
+        self.recycled_vars += u64::from(self.solver.num_vars() - self.user_vars);
+        self.stats_offset += self.solver.stats();
+        self.retired_since_rebuild = 0;
+        self.solver = fresh;
     }
 
     /// Solves under `assumptions` with every live retirable clause active.
@@ -231,5 +379,104 @@ mod tests {
         let mut s = IncrementalSolver::with_base(&builder.into_cnf());
         assert_eq!(s.solve(&[!x]), SolveResult::Unsat);
         assert_eq!(s.assumption_core(), vec![!x]);
+    }
+
+    #[test]
+    fn recycling_bounds_the_variable_range() {
+        let mut builder = cnf::CnfBuilder::new();
+        let x = builder.new_lit();
+        let y = builder.new_lit();
+        builder.add_clause([x, y]);
+        let mut s = IncrementalSolver::with_base(&builder.into_cnf());
+        s.set_recycle_threshold(8);
+        let baseline = s.num_vars();
+        // A long PDR-like run: thousands of short-lived retirable clauses.
+        for round in 0..200 {
+            let g = s.add_retirable_clause([if round % 2 == 0 { !x } else { !y }]);
+            let _ = s.solve(&[x]);
+            s.retire(g);
+        }
+        assert_eq!(s.num_retired(), 200);
+        assert!(s.num_recycled_vars() >= 150, "must reclaim retired vars");
+        assert!(
+            s.num_vars() <= baseline + 8,
+            "activation range must stay bounded, got {} vars",
+            s.num_vars()
+        );
+        // The formula is still the same after all those rebuilds.
+        assert_eq!(s.solve(&[!x, !y]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[!x]), SolveResult::Sat);
+        assert_eq!(s.lit_value(y), Some(true));
+    }
+
+    #[test]
+    fn recycling_replays_permanent_clauses() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 3);
+        s.set_recycle_threshold(4);
+        s.add_clause([v[0], v[1]]);
+        for _ in 0..16 {
+            let g = s.add_retirable_clause([!v[2]]);
+            let _ = s.solve(&[]);
+            s.retire(g);
+        }
+        // Permanent clauses added before and between rebuilds must all be
+        // in force afterwards.
+        s.add_clause([!v[1]]);
+        assert_eq!(s.solve(&[!v[0]]), SolveResult::Unsat);
+        assert!(s.num_recycled_vars() > 0);
+    }
+
+    #[test]
+    fn recycling_preserves_statistics_monotonicity() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 4);
+        s.set_recycle_threshold(2);
+        s.add_clause([v[0], v[1], v[2], v[3]]);
+        let mut last = 0;
+        for _ in 0..12 {
+            let g = s.add_retirable_clause([!v[0], !v[1]]);
+            let _ = s.solve(&[v[0], v[1]]);
+            s.retire(g);
+            let now = s.stats().propagations;
+            assert!(now >= last, "stats must never go backwards");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn interleaved_user_variables_disable_recycling() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 1);
+        s.set_recycle_threshold(1);
+        let g = s.add_retirable_clause([v[0]]);
+        // Allocating a caller variable after an activation variable makes
+        // variable numbering rebuild-unstable: recycling must back off.
+        let w = Lit::positive(s.new_var());
+        s.add_clause([v[0], w]);
+        s.retire(g);
+        for _ in 0..8 {
+            let g = s.add_retirable_clause([!w]);
+            s.retire(g);
+        }
+        assert_eq!(s.num_recycled_vars(), 0);
+        // The solver keeps answering correctly, it just leaks as before.
+        assert_eq!(s.solve(&[!v[0], !w]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn interrupt_and_budget_survive_recycling() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 2);
+        s.set_recycle_threshold(1);
+        s.add_clause([v[0], v[1]]);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_interrupt(Some(flag.clone()));
+        let g = s.add_retirable_clause([!v[0]]);
+        s.retire(g); // triggers a rebuild
+        flag.store(true, std::sync::atomic::Ordering::Release);
+        assert_eq!(s.solve(&[]), SolveResult::Interrupted);
+        flag.store(false, std::sync::atomic::Ordering::Release);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 }

@@ -5,6 +5,8 @@ use crate::proof::{Chain, ClauseOrigin, Proof, ProofClause};
 use cnf::{Cnf, Lit, Var};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Result of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -13,6 +15,14 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The search was stopped before an answer was found — either the
+    /// shared interrupt flag ([`Solver::set_interrupt`]) was raised or the
+    /// per-call conflict budget ([`Solver::set_conflict_limit`]) ran out.
+    ///
+    /// The solver stays usable: a later call without the interruption can
+    /// still answer `Sat` or `Unsat`.  Models, cores and proofs are *not*
+    /// meaningful after an interrupted call.
+    Interrupted,
 }
 
 /// Aggregate search statistics.
@@ -29,6 +39,20 @@ pub struct SolverStats {
     /// Number of learned clauses.
     pub learned: u64,
 }
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, other: SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+    }
+}
+
+/// How many conflicts-or-decisions pass between two polls of the shared
+/// interrupt flag during search.
+pub const INTERRUPT_CHECK_INTERVAL: u64 = 64;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum LBool {
@@ -92,6 +116,12 @@ pub struct Solver {
     assumption_core: Vec<Lit>,
     stats: SolverStats,
     status: Option<SolveResult>,
+    /// Cooperative cancellation flag, checked periodically during search.
+    /// Cloned solvers share the flag, so one `cancel` stops a whole family
+    /// of worker clones.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Per-call conflict budget; `None` means unlimited.
+    conflict_limit: Option<u64>,
 }
 
 impl Default for Solver {
@@ -122,7 +152,32 @@ impl Solver {
             assumption_core: Vec::new(),
             stats: SolverStats::default(),
             status: None,
+            interrupt: None,
+            conflict_limit: None,
         }
+    }
+
+    /// Installs (or clears) a shared interrupt flag.
+    ///
+    /// While the flag reads `true`, [`Solver::solve_with_assumptions`]
+    /// returns [`SolveResult::Interrupted`] at the next cancellation point
+    /// (every `INTERRUPT_CHECK_INTERVAL` conflicts-or-decisions).  The
+    /// flag is shared: clones of this solver observe the same cancellation.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Caps the number of conflicts a single solve call may spend before
+    /// giving up with [`SolveResult::Interrupted`]; `None` removes the cap.
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
+    }
+
+    #[inline]
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(AtomicOrdering::Acquire))
     }
 
     /// Allocates a fresh variable.
@@ -633,19 +688,42 @@ impl Solver {
             return SolveResult::Unsat;
         }
 
+        if self.interrupted() {
+            self.backtrack(0);
+            self.status = Some(SolveResult::Interrupted);
+            return SolveResult::Interrupted;
+        }
+
         let mut restart_round: u64 = 0;
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_limit = 100 * luby(restart_round);
+        let mut conflicts_this_call: u64 = 0;
+        let mut steps: u64 = 0;
 
         loop {
+            steps += 1;
+            if steps.is_multiple_of(INTERRUPT_CHECK_INTERVAL) && self.interrupted() {
+                self.backtrack(0);
+                self.status = Some(SolveResult::Interrupted);
+                return SolveResult::Interrupted;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                conflicts_this_call += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.final_chain = Some(self.final_chain_from(confl));
                     self.status = Some(SolveResult::Unsat);
                     return SolveResult::Unsat;
+                }
+                if self
+                    .conflict_limit
+                    .is_some_and(|limit| conflicts_this_call > limit)
+                {
+                    self.backtrack(0);
+                    self.status = Some(SolveResult::Interrupted);
+                    return SolveResult::Interrupted;
                 }
                 let (learned, backtrack_level, chain) = self.analyze(confl);
                 self.backtrack(backtrack_level);
@@ -913,6 +991,56 @@ mod tests {
         assert!(stats.conflicts > 0);
         assert!(stats.decisions > 0);
         assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn preset_interrupt_flag_stops_the_search() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(flag.clone()));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert_eq!(s.status(), Some(SolveResult::Interrupted));
+        // Clearing the flag makes the same solver answer definitively.
+        flag.store(false, AtomicOrdering::Release);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.proof().expect("proof").check().expect("proof checks");
+    }
+
+    #[test]
+    fn interrupt_flag_is_shared_across_clones() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_interrupt(Some(flag.clone()));
+        let mut clone = s.clone();
+        flag.store(true, AtomicOrdering::Release);
+        assert_eq!(clone.solve(), SolveResult::Interrupted);
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+    }
+
+    #[test]
+    fn conflict_limit_budgets_a_single_call() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        s.set_conflict_limit(Some(1));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        s.set_conflict_limit(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_limit_does_not_mask_easy_answers() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([lit(&v, 0, false), lit(&v, 1, false)], 1);
+        s.set_conflict_limit(Some(0));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // A root-level refutation is still reported as Unsat, not a budget
+        // overrun.
+        s.add_clause([lit(&v, 0, false)], 1);
+        s.add_clause([lit(&v, 0, true)], 1);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

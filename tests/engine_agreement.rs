@@ -1,7 +1,7 @@
-//! Cross-crate integration tests: all engines (the paper's five plus
-//! IC3/PDR) must agree with each other and with exact BDD reachability on
-//! the benchmark suite's smaller instances, and falsified depths must be
-//! reproducible by simulation.
+//! Cross-crate integration tests: all engines (the paper's five, IC3/PDR
+//! and the racing portfolio) must agree with each other and with exact
+//! BDD reachability on the benchmark suite's smaller instances, and
+//! falsified depths must be reproducible by simulation.
 
 use itpseq::bdd::BddVerdict;
 use itpseq::mc::{Engine, Options, Verdict};
@@ -65,7 +65,7 @@ fn engines_agree_with_exact_reachability() {
 fn expected_suite_verdicts_hold() {
     for benchmark in small_designs() {
         if let Some(expect_fail) = benchmark.expect_fail {
-            for engine in [Engine::SerialItpSeq, Engine::Pdr] {
+            for engine in [Engine::SerialItpSeq, Engine::Pdr, Engine::Portfolio] {
                 let result = engine.verify(&benchmark.aig, 0, &options());
                 assert_eq!(
                     result.verdict.is_falsified(),
@@ -87,7 +87,7 @@ fn bmc_and_sequence_engines_report_the_same_counterexample_depth() {
             continue;
         }
         let bmc = Engine::Bmc.verify(&benchmark.aig, 0, &options());
-        for engine in [Engine::ItpSeq, Engine::Pdr] {
+        for engine in [Engine::ItpSeq, Engine::Pdr, Engine::Portfolio] {
             let result = engine.verify(&benchmark.aig, 0, &options());
             assert_eq!(
                 bmc.verdict,

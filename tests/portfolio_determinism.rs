@@ -1,0 +1,134 @@
+//! Portfolio determinism: racing engines decides *when* runs stop, never
+//! *what* they answer.  `Engine::Portfolio` is run repeatedly on the
+//! benchmark suite and every repetition must reproduce the verdict kind
+//! and the exact counterexample depth of the sequential references
+//! (PDR for proofs, BMC for counterexample depths).
+//!
+//! The small-design loop runs everywhere; the full-suite stress loop is
+//! `#[ignore]`d by default and exercised by CI's thread-sanity job in
+//! release mode (`cargo test --release -- --include-ignored`).
+
+use itpseq::mc::{Engine, Options, Verdict};
+use itpseq::workloads::Benchmark;
+use std::time::Duration;
+
+const RUNS: usize = 10;
+
+fn options() -> Options {
+    Options::default()
+        .with_timeout(Duration::from_secs(20))
+        .with_max_bound(40)
+}
+
+/// The sequential reference verdict: BMC pins failing depths, PDR proves.
+fn reference(benchmark: &Benchmark) -> Verdict {
+    if benchmark.expect_fail == Some(true) {
+        Engine::Bmc.verify(&benchmark.aig, 0, &options()).verdict
+    } else {
+        Engine::Pdr.verify(&benchmark.aig, 0, &options()).verdict
+    }
+}
+
+fn assert_portfolio_matches(suite: &[Benchmark], runs: usize) {
+    let mut compared = 0;
+    for benchmark in suite {
+        let expected = reference(benchmark);
+        if !expected.is_conclusive() {
+            // A loaded CI runner can push a hard reference past its
+            // wall-clock budget; skipping keeps this a determinism test,
+            // not a machine-speed test (the coverage floor below still
+            // guards against skipping everything).
+            eprintln!("skipping {}: reference was {expected}", benchmark.name);
+            continue;
+        }
+        compared += 1;
+        for run in 0..runs {
+            // threads = 0 (auto): the race *and* the PDR entrant's
+            // parallel frame phases are both in play, the composition the
+            // thread-sanity CI job is here to exercise.
+            let raced = Engine::Portfolio.verify(&benchmark.aig, 0, &options().with_threads(0));
+            assert_eq!(
+                expected.is_proved(),
+                raced.verdict.is_proved(),
+                "{} run {run}: {} vs reference {}",
+                benchmark.name,
+                raced.verdict,
+                expected
+            );
+            assert_eq!(
+                expected.is_falsified(),
+                raced.verdict.is_falsified(),
+                "{} run {run}: {} vs reference {}",
+                benchmark.name,
+                raced.verdict,
+                expected
+            );
+            if let Verdict::Falsified { depth } = expected {
+                assert_eq!(
+                    raced.verdict,
+                    Verdict::Falsified { depth },
+                    "{} run {run}: counterexample depth must be minimal",
+                    benchmark.name
+                );
+            }
+            assert!(
+                raced.stats.winner.is_some(),
+                "{} run {run}: portfolio must tag its winner",
+                benchmark.name
+            );
+        }
+    }
+    assert!(
+        compared * 2 >= suite.len(),
+        "too many skipped references ({compared}/{} compared)",
+        suite.len()
+    );
+}
+
+#[test]
+fn portfolio_matches_the_sequential_reference_on_small_designs() {
+    let suite: Vec<Benchmark> = itpseq::workloads::suite::mid_size()
+        .into_iter()
+        .filter(|b| b.aig.num_latches() <= 10)
+        .collect();
+    assert!(suite.len() >= 10, "suite unexpectedly small");
+    assert_portfolio_matches(&suite, RUNS);
+}
+
+#[test]
+#[ignore = "full-suite stress run; exercised in release mode by CI's thread-sanity job"]
+fn portfolio_matches_the_sequential_reference_on_the_full_suite() {
+    let suite = itpseq::workloads::suite::full();
+    assert_portfolio_matches(&suite, RUNS);
+}
+
+#[test]
+fn parallel_pdr_matches_sequential_pdr_across_the_suite() {
+    // The per-frame parallelism inside PDR must not change verdicts or
+    // depths either — checked engine-to-engine, not just through the
+    // portfolio (which could mask a divergence by racing).
+    let suite: Vec<Benchmark> = itpseq::workloads::suite::mid_size()
+        .into_iter()
+        .filter(|b| b.aig.num_latches() <= 10)
+        .collect();
+    for benchmark in &suite {
+        let sequential = Engine::Pdr.verify(&benchmark.aig, 0, &options());
+        let parallel = Engine::Pdr.verify(&benchmark.aig, 0, &options().with_threads(4));
+        assert_eq!(
+            sequential.verdict.is_proved(),
+            parallel.verdict.is_proved(),
+            "{}: {} vs {}",
+            benchmark.name,
+            sequential.verdict,
+            parallel.verdict
+        );
+        if let Verdict::Falsified { depth } = sequential.verdict {
+            assert_eq!(
+                parallel.verdict,
+                Verdict::Falsified { depth },
+                "{}",
+                benchmark.name
+            );
+        }
+    }
+}
