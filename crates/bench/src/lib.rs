@@ -54,6 +54,13 @@ impl RunRecord {
         self.result.stats.time.as_secs_f64() * 1e3
     }
 
+    /// Time spent building/extending CNF encodings, in milliseconds —
+    /// the number the unrolling cache shrinks, reported separately so the
+    /// perf-smoke artifacts make the speedup visible.
+    pub fn encode_millis(&self) -> f64 {
+        self.result.stats.encode_time.as_secs_f64() * 1e3
+    }
+
     /// `k_fp` as reported in Table I (bound reached on overflow).
     pub fn k_fp(&self) -> usize {
         match &self.result.verdict {
@@ -98,13 +105,14 @@ impl RunRecord {
         format!(
             concat!(
                 r#"{{"benchmark":"{}","engine":"{}","verdict":"{}","time_ms":{:.3},"#,
-                r#""k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"reason":{},"#,
-                r#""sat_calls":{},"conflicts":{},"winner":{}}}"#
+                r#""encode_time_ms":{:.3},"k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"#,
+                r#""reason":{},"sat_calls":{},"conflicts":{},"clauses_encoded":{},"winner":{}}}"#
             ),
             json_escape(&self.benchmark),
             self.engine.name(),
             verdict,
             self.millis(),
+            self.encode_millis(),
             opt(k_fp),
             opt(j_fp),
             opt(depth),
@@ -112,6 +120,7 @@ impl RunRecord {
             opt_str(reason),
             self.result.stats.sat_calls,
             self.result.stats.conflicts,
+            self.result.stats.clauses_encoded,
             opt_str(self.result.stats.winner),
         )
     }
@@ -165,7 +174,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-table1/v1\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-table1/v2\",\n  \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -243,6 +252,8 @@ mod tests {
         assert!(proved.contains(r#""k_fp":4"#), "{proved}");
         assert!(proved.contains(r#""winner":"PDR""#), "{proved}");
         assert!(proved.contains(r#"counter \"quoted\""#), "{proved}");
+        assert!(proved.contains(r#""encode_time_ms":"#), "{proved}");
+        assert!(proved.contains(r#""clauses_encoded":0"#), "{proved}");
         let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
         assert!(falsified.contains(r#""depth":7"#), "{falsified}");
         assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
@@ -264,7 +275,7 @@ mod tests {
             mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
             mk(Verdict::Falsified { depth: 2 }),
         ]);
-        assert!(document.contains("itpseq-table1/v1"));
+        assert!(document.contains("itpseq-table1/v2"));
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());

@@ -1,0 +1,304 @@
+//! Persistent (incremental) time-frame unrolling.
+//!
+//! The scratch [`Unroller`](crate::Unroller) is the right shape for
+//! one-shot instance construction, but every bound loop that rebuilds it
+//! at bound `k` re-Tseitin-encodes all `k` frames — `O(k²)` total encoding
+//! work across a run that only ever *extends* the unrolling by one frame
+//! at a time.
+//!
+//! [`IncrementalUnroller`] is the persistent variant: it owns its design
+//! and keeps the frames, per-frame latch/input variable maps and Tseitin
+//! caches alive across bounds, so adding frame `k+1` only encodes the
+//! *delta* — the next-state cones at frame `k` and the new frame's latch
+//! equalities.  Two consumption styles are supported:
+//!
+//! * **delta drain** ([`pending_clauses`](IncrementalUnroller::pending_clauses)
+//!   / [`mark_drained`](IncrementalUnroller::mark_drained)) — feed only the
+//!   newly emitted clauses into a long-lived incremental SAT solver, as the
+//!   BMC engine does;
+//! * **snapshot** ([`snapshot_with`](IncrementalUnroller::snapshot_with)) —
+//!   copy the accumulated clauses plus per-bound target clauses into a
+//!   fresh [`Cnf`] for a fresh proof-logging solver, as the interpolation
+//!   engines do (their partition-labelled proofs must come from a solver
+//!   that saw exactly the bound-`k` formula, so only the *encoding* is
+//!   shared there, never the solver).
+//!
+//! Clause and variable allocation order is exactly the order a scratch
+//! `Unroller` driven through the same sequence of operations would
+//! produce, which is what lets the engines keep their instances
+//! bit-identical to the scratch path (see the seq-engine cache in the
+//! model-checker crate).
+//!
+//! ```
+//! use cnf::IncrementalUnroller;
+//!
+//! let mut aig = aig::Aig::new();
+//! let l = aig.add_latch(false);
+//! let cur = aig.latch_lit(l);
+//! aig.set_next(l, !cur);
+//! aig.add_bad(cur);
+//!
+//! let mut unroller = IncrementalUnroller::new(&aig);
+//! unroller.assert_initial(0);
+//! unroller.add_frame();
+//! let first = unroller.pending_clauses().len();
+//! unroller.mark_drained();
+//! unroller.add_frame();
+//! // The second frame only emitted its delta.
+//! assert!(!unroller.pending_clauses().is_empty());
+//! assert!(unroller.pending_clauses().len() <= first);
+//! ```
+
+use crate::unroll::FrameCore;
+use crate::{Clause, Cnf, CnfBuilder, Lit};
+use aig::Aig;
+use std::sync::Arc;
+
+/// A persistent unrolling of a sequential AIG: frames, variable maps and
+/// Tseitin caches survive across bounds, and only delta clauses are
+/// emitted when the unrolling grows.
+///
+/// See the module-level documentation for the two consumption styles.
+#[derive(Clone, Debug)]
+pub struct IncrementalUnroller {
+    /// The design, shared so per-bound clones (the exact-k target path of
+    /// the sequence engines) never deep-copy it.
+    aig: Arc<Aig>,
+    core: FrameCore,
+    /// Clauses `0..drained` have already been handed to the consumer.
+    drained: usize,
+}
+
+impl IncrementalUnroller {
+    /// Creates a persistent unroller for `aig` (cloned, so the unroller can
+    /// outlive the caller's borrow) with a single frame (frame 0).
+    pub fn new(aig: &Aig) -> IncrementalUnroller {
+        let core = FrameCore::new(aig);
+        IncrementalUnroller {
+            aig: Arc::new(aig.clone()),
+            core,
+            drained: 0,
+        }
+    }
+
+    /// Returns the underlying design.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Number of frames created so far (at least 1).
+    pub fn num_frames(&self) -> usize {
+        self.core.num_frames()
+    }
+
+    /// Gives mutable access to the clause builder (for partition control
+    /// and extra clauses).
+    pub fn builder_mut(&mut self) -> &mut CnfBuilder {
+        self.core.builder_mut()
+    }
+
+    /// Gives read access to the clause builder.
+    pub fn builder(&self) -> &CnfBuilder {
+        self.core.builder()
+    }
+
+    /// Returns the SAT literal of latch `latch` at frame `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame or latch index is out of range.
+    pub fn latch_lit(&self, frame: usize, latch: usize) -> Lit {
+        self.core.latch_lit(frame, latch)
+    }
+
+    /// Returns the SAT literals of every latch at frame `frame`.
+    pub fn latch_lits(&self, frame: usize) -> Vec<Lit> {
+        self.core.latch_lits(frame)
+    }
+
+    /// Returns (allocating on demand) the SAT literal of primary input
+    /// `input` at frame `frame`.
+    pub fn input_lit(&mut self, frame: usize, input: usize) -> Lit {
+        self.core.input_lit(&self.aig, frame, input)
+    }
+
+    /// Encodes (or retrieves from the frame cache) the SAT literal of an
+    /// AIG literal evaluated at frame `frame`.
+    pub fn lit(&mut self, frame: usize, lit: aig::Lit) -> Lit {
+        self.core.lit(&self.aig, frame, lit)
+    }
+
+    /// Asserts that frame `frame` is in the design's initial state.
+    pub fn assert_initial(&mut self, frame: usize) {
+        self.core.assert_initial(&self.aig, frame);
+    }
+
+    /// Adds a new frame and emits the transition constraint
+    /// `T(V^{last}, V^{new})`; returns the index of the new frame.
+    pub fn add_frame(&mut self) -> usize {
+        self.core.add_frame(&self.aig)
+    }
+
+    /// Encodes bad-state literal `index` of the design at frame `frame`.
+    pub fn bad_lit(&mut self, frame: usize, index: usize) -> Lit {
+        self.core.bad_lit(&self.aig, frame, index)
+    }
+
+    /// Asserts an already-encoded SAT literal as a unit clause.
+    pub fn assert_lit(&mut self, lit: Lit) {
+        self.core.assert_lit(lit);
+    }
+
+    /// Total clauses emitted so far (drained or not).
+    pub fn num_clauses(&self) -> usize {
+        self.core.clauses().len()
+    }
+
+    /// Returns the number of SAT variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.core.num_vars()
+    }
+
+    /// The clauses emitted since the last [`mark_drained`](Self::mark_drained)
+    /// — the delta a long-lived incremental solver still has to load.
+    pub fn pending_clauses(&self) -> &[Clause] {
+        &self.core.clauses()[self.drained..]
+    }
+
+    /// Marks every clause emitted so far as consumed; subsequent
+    /// [`pending_clauses`](Self::pending_clauses) calls return only newer
+    /// clauses.
+    pub fn mark_drained(&mut self) {
+        self.drained = self.core.clauses().len();
+    }
+
+    /// Copies the accumulated clauses plus `extra` per-bound clauses into a
+    /// fresh [`Cnf`] (for a fresh proof-logging solver).  The cache itself
+    /// is not modified: the extra clauses belong to one bound only.
+    pub fn snapshot_with<I>(&self, extra: I) -> Cnf
+    where
+        I: IntoIterator<Item = Clause>,
+    {
+        let mut clauses = self.core.clauses().to_vec();
+        clauses.extend(extra);
+        Cnf {
+            num_vars: self.core.num_vars(),
+            clauses,
+        }
+    }
+
+    /// Consumes the unroller and returns the accumulated CNF.
+    pub fn into_cnf(self) -> Cnf {
+        self.core.into_cnf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unroller;
+
+    fn counter2() -> Aig {
+        let mut aig = Aig::new();
+        let en = aig::Lit::positive(aig.add_input());
+        let (ids, lits) = aig::builder::latch_word(&mut aig, 2, 0);
+        let next = aig::builder::word_increment(&mut aig, &lits, en);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = aig.and(lits[0], lits[1]);
+        aig.add_bad(bad);
+        aig
+    }
+
+    /// Drives a scratch unroller and an incremental one through the same
+    /// operations: clauses and variables must match exactly.
+    #[test]
+    fn matches_scratch_unroller_clause_for_clause() {
+        let aig = counter2();
+        let mut scratch = Unroller::new(&aig);
+        let mut incremental = IncrementalUnroller::new(&aig);
+        scratch.builder_mut().set_partition(1);
+        incremental.builder_mut().set_partition(1);
+        scratch.assert_initial(0);
+        incremental.assert_initial(0);
+        for f in 1..=5usize {
+            scratch.builder_mut().set_partition(f as u32 + 1);
+            incremental.builder_mut().set_partition(f as u32 + 1);
+            scratch.add_frame();
+            incremental.add_frame();
+            let sb = scratch.bad_lit(f, 0);
+            let ib = incremental.bad_lit(f, 0);
+            assert_eq!(sb, ib, "bad literal at frame {f}");
+        }
+        assert_eq!(scratch.num_vars(), incremental.num_vars());
+        assert_eq!(scratch.clauses(), incremental.builder().clauses());
+    }
+
+    #[test]
+    fn delta_drain_covers_every_clause_exactly_once() {
+        let aig = counter2();
+        let mut u = IncrementalUnroller::new(&aig);
+        u.assert_initial(0);
+        let mut drained: Vec<Clause> = Vec::new();
+        for f in 1..=6usize {
+            u.add_frame();
+            let _ = u.bad_lit(f, 0);
+            drained.extend(u.pending_clauses().iter().cloned());
+            u.mark_drained();
+            assert!(u.pending_clauses().is_empty());
+        }
+        assert_eq!(drained.len(), u.num_clauses());
+        assert_eq!(&drained[..], u.builder().clauses());
+    }
+
+    #[test]
+    fn per_frame_delta_is_bounded() {
+        // The delta emitted for frame k must not grow with k: that is the
+        // O(K) total-encoding property the BMC engine relies on.
+        let aig = counter2();
+        let mut u = IncrementalUnroller::new(&aig);
+        u.assert_initial(0);
+        let mut per_frame = Vec::new();
+        for f in 1..=10usize {
+            u.add_frame();
+            let _ = u.bad_lit(f, 0);
+            per_frame.push(u.pending_clauses().len());
+            u.mark_drained();
+        }
+        let first = per_frame[1];
+        assert!(
+            per_frame[1..].iter().all(|&n| n == first),
+            "steady-state per-frame delta must be constant: {per_frame:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_with_keeps_the_cache_untouched() {
+        let aig = counter2();
+        let mut u = IncrementalUnroller::new(&aig);
+        u.builder_mut().set_partition(1);
+        u.assert_initial(0);
+        u.add_frame();
+        let bad = u.bad_lit(1, 0);
+        let before = u.num_clauses();
+        let cnf = u.snapshot_with([Clause::new(vec![bad], 3)]);
+        assert_eq!(u.num_clauses(), before, "snapshot must not grow the cache");
+        assert_eq!(cnf.clauses.len(), before + 1);
+        assert_eq!(cnf.clauses.last().unwrap().partition, 3);
+        assert_eq!(cnf.num_vars, u.num_vars());
+    }
+
+    #[test]
+    fn owning_the_design_allows_the_borrow_to_end() {
+        let u = {
+            let aig = counter2();
+            let mut u = IncrementalUnroller::new(&aig);
+            u.assert_initial(0);
+            u.add_frame();
+            u
+        };
+        assert_eq!(u.num_frames(), 2);
+        assert_eq!(u.aig().num_latches(), 2);
+    }
+}

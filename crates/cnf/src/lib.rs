@@ -12,6 +12,9 @@
 //! * [`tseitin`] — encoding of combinational AIG cones,
 //! * [`unroll::Unroller`] — time-frame expansion of a sequential AIG with
 //!   per-frame variable maps,
+//! * [`incremental::IncrementalUnroller`] — the persistent variant whose
+//!   frames, variable maps and Tseitin caches survive across bounds,
+//!   emitting only delta clauses as the unrolling grows,
 //! * [`bmc`] — the three BMC formulations of the paper (*bound-k*,
 //!   *exact-k*, *exact-assume-k*),
 //! * [`dimacs`] — DIMACS export for debugging and interoperability.
@@ -31,6 +34,7 @@
 
 pub mod bmc;
 pub mod dimacs;
+pub mod incremental;
 #[cfg(test)]
 mod testutil;
 pub mod tseitin;
@@ -38,5 +42,6 @@ mod types;
 pub mod unroll;
 
 pub use bmc::{BmcCheck, BmcInstance};
+pub use incremental::IncrementalUnroller;
 pub use types::{Clause, Cnf, CnfBuilder, Lit, Var};
 pub use unroll::Unroller;

@@ -6,6 +6,12 @@
 //! `T(V^f, V^{f+1})` are emitted by [`Unroller::add_frame`]; the caller
 //! controls the partition labels so that BMC formulas can be split into the
 //! `Γ_{1..n}` decomposition required by interpolation sequences.
+//!
+//! The frame machinery itself lives in the crate-private `FrameCore`,
+//! which is shared with the persistent [`crate::IncrementalUnroller`]: the
+//! borrowing `Unroller` is the right shape for one-shot instance
+//! construction, the owning incremental variant for caches that outlive
+//! any single bound.
 
 use crate::tseitin::encode_cone;
 use crate::{Clause, Cnf, CnfBuilder, Lit};
@@ -22,6 +28,213 @@ struct Frame {
     input: Vec<Option<Lit>>,
     /// Cache of node encodings at this frame.
     cache: HashMap<NodeId, Lit>,
+}
+
+/// The design-independent state of a time-frame expansion: the clause
+/// builder plus the per-frame variable maps and Tseitin caches.
+///
+/// Every operation takes the design as a parameter so the same core can be
+/// driven by the borrowing [`Unroller`] and by the owning
+/// [`crate::IncrementalUnroller`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FrameCore {
+    builder: CnfBuilder,
+    frames: Vec<Frame>,
+}
+
+impl FrameCore {
+    /// Creates a core with a single frame (frame 0) whose latch variables
+    /// are freshly allocated.
+    pub(crate) fn new(aig: &Aig) -> FrameCore {
+        let mut core = FrameCore {
+            builder: CnfBuilder::new(),
+            frames: Vec::new(),
+        };
+        core.push_fresh_frame(aig);
+        core
+    }
+
+    fn push_fresh_frame(&mut self, aig: &Aig) {
+        let latch: Vec<Lit> = (0..aig.num_latches())
+            .map(|_| self.builder.new_lit())
+            .collect();
+        let mut cache = HashMap::new();
+        for (i, &lit) in latch.iter().enumerate() {
+            cache.insert(aig.latch_node(i), lit);
+        }
+        self.frames.push(Frame {
+            latch,
+            input: vec![None; aig.num_inputs()],
+            cache,
+        });
+    }
+
+    pub(crate) fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub(crate) fn builder_mut(&mut self) -> &mut CnfBuilder {
+        &mut self.builder
+    }
+
+    pub(crate) fn builder(&self) -> &CnfBuilder {
+        &self.builder
+    }
+
+    pub(crate) fn latch_lit(&self, frame: usize, latch: usize) -> Lit {
+        self.frames[frame].latch[latch]
+    }
+
+    pub(crate) fn latch_lits(&self, frame: usize) -> Vec<Lit> {
+        self.frames[frame].latch.clone()
+    }
+
+    pub(crate) fn input_lit(&mut self, aig: &Aig, frame: usize, input: usize) -> Lit {
+        if let Some(lit) = self.frames[frame].input[input] {
+            return lit;
+        }
+        let lit = self.builder.new_lit();
+        self.frames[frame].input[input] = Some(lit);
+        self.frames[frame].cache.insert(aig.input_node(input), lit);
+        lit
+    }
+
+    pub(crate) fn lit(&mut self, aig: &Aig, frame: usize, lit: aig::Lit) -> Lit {
+        // Pre-allocate input leaves so the closure below never needs the
+        // full core mutably.
+        self.ensure_leaves(aig, frame, lit);
+        let f = &mut self.frames[frame];
+        let cache = &mut f.cache;
+        encode_cone(&mut self.builder, aig, lit, cache, &mut |_, id| {
+            // All leaves were pre-allocated by `ensure_leaves`.
+            unreachable!("leaf {id} not pre-allocated")
+        })
+    }
+
+    /// Walks the cone of `lit` and allocates SAT variables for any input
+    /// leaves not yet present in the frame cache.
+    fn ensure_leaves(&mut self, aig: &Aig, frame: usize, lit: aig::Lit) {
+        let mut stack = vec![lit.node()];
+        let mut seen = std::collections::HashSet::new();
+        let mut needed_inputs = Vec::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) || self.frames[frame].cache.contains_key(&id) {
+                continue;
+            }
+            match aig.node(id) {
+                AigNode::And { left, right } => {
+                    stack.push(left.node());
+                    stack.push(right.node());
+                }
+                AigNode::Input { index } => needed_inputs.push(index),
+                AigNode::Latch { .. } | AigNode::Const => {}
+            }
+        }
+        for index in needed_inputs {
+            let _ = self.input_lit(aig, frame, index);
+        }
+    }
+
+    pub(crate) fn assert_initial(&mut self, aig: &Aig, frame: usize) {
+        for i in 0..aig.num_latches() {
+            let lit = self.latch_lit(frame, i);
+            let unit = if aig.init(i) { lit } else { !lit };
+            self.builder.add_unit(unit);
+        }
+    }
+
+    pub(crate) fn add_frame(&mut self, aig: &Aig) -> usize {
+        let prev = self.frames.len() - 1;
+        // Encode the next-state functions at the previous frame first.
+        let next_lits: Vec<Lit> = (0..aig.num_latches())
+            .map(|i| {
+                let next = aig.next(i);
+                self.lit(aig, prev, next)
+            })
+            .collect();
+        self.push_fresh_frame(aig);
+        let new_index = self.frames.len() - 1;
+        for (i, next_lit) in next_lits.into_iter().enumerate() {
+            let cur = self.latch_lit(new_index, i);
+            // cur <-> next_lit
+            self.builder.add_clause([!cur, next_lit]);
+            self.builder.add_clause([cur, !next_lit]);
+        }
+        new_index
+    }
+
+    pub(crate) fn add_frame_guarded(&mut self, aig: &Aig, guards: &[Option<Lit>]) -> usize {
+        assert_eq!(
+            guards.len(),
+            aig.num_latches(),
+            "one guard slot per latch is required"
+        );
+        let prev = self.frames.len() - 1;
+        let next_lits: Vec<Lit> = (0..aig.num_latches())
+            .map(|i| {
+                let next = aig.next(i);
+                self.lit(aig, prev, next)
+            })
+            .collect();
+        self.push_fresh_frame(aig);
+        let new_index = self.frames.len() - 1;
+        for (i, next_lit) in next_lits.into_iter().enumerate() {
+            let cur = self.latch_lit(new_index, i);
+            match guards[i] {
+                None => {
+                    self.builder.add_clause([!cur, next_lit]);
+                    self.builder.add_clause([cur, !next_lit]);
+                }
+                Some(guard) => {
+                    self.builder.add_clause([!guard, !cur, next_lit]);
+                    self.builder.add_clause([!guard, cur, !next_lit]);
+                }
+            }
+        }
+        new_index
+    }
+
+    pub(crate) fn assert_initial_guarded(
+        &mut self,
+        aig: &Aig,
+        frame: usize,
+        guards: &[Option<Lit>],
+    ) {
+        assert_eq!(
+            guards.len(),
+            aig.num_latches(),
+            "one guard slot per latch is required"
+        );
+        for (i, &guard) in guards.iter().enumerate() {
+            let lit = self.latch_lit(frame, i);
+            let unit = if aig.init(i) { lit } else { !lit };
+            match guard {
+                None => self.builder.add_unit(unit),
+                Some(guard) => self.builder.add_clause([!guard, unit]),
+            }
+        }
+    }
+
+    pub(crate) fn bad_lit(&mut self, aig: &Aig, frame: usize, index: usize) -> Lit {
+        let bad = aig.bad(index);
+        self.lit(aig, frame, bad)
+    }
+
+    pub(crate) fn assert_lit(&mut self, lit: Lit) {
+        self.builder.add_unit(lit);
+    }
+
+    pub(crate) fn into_cnf(self) -> Cnf {
+        self.builder.into_cnf()
+    }
+
+    pub(crate) fn clauses(&self) -> &[Clause] {
+        self.builder.clauses()
+    }
+
+    pub(crate) fn num_vars(&self) -> u32 {
+        self.builder.num_vars()
+    }
 }
 
 /// Unrolls a sequential AIG over time frames, producing partition-labelled
@@ -50,33 +263,16 @@ struct Frame {
 #[derive(Clone, Debug)]
 pub struct Unroller<'a> {
     aig: &'a Aig,
-    builder: CnfBuilder,
-    frames: Vec<Frame>,
+    core: FrameCore,
 }
 
 impl<'a> Unroller<'a> {
     /// Creates an unroller with a single frame (frame 0) whose latch
     /// variables are freshly allocated.
     pub fn new(aig: &'a Aig) -> Unroller<'a> {
-        let mut builder = CnfBuilder::new();
-        let frame = Self::fresh_frame(aig, &mut builder);
         Unroller {
             aig,
-            builder,
-            frames: vec![frame],
-        }
-    }
-
-    fn fresh_frame(aig: &Aig, builder: &mut CnfBuilder) -> Frame {
-        let latch: Vec<Lit> = (0..aig.num_latches()).map(|_| builder.new_lit()).collect();
-        let mut cache = HashMap::new();
-        for (i, &lit) in latch.iter().enumerate() {
-            cache.insert(aig.latch_node(i), lit);
-        }
-        Frame {
-            latch,
-            input: vec![None; aig.num_inputs()],
-            cache,
+            core: FrameCore::new(aig),
         }
     }
 
@@ -87,18 +283,18 @@ impl<'a> Unroller<'a> {
 
     /// Number of frames created so far (at least 1).
     pub fn num_frames(&self) -> usize {
-        self.frames.len()
+        self.core.num_frames()
     }
 
     /// Gives mutable access to the clause builder (for partition control and
     /// extra clauses).
     pub fn builder_mut(&mut self) -> &mut CnfBuilder {
-        &mut self.builder
+        self.core.builder_mut()
     }
 
     /// Gives read access to the clause builder.
     pub fn builder(&self) -> &CnfBuilder {
-        &self.builder
+        self.core.builder()
     }
 
     /// Returns the SAT literal of latch `latch` at frame `frame`.
@@ -107,26 +303,18 @@ impl<'a> Unroller<'a> {
     ///
     /// Panics if the frame or latch index is out of range.
     pub fn latch_lit(&self, frame: usize, latch: usize) -> Lit {
-        self.frames[frame].latch[latch]
+        self.core.latch_lit(frame, latch)
     }
 
     /// Returns the SAT literals of every latch at frame `frame`.
     pub fn latch_lits(&self, frame: usize) -> Vec<Lit> {
-        self.frames[frame].latch.clone()
+        self.core.latch_lits(frame)
     }
 
     /// Returns (allocating on demand) the SAT literal of primary input
     /// `input` at frame `frame`.
     pub fn input_lit(&mut self, frame: usize, input: usize) -> Lit {
-        if let Some(lit) = self.frames[frame].input[input] {
-            return lit;
-        }
-        let lit = self.builder.new_lit();
-        self.frames[frame].input[input] = Some(lit);
-        self.frames[frame]
-            .cache
-            .insert(self.aig.input_node(input), lit);
-        lit
+        self.core.input_lit(self.aig, frame, input)
     }
 
     /// Encodes (or retrieves from the frame cache) the SAT literal of an AIG
@@ -135,48 +323,13 @@ impl<'a> Unroller<'a> {
     /// Clauses produced during the encoding are tagged with the builder's
     /// current partition.
     pub fn lit(&mut self, frame: usize, lit: aig::Lit) -> Lit {
-        // Pre-allocate input leaves so the closure below never needs &mut self.
-        self.ensure_leaves(frame, lit);
-        let f = &mut self.frames[frame];
-        let cache = &mut f.cache;
-        encode_cone(&mut self.builder, self.aig, lit, cache, &mut |_, id| {
-            // All leaves were pre-allocated by `ensure_leaves`.
-            unreachable!("leaf {id} not pre-allocated")
-        })
-    }
-
-    /// Walks the cone of `lit` and allocates SAT variables for any input
-    /// leaves not yet present in the frame cache.
-    fn ensure_leaves(&mut self, frame: usize, lit: aig::Lit) {
-        let mut stack = vec![lit.node()];
-        let mut seen = std::collections::HashSet::new();
-        let mut needed_inputs = Vec::new();
-        while let Some(id) = stack.pop() {
-            if !seen.insert(id) || self.frames[frame].cache.contains_key(&id) {
-                continue;
-            }
-            match self.aig.node(id) {
-                AigNode::And { left, right } => {
-                    stack.push(left.node());
-                    stack.push(right.node());
-                }
-                AigNode::Input { index } => needed_inputs.push(index),
-                AigNode::Latch { .. } | AigNode::Const => {}
-            }
-        }
-        for index in needed_inputs {
-            let _ = self.input_lit(frame, index);
-        }
+        self.core.lit(self.aig, frame, lit)
     }
 
     /// Asserts that frame `frame` is in the design's initial state (unit
     /// clauses on the latch variables, in the current partition).
     pub fn assert_initial(&mut self, frame: usize) {
-        for i in 0..self.aig.num_latches() {
-            let lit = self.latch_lit(frame, i);
-            let unit = if self.aig.init(i) { lit } else { !lit };
-            self.builder.add_unit(unit);
-        }
+        self.core.assert_initial(self.aig, frame);
     }
 
     /// Adds a new frame and emits the transition constraint
@@ -184,24 +337,7 @@ impl<'a> Unroller<'a> {
     ///
     /// Returns the index of the new frame.
     pub fn add_frame(&mut self) -> usize {
-        let prev = self.frames.len() - 1;
-        // Encode the next-state functions at the previous frame first.
-        let next_lits: Vec<Lit> = (0..self.aig.num_latches())
-            .map(|i| {
-                let next = self.aig.next(i);
-                self.lit(prev, next)
-            })
-            .collect();
-        let frame = Self::fresh_frame(self.aig, &mut self.builder);
-        let new_index = self.frames.len();
-        self.frames.push(frame);
-        for (i, next_lit) in next_lits.into_iter().enumerate() {
-            let cur = self.latch_lit(new_index, i);
-            // cur <-> next_lit
-            self.builder.add_clause([!cur, next_lit]);
-            self.builder.add_clause([cur, !next_lit]);
-        }
-        new_index
+        self.core.add_frame(self.aig)
     }
 
     /// Like [`Unroller::add_frame`], but the transition constraint of latch
@@ -219,35 +355,7 @@ impl<'a> Unroller<'a> {
     ///
     /// Panics if `guards.len()` differs from the number of latches.
     pub fn add_frame_guarded(&mut self, guards: &[Option<Lit>]) -> usize {
-        assert_eq!(
-            guards.len(),
-            self.aig.num_latches(),
-            "one guard slot per latch is required"
-        );
-        let prev = self.frames.len() - 1;
-        let next_lits: Vec<Lit> = (0..self.aig.num_latches())
-            .map(|i| {
-                let next = self.aig.next(i);
-                self.lit(prev, next)
-            })
-            .collect();
-        let frame = Self::fresh_frame(self.aig, &mut self.builder);
-        let new_index = self.frames.len();
-        self.frames.push(frame);
-        for (i, next_lit) in next_lits.into_iter().enumerate() {
-            let cur = self.latch_lit(new_index, i);
-            match guards[i] {
-                None => {
-                    self.builder.add_clause([!cur, next_lit]);
-                    self.builder.add_clause([cur, !next_lit]);
-                }
-                Some(guard) => {
-                    self.builder.add_clause([!guard, !cur, next_lit]);
-                    self.builder.add_clause([!guard, cur, !next_lit]);
-                }
-            }
-        }
-        new_index
+        self.core.add_frame_guarded(self.aig, guards)
     }
 
     /// Like [`Unroller::assert_initial`], but the reset-value constraint of
@@ -257,46 +365,33 @@ impl<'a> Unroller<'a> {
     ///
     /// Panics if `guards.len()` differs from the number of latches.
     pub fn assert_initial_guarded(&mut self, frame: usize, guards: &[Option<Lit>]) {
-        assert_eq!(
-            guards.len(),
-            self.aig.num_latches(),
-            "one guard slot per latch is required"
-        );
-        for (i, &guard) in guards.iter().enumerate() {
-            let lit = self.latch_lit(frame, i);
-            let unit = if self.aig.init(i) { lit } else { !lit };
-            match guard {
-                None => self.builder.add_unit(unit),
-                Some(guard) => self.builder.add_clause([!guard, unit]),
-            }
-        }
+        self.core.assert_initial_guarded(self.aig, frame, guards);
     }
 
     /// Encodes bad-state literal `index` of the design at frame `frame`.
     pub fn bad_lit(&mut self, frame: usize, index: usize) -> Lit {
-        let bad = self.aig.bad(index);
-        self.lit(frame, bad)
+        self.core.bad_lit(self.aig, frame, index)
     }
 
     /// Asserts an already-encoded SAT literal as a unit clause in the
     /// current partition.
     pub fn assert_lit(&mut self, lit: Lit) {
-        self.builder.add_unit(lit);
+        self.core.assert_lit(lit);
     }
 
     /// Consumes the unroller and returns the accumulated CNF.
     pub fn into_cnf(self) -> Cnf {
-        self.builder.into_cnf()
+        self.core.into_cnf()
     }
 
     /// Returns a snapshot of the clauses accumulated so far.
     pub fn clauses(&self) -> &[Clause] {
-        self.builder.clauses()
+        self.core.clauses()
     }
 
     /// Returns the number of SAT variables allocated so far.
     pub fn num_vars(&self) -> u32 {
-        self.builder.num_vars()
+        self.core.num_vars()
     }
 }
 

@@ -4,25 +4,214 @@
 //! the interpolation engines are built on and because the paper repeatedly
 //! contrasts the cost of the three target formulations (*bound-k*,
 //! *exact-k*, *exact-assume-k*).
+//!
+//! # Incremental unrolling
+//!
+//! The bound loop runs on one persistent [`cnf::IncrementalUnroller`] and
+//! one long-lived [`sat::IncrementalSolver`] per run: bound `k+1` extends
+//! bound `k`'s solver with only the *delta* clauses of the new frame, so
+//! total encoding work across a `max_bound = K` run is `O(K)` (the scratch
+//! path re-encoded all `k` frames at every bound, `O(K²)`), and learned
+//! clauses survive from bound to bound.  The per-bound targets become
+//! incremental constraints:
+//!
+//! * **exact-k** — the target `¬p(V^k)` is passed as an *assumption*, so
+//!   nothing has to be retracted at the next bound;
+//! * **exact-assume-k** — same assumption, plus the permanent unit
+//!   `p(V^{k-1})` once bound `k-1` is refuted (the property held there, so
+//!   the constraint is sound for every later bound);
+//! * **bound-k** — the growing disjunction `⋁_{i≤k} ¬p(V^i)` is asserted
+//!   through a per-bound [assertion group](sat::IncrementalSolver::assert_group)
+//!   whose activation literal is allocated by the *unroller* (one
+//!   variable-numbering authority), retired when the bound grows.
+//!
+//! Verdicts and counterexample depths are identical to the scratch path by
+//! construction — each bound solves an equisatisfiable formula, and the
+//! loop still reports the first satisfiable bound (see the
+//! scratch-vs-incremental cross-check in the tests).
 
-use crate::engines::CancelToken;
+use crate::engines::{CancelToken, RunBudget};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
-use cnf::BmcCheck;
-use sat::{SolveResult, Solver};
-use std::time::Instant;
+use cnf::{BmcCheck, IncrementalUnroller};
+use sat::{IncrementalSolver, SolveResult, Solver, SolverStats};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Returns `true` when a bad state is already reachable at depth 0, i.e.
-/// the initial states themselves violate the property.  All engines run
-/// this check before their main loops, which start at bound 1.
-pub(crate) fn initial_violation(aig: &Aig, bad_index: usize) -> bool {
+/// Outcome of the depth-0 check every engine runs before its main loop.
+enum Depth0 {
+    /// The initial states themselves violate the property.
+    Violated,
+    /// No violation at depth 0; the main loop may start at bound 1.
+    Safe,
+    /// The check was interrupted (cancellation or deadline) before an
+    /// answer.
+    Interrupted,
+}
+
+/// Result and cost of a depth-0 check (see [`initial_violation`]).
+struct Depth0Check {
+    outcome: Depth0,
+    /// Conflicts spent by the solver — callers fold this into
+    /// [`EngineStats::conflicts`] so table1 does not undercount.
+    conflicts: u64,
+    /// Clauses handed to the solver.
+    clauses: u64,
+    /// Time spent encoding (not solving) the instance.
+    encode_time: Duration,
+}
+
+/// Checks whether a bad state is already reachable at depth 0, i.e. the
+/// initial states themselves violate the property.  All engines run this
+/// check before their main loops, which start at bound 1.
+///
+/// The `interrupt` flag (a [`CancelToken`] flag or a `RunBudget` flag)
+/// reaches the solver, so even a hostile depth-0 instance stays
+/// cancellable.
+fn initial_violation(
+    aig: &Aig,
+    bad_index: usize,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> Depth0Check {
+    let encode_start = Instant::now();
     let mut unroller = cnf::Unroller::new(aig);
     unroller.assert_initial(0);
     let bad = unroller.bad_lit(0, bad_index);
     unroller.assert_lit(bad);
+    let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
-    solver.add_cnf(&unroller.into_cnf());
-    solver.solve() == SolveResult::Sat
+    solver.set_interrupt(interrupt);
+    solver.add_cnf(&cnf);
+    let encode_time = encode_start.elapsed();
+    let outcome = match solver.solve() {
+        SolveResult::Sat => Depth0::Violated,
+        SolveResult::Unsat => Depth0::Safe,
+        SolveResult::Interrupted => Depth0::Interrupted,
+    };
+    Depth0Check {
+        outcome,
+        conflicts: solver.stats().conflicts,
+        clauses: cnf.clauses.len() as u64,
+        encode_time,
+    }
+}
+
+/// Runs the depth-0 check shared by every engine's entry point under the
+/// run's budget flag, folds its costs into `stats`, and returns the final
+/// verdict when the run is already decided: a violation at depth 0, or an
+/// interrupt (whose reason — `"cancelled"` or `"timeout"` — is read off
+/// the budget *after* the solve, so a cancellation arriving mid-check is
+/// reported as such).  `None` means the initial states are safe and the
+/// main loop may start.
+pub(crate) fn depth0_verdict(
+    aig: &Aig,
+    bad_index: usize,
+    budget: &RunBudget,
+    stats: &mut EngineStats,
+) -> Option<Verdict> {
+    let depth0 = initial_violation(aig, bad_index, Some(budget.flag()));
+    stats.sat_calls += 1;
+    stats.conflicts += depth0.conflicts;
+    stats.clauses_encoded += depth0.clauses;
+    stats.encode_time += depth0.encode_time;
+    match depth0.outcome {
+        Depth0::Violated => Some(Verdict::Falsified { depth: 0 }),
+        Depth0::Interrupted => Some(Verdict::Inconclusive {
+            reason: budget.interrupt_reason().to_string(),
+            bound_reached: 0,
+        }),
+        Depth0::Safe => None,
+    }
+}
+
+/// The persistent state of an incremental BMC run: the unrolling cache,
+/// the long-lived solver and the per-bound target bookkeeping.
+struct IncrementalBmc {
+    unroller: IncrementalUnroller,
+    solver: IncrementalSolver,
+    check: BmcCheck,
+    bad_index: usize,
+    /// Frames unrolled so far (`bads[f - 1]` is the bad literal at frame
+    /// `f`).
+    bound: usize,
+    bads: Vec<cnf::Lit>,
+    /// The live bound-k target group (bound-k formulation only).
+    group: Option<sat::ClauseGuard>,
+}
+
+impl IncrementalBmc {
+    fn new(
+        aig: &Aig,
+        bad_index: usize,
+        check: BmcCheck,
+        interrupt: Arc<AtomicBool>,
+        stats: &mut EngineStats,
+    ) -> IncrementalBmc {
+        let encode_start = Instant::now();
+        let mut unroller = IncrementalUnroller::new(aig);
+        unroller.assert_initial(0);
+        let mut solver = IncrementalSolver::new();
+        // Recycling could only reclaim solver-allocated activation
+        // variables, and this engine allocates all of its (unroller-owned)
+        // variables itself — turn it off so the solver does not record a
+        // replay copy of the whole unrolling.
+        solver.set_recycle_threshold(0);
+        solver.set_interrupt(Some(interrupt));
+        stats.encode_time += encode_start.elapsed();
+        IncrementalBmc {
+            unroller,
+            solver,
+            check,
+            bad_index,
+            bound: 0,
+            bads: Vec::new(),
+            group: None,
+        }
+    }
+
+    /// Extends the unrolling and the solver by one frame and installs the
+    /// next bound's target; returns the assumptions for its solve call.
+    fn advance(&mut self, stats: &mut EngineStats) -> Vec<cnf::Lit> {
+        let encode_start = Instant::now();
+        let k = self.bound + 1;
+        // The previous bound's target must not constrain this one.
+        if let Some(guard) = self.group.take() {
+            self.solver.retire(guard);
+        }
+        // assume-k: bound k-1 was refuted, so the property held there —
+        // from now on `p(V^{k-1})` is a permanent constraint.
+        if self.check == BmcCheck::ExactAssume && k >= 2 {
+            let bad_prev = self.bads[k - 2];
+            self.solver.add_clause([!bad_prev]);
+            stats.clauses_encoded += 1;
+        }
+        self.unroller.add_frame();
+        let bad = self.unroller.bad_lit(k, self.bad_index);
+        self.bads.push(bad);
+        // Only the delta reaches the solver; everything older is already
+        // loaded (and its learned clauses are still alive).
+        for clause in self.unroller.pending_clauses() {
+            self.solver.add_clause(clause.lits.iter().copied());
+        }
+        stats.clauses_encoded += self.unroller.pending_clauses().len() as u64;
+        self.unroller.mark_drained();
+        self.bound = k;
+        let assumptions = match self.check {
+            BmcCheck::Exact | BmcCheck::ExactAssume => vec![bad],
+            BmcCheck::Bound => {
+                // The growing disjunction is re-asserted under a fresh
+                // activation literal — allocated by the unroller, so frame
+                // variables and activation variables can never collide.
+                let activation = self.unroller.builder_mut().new_lit();
+                self.group = Some(self.solver.assert_group(activation, [self.bads.clone()]));
+                stats.clauses_encoded += 1;
+                Vec::new()
+            }
+        };
+        stats.encode_time += encode_start.elapsed();
+        assumptions
+    }
 }
 
 /// Runs BMC on bad-state property `bad_index`, increasing the bound until a
@@ -32,7 +221,9 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
 }
 
 /// [`verify`] under a cancellation token: the bound loop and each SAT
-/// query stop soon after the token is cancelled.
+/// query stop soon after the token is cancelled *or* the wall-clock budget
+/// runs out (a `RunBudget` watchdog raises the solver interrupt flag, so
+/// even one long query cannot overshoot `options.timeout` arbitrarily).
 pub fn verify_with_cancel(
     aig: &Aig,
     bad_index: usize,
@@ -40,80 +231,86 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
+    let budget = RunBudget::arm(cancel, start, options.timeout);
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
-    if initial_violation(aig, bad_index) {
-        stats.sat_calls += 1;
+    let finish = |mut stats: EngineStats, verdict: Verdict| {
         stats.time = start.elapsed();
-        return EngineResult {
-            verdict: Verdict::Falsified { depth: 0 },
-            stats,
-        };
+        EngineResult { verdict, stats }
+    };
+
+    if let Some(verdict) = depth0_verdict(aig, bad_index, &budget, &mut stats) {
+        return finish(stats, verdict);
     }
-    stats.sat_calls += 1;
+
     // `bound-k` already covers all depths up to k, so for plain BMC the
-    // exact/assume schemes are the natural incremental formulations.
-    let check = options.check;
+    // exact/assume schemes are the natural incremental formulations; all
+    // three now run on one persistent unroller + solver pair.
+    let mut incremental =
+        IncrementalBmc::new(aig, bad_index, options.check, budget.flag(), &mut stats);
     for k in 1..=options.max_bound {
-        if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
-            stats.time = start.elapsed();
-            return EngineResult {
-                verdict: Verdict::Inconclusive {
+        if let Some(reason) = budget.stop_reason() {
+            return finish(
+                stats,
+                Verdict::Inconclusive {
                     reason: reason.to_string(),
                     bound_reached: k.saturating_sub(1),
                 },
-                stats,
-            };
+            );
         }
-        let instance = cnf::bmc::build(aig, bad_index, k, check);
-        let mut solver = Solver::new();
-        solver.set_interrupt(Some(cancel.flag()));
-        solver.add_cnf(&instance.cnf);
+        let assumptions = incremental.advance(&mut stats);
         stats.sat_calls += 1;
-        let result = solver.solve();
-        stats.conflicts += solver.stats().conflicts;
+        let conflicts_before = incremental.solver.stats().conflicts;
+        let result = incremental.solver.solve(&assumptions);
+        stats.conflicts += incremental.solver.stats().conflicts - conflicts_before;
         match result {
             SolveResult::Sat => {
-                stats.time = start.elapsed();
-                return EngineResult {
-                    verdict: Verdict::Falsified { depth: k },
-                    stats,
-                };
+                return finish(stats, Verdict::Falsified { depth: k });
             }
             SolveResult::Unsat => {}
             // Answering "no counterexample at k" without solving would let
             // the loop report a non-minimal depth later — stop instead.
             SolveResult::Interrupted => {
-                stats.time = start.elapsed();
-                return EngineResult {
-                    verdict: Verdict::Inconclusive {
-                        reason: "cancelled".to_string(),
+                return finish(
+                    stats,
+                    Verdict::Inconclusive {
+                        reason: budget.interrupt_reason().to_string(),
                         bound_reached: k - 1,
                     },
-                    stats,
-                };
+                );
             }
         }
     }
-    stats.time = start.elapsed();
-    EngineResult {
-        verdict: Verdict::Inconclusive {
+    finish(
+        stats,
+        Verdict::Inconclusive {
             reason: "bound exhausted".to_string(),
             bound_reached: options.max_bound,
         },
-        stats,
-    }
+    )
 }
 
 /// Checks a single bound and returns whether a counterexample of that exact
 /// formulation exists.
 pub fn check_bound(aig: &Aig, bad_index: usize, bound: usize, check: BmcCheck) -> bool {
+    check_bound_with_stats(aig, bad_index, bound, check).0
+}
+
+/// [`check_bound`] plus the solver statistics of the query, so callers can
+/// fold the conflicts into their own accounting instead of dropping them.
+pub fn check_bound_with_stats(
+    aig: &Aig,
+    bad_index: usize,
+    bound: usize,
+    check: BmcCheck,
+) -> (bool, SolverStats) {
     let instance = cnf::bmc::build(aig, bad_index, bound, check);
     let mut solver = Solver::new();
     solver.add_cnf(&instance.cnf);
-    solver.solve() == SolveResult::Sat
+    let violated = solver.solve() == SolveResult::Sat;
+    (violated, solver.stats())
 }
 
 #[cfg(test)]
@@ -132,6 +329,85 @@ mod tests {
         let bad = word_equals_const(&mut aig, &lits, bad_at);
         aig.add_bad(bad);
         aig
+    }
+
+    /// An always-safe design with enough combinational logic that every
+    /// frame contributes a measurable clause delta.
+    fn safe_counter(width: usize) -> Aig {
+        // A modular counter can never reach a value outside its range.
+        let mut aig = Aig::new();
+        let (ids, lits) = latch_word(&mut aig, width, 0);
+        let next = word_increment(&mut aig, &lits, aig::Lit::TRUE);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let hi = word_equals_const(&mut aig, &lits, (1 << width) - 1);
+        let lo = word_equals_const(&mut aig, &lits, 0);
+        // "top value and zero at once" is unsatisfiable combinationally.
+        let bad = aig.and(hi, lo);
+        aig.add_bad(bad);
+        aig
+    }
+
+    /// A design whose depth-0 check is a pigeonhole refutation: hostile
+    /// for the solver, trivial for a working interrupt hook.
+    fn hostile_depth0(holes: usize) -> Aig {
+        let mut aig = Aig::new();
+        let pigeons = holes + 1;
+        let var: Vec<Vec<aig::Lit>> = (0..pigeons)
+            .map(|_| {
+                (0..holes)
+                    .map(|_| aig::Lit::positive(aig.add_input()))
+                    .collect()
+            })
+            .collect();
+        let mut formula = aig::Lit::TRUE;
+        for row in &var {
+            let mut any = aig::Lit::FALSE;
+            for &v in row {
+                any = aig.or(any, v);
+            }
+            formula = aig.and(formula, any);
+        }
+        for h in 0..holes {
+            for (p1, row1) in var.iter().enumerate() {
+                for row2 in &var[p1 + 1..] {
+                    let both = aig.and(row1[h], row2[h]);
+                    formula = aig.and(formula, !both);
+                }
+            }
+        }
+        let l = aig.add_latch(false);
+        aig.set_next(l, aig.latch_lit(l));
+        aig.add_bad(formula);
+        aig
+    }
+
+    /// The pre-incremental reference: rebuild the instance from scratch at
+    /// every bound, exactly as the engine did before the unrolling cache.
+    fn verify_scratch(aig: &Aig, bad_index: usize, options: &Options) -> (Verdict, u64) {
+        let mut sat_calls = 0u64;
+        let depth0 = initial_violation(aig, bad_index, None);
+        sat_calls += 1;
+        if matches!(depth0.outcome, Depth0::Violated) {
+            return (Verdict::Falsified { depth: 0 }, sat_calls);
+        }
+        for k in 1..=options.max_bound {
+            let instance = cnf::bmc::build(aig, bad_index, k, options.check);
+            let mut solver = Solver::new();
+            solver.add_cnf(&instance.cnf);
+            sat_calls += 1;
+            if solver.solve() == SolveResult::Sat {
+                return (Verdict::Falsified { depth: k }, sat_calls);
+            }
+        }
+        (
+            Verdict::Inconclusive {
+                reason: "bound exhausted".to_string(),
+                bound_reached: options.max_bound,
+            },
+            sat_calls,
+        )
     }
 
     #[test]
@@ -176,5 +452,122 @@ mod tests {
         assert!(check_bound(&aig, 0, 5, BmcCheck::Exact));
         assert!(check_bound(&aig, 0, 5, BmcCheck::ExactAssume));
         assert!(check_bound(&aig, 0, 6, BmcCheck::Bound));
+    }
+
+    #[test]
+    fn check_bound_reports_its_solver_stats() {
+        let aig = counter(4, 11);
+        let (violated, stats) = check_bound_with_stats(&aig, 0, 11, BmcCheck::Exact);
+        assert!(violated);
+        assert!(
+            stats.propagations > 0,
+            "an 11-frame query must do real work"
+        );
+    }
+
+    #[test]
+    fn incremental_loop_matches_the_scratch_loop() {
+        // Same verdicts, counterexample depths and SAT-call counts as the
+        // per-bound rebuild, for every formulation, on failing and safe
+        // designs.
+        let designs = [counter(3, 5), counter(4, 9), counter(2, 2), safe_counter(3)];
+        for check in [BmcCheck::Bound, BmcCheck::Exact, BmcCheck::ExactAssume] {
+            for aig in &designs {
+                let options = Options::default().with_max_bound(12).with_check(check);
+                let incremental = verify(aig, 0, &options);
+                let (scratch_verdict, scratch_calls) = verify_scratch(aig, 0, &options);
+                assert_eq!(incremental.verdict, scratch_verdict, "{check:?}");
+                assert_eq!(incremental.stats.sat_calls, scratch_calls, "{check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_encoding_work_grows_linearly_with_the_bound() {
+        // The acceptance criterion of the unrolling cache: clauses handed
+        // to the solver across a max_bound = K run are O(K).  Doubling the
+        // bound must roughly double (not quadruple) the volume, for every
+        // formulation.
+        let aig = safe_counter(4);
+        for check in [BmcCheck::Bound, BmcCheck::Exact, BmcCheck::ExactAssume] {
+            let run = |bound: usize| {
+                let result = verify(
+                    &aig,
+                    0,
+                    &Options::default().with_max_bound(bound).with_check(check),
+                );
+                assert!(
+                    !result.verdict.is_conclusive(),
+                    "safe design must exhaust the bound"
+                );
+                result.stats.clauses_encoded
+            };
+            let (half, full) = (run(10), run(20));
+            assert!(half > 0);
+            assert!(
+                full < 2 * half,
+                "{check:?}: encoding must be linear in the bound, got {half} vs {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_depth0_check_is_cancellable() {
+        // Regression: the depth-0 solver used to be built without an
+        // interrupt hook, so a pre-cancelled portfolio token still had to
+        // sit through the whole (here: pigeonhole-hard) refutation.
+        let aig = hostile_depth0(10);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = Instant::now();
+        let result = verify_with_cancel(&aig, 0, &Options::default(), &cancel);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "cancelled depth-0 check must stop promptly"
+        );
+        assert_eq!(
+            result.verdict,
+            Verdict::Inconclusive {
+                reason: "cancelled".to_string(),
+                bound_reached: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_interrupts_a_single_long_solve() {
+        // Regression: the loop only compared `options.timeout` between
+        // bounds, so one long SAT call overshot the budget arbitrarily.
+        let aig = hostile_depth0(10);
+        let options = Options::default().with_timeout(Duration::from_millis(50));
+        let start = Instant::now();
+        let result = verify(&aig, 0, &options);
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "the deadline watchdog must interrupt the solve"
+        );
+        assert_eq!(
+            result.verdict,
+            Verdict::Inconclusive {
+                reason: "timeout".to_string(),
+                bound_reached: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn depth0_conflicts_reach_the_engine_stats() {
+        // A small pigeonhole cone makes the depth-0 refutation conflict
+        // for real; those conflicts used to be dropped on the floor.
+        let aig = hostile_depth0(4);
+        let depth0 = initial_violation(&aig, 0, None);
+        assert!(matches!(depth0.outcome, Depth0::Safe));
+        assert!(depth0.conflicts > 0, "php(4) must conflict");
+        // With max_bound = 0 the engine's statistics are exactly the
+        // depth-0 check's, so the accumulation is observable end to end.
+        let result = verify(&aig, 0, &Options::default().with_max_bound(0));
+        assert!(result.stats.conflicts > 0);
+        assert!(result.stats.clauses_encoded > 0);
+        assert_eq!(result.stats.sat_calls, 1);
     }
 }

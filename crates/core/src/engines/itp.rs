@@ -7,7 +7,7 @@
 //! substituted for `S0` and the process repeats until either a fixed point
 //! proves the property or a satisfiable instance forces the bound to grow.
 
-use crate::engines::CancelToken;
+use crate::engines::{CancelToken, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -60,12 +60,13 @@ fn build_bound_instance(
 fn solve(
     cnf: &cnf::Cnf,
     stats: &mut EngineStats,
-    cancel: &CancelToken,
+    budget: &RunBudget,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
-    solver.set_interrupt(Some(cancel.flag()));
+    solver.set_interrupt(Some(budget.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
+    stats.clauses_encoded += cnf.clauses.len() as u64;
     let result = solver.solve();
     stats.conflicts += solver.stats().conflicts;
     let proof = if result == SolveResult::Unsat {
@@ -115,19 +116,17 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
+    let budget = RunBudget::arm(cancel, start, options.timeout);
     let mut stats = EngineStats {
         visible_latches: design.num_latches(),
         ..EngineStats::default()
     };
-    if crate::engines::bmc::initial_violation(design, bad_index) {
-        stats.sat_calls += 1;
+    if let Some(verdict) =
+        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats)
+    {
         stats.time = start.elapsed();
-        return EngineResult {
-            verdict: Verdict::Falsified { depth: 0 },
-            stats,
-        };
+        return EngineResult { verdict, stats };
     }
-    stats.sat_calls += 1;
 
     let mut space = StateSpace::new(design.num_latches());
     let s0 = space.initial_states(design);
@@ -150,8 +149,10 @@ pub fn verify_with_cancel(
             );
         }
         // Initial check from the real initial states.
+        let encode_start = Instant::now();
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
-        let (result, proof) = solve(&instance.cnf, &mut stats, cancel);
+        stats.encode_time += encode_start.elapsed();
+        let (result, proof) = solve(&instance.cnf, &mut stats, &budget);
         if result == SolveResult::Sat {
             // bound-(k-1) was unsatisfiable, so the counterexample has
             // length exactly k.
@@ -161,7 +162,7 @@ pub fn verify_with_cancel(
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: "cancelled".to_string(),
+                    reason: budget.interrupt_reason().to_string(),
                     bound_reached: k - 1,
                 },
                 start,
@@ -200,8 +201,10 @@ pub fn verify_with_cancel(
                     start,
                 );
             }
+            let encode_start = Instant::now();
             instance = build_bound_instance(design, bad_index, k, Some((&space, itp)), &identity);
-            let (result, next_proof) = solve(&instance.cnf, &mut stats, cancel);
+            stats.encode_time += encode_start.elapsed();
+            let (result, next_proof) = solve(&instance.cnf, &mut stats, &budget);
             if result == SolveResult::Sat {
                 // Spurious hit from the over-approximated frontier: deepen.
                 break;
@@ -210,7 +213,7 @@ pub fn verify_with_cancel(
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: "cancelled".to_string(),
+                        reason: budget.interrupt_reason().to_string(),
                         bound_reached: k,
                     },
                     start,

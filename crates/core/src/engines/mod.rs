@@ -91,6 +91,102 @@ pub(crate) fn stop_reason(
     }
 }
 
+/// How often the [`RunBudget`] watchdog re-examines the cancellation token
+/// and the deadline.
+const BUDGET_POLL: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// The per-run stop machinery of the bound-loop engines: a cancellation
+/// token *and* a wall-clock deadline, both surfaced to the SAT layer
+/// through one shared interrupt flag.
+///
+/// Checking `options.timeout` only between bounds lets a single long SAT
+/// call overshoot the budget arbitrarily; a `RunBudget` instead arms a
+/// watchdog thread that raises the interrupt flag as soon as either the
+/// token is cancelled or the deadline passes, so every solve stops within
+/// a bounded number of conflicts of the budget running out — exactly what
+/// the portfolio's token already did for cancellation, extended to the
+/// standalone timeout path.
+///
+/// The watchdog exits when the budget is dropped (the run finished) and
+/// is joined there, so no thread outlives its engine run.
+pub(crate) struct RunBudget {
+    cancel: CancelToken,
+    start: std::time::Instant,
+    timeout: std::time::Duration,
+    flag: Arc<AtomicBool>,
+    stop: Option<std::sync::mpsc::Sender<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunBudget {
+    /// Arms a watchdog for a run that started at `start` with wall-clock
+    /// budget `timeout`, observing `cancel`.
+    pub fn arm(
+        cancel: &CancelToken,
+        start: std::time::Instant,
+        timeout: std::time::Duration,
+    ) -> RunBudget {
+        let flag = Arc::new(AtomicBool::new(cancel.is_cancelled()));
+        let deadline = start.checked_add(timeout);
+        let (stop, wake) = std::sync::mpsc::channel::<()>();
+        let token = cancel.clone();
+        let shared = Arc::clone(&flag);
+        let watchdog = std::thread::spawn(move || loop {
+            let now = std::time::Instant::now();
+            if token.is_cancelled() || deadline.is_some_and(|d| now >= d) {
+                shared.store(true, Ordering::Release);
+                return;
+            }
+            let wait = deadline
+                .map(|d| d.saturating_duration_since(now).min(BUDGET_POLL))
+                .unwrap_or(BUDGET_POLL)
+                .max(std::time::Duration::from_millis(1));
+            match wake.recv_timeout(wait) {
+                // The run finished (sender dropped or explicit stop).
+                Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            }
+        });
+        RunBudget {
+            cancel: cancel.clone(),
+            start,
+            timeout,
+            flag,
+            stop: Some(stop),
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// The shared interrupt flag, in the form the SAT layer consumes.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// The between-bounds stop decision (see [`stop_reason`]).
+    pub fn stop_reason(&self) -> Option<&'static str> {
+        stop_reason(&self.cancel, self.start, self.timeout)
+    }
+
+    /// The reason behind a [`sat::SolveResult::Interrupted`] answer:
+    /// cancellation takes precedence, anything else was the deadline.
+    pub fn interrupt_reason(&self) -> &'static str {
+        if self.cancel.is_cancelled() {
+            "cancelled"
+        } else {
+            "timeout"
+        }
+    }
+}
+
+impl Drop for RunBudget {
+    fn drop(&mut self) {
+        drop(self.stop.take());
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +207,51 @@ mod tests {
         let flag = token.flag();
         token.cancel();
         assert!(flag.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn run_budget_starts_raised_for_a_cancelled_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::arm(
+            &token,
+            std::time::Instant::now(),
+            std::time::Duration::from_secs(600),
+        );
+        assert!(budget.flag().load(Ordering::Acquire));
+        assert_eq!(budget.interrupt_reason(), "cancelled");
+        assert_eq!(budget.stop_reason(), Some("cancelled"));
+    }
+
+    #[test]
+    fn run_budget_raises_the_flag_at_the_deadline() {
+        let budget = RunBudget::arm(
+            &CancelToken::new(),
+            std::time::Instant::now(),
+            std::time::Duration::from_millis(1),
+        );
+        let flag = budget.flag();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !flag.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watchdog must raise the flag promptly"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(budget.interrupt_reason(), "timeout");
+    }
+
+    #[test]
+    fn run_budget_watchdog_exits_on_drop() {
+        // Arming and dropping immediately must not dead-lock the join.
+        for _ in 0..8 {
+            let budget = RunBudget::arm(
+                &CancelToken::new(),
+                std::time::Instant::now(),
+                std::time::Duration::from_secs(600),
+            );
+            drop(budget);
+        }
     }
 }

@@ -61,7 +61,7 @@ mod frames;
 mod generalize;
 mod obligations;
 
-use crate::engines::{pool, CancelToken};
+use crate::engines::{pool, CancelToken, RunBudget};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::{Cnf, Lit, Unroller};
@@ -82,7 +82,8 @@ pub fn verify(aig: &Aig, bad_index: usize, options: &Options) -> EngineResult {
 
 /// [`verify`] under a cancellation token: the outer loop, the blocking
 /// phase, propagation, generalization and every SAT query stop soon after
-/// the token is cancelled.
+/// the token is cancelled or the wall-clock budget runs out (the deadline
+/// reaches the solvers through the same interrupt flag).
 pub fn verify_with_cancel(
     aig: &Aig,
     bad_index: usize,
@@ -94,16 +95,13 @@ pub fn verify_with_cancel(
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
-    if crate::engines::bmc::initial_violation(aig, bad_index) {
-        stats.sat_calls += 1;
+    let budget = RunBudget::arm(cancel, start, options.timeout);
+    if let Some(verdict) = crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats)
+    {
         stats.time = start.elapsed();
-        return EngineResult {
-            verdict: Verdict::Falsified { depth: 0 },
-            stats,
-        };
+        return EngineResult { verdict, stats };
     }
-    stats.sat_calls += 1;
-    Pdr::new(aig, bad_index, options, start, stats, cancel).run()
+    Pdr::new(aig, bad_index, options, start, stats, &budget).run()
 }
 
 /// Outcome of one relative-induction query.
@@ -133,7 +131,7 @@ struct Pdr<'a> {
     options: &'a Options,
     start: Instant,
     stats: EngineStats,
-    cancel: &'a CancelToken,
+    budget: &'a RunBudget,
     /// Worker threads for the parallel frame phases (1 = sequential).
     threads: usize,
     /// The (unique) initial state, one value per latch.
@@ -167,7 +165,7 @@ impl<'a> Pdr<'a> {
         options: &'a Options,
         start: Instant,
         stats: EngineStats,
-        cancel: &'a CancelToken,
+        budget: &'a RunBudget,
     ) -> Pdr<'a> {
         let mut unroller = Unroller::new(aig);
         for input in 0..aig.num_inputs() {
@@ -195,19 +193,19 @@ impl<'a> Pdr<'a> {
 
         let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
         let mut init_solver = IncrementalSolver::with_base(&template);
-        init_solver.set_interrupt(Some(cancel.flag()));
+        init_solver.set_interrupt(Some(budget.flag()));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
         }
         let mut lift = IncrementalSolver::with_base(&template);
-        lift.set_interrupt(Some(cancel.flag()));
+        lift.set_interrupt(Some(budget.flag()));
 
         Pdr {
             options,
             start,
             stats,
-            cancel,
+            budget,
             threads: options.effective_threads().max(1),
             init,
             template,
@@ -275,20 +273,19 @@ impl<'a> Pdr<'a> {
     /// Returns `true` when the engine must stop: the time budget ran out
     /// or the supervisor cancelled the run.
     fn stopped(&self) -> bool {
-        crate::engines::stop_reason(self.cancel, self.start, self.options.timeout).is_some()
+        self.budget.stop_reason().is_some()
     }
 
     /// The reason to report for a stop, cancellation taking precedence.
     fn stop_reason(&self) -> &'static str {
-        crate::engines::stop_reason(self.cancel, self.start, self.options.timeout)
-            .unwrap_or("timeout")
+        self.budget.stop_reason().unwrap_or("timeout")
     }
 
     /// Opens frame `k`: a fresh unconstrained frontier with its own solver.
     fn extend(&mut self) {
         self.frames.push_frame();
         let mut solver = IncrementalSolver::with_base(&self.template);
-        solver.set_interrupt(Some(self.cancel.flag()));
+        solver.set_interrupt(Some(self.budget.flag()));
         self.solvers.push(solver);
     }
 

@@ -82,6 +82,15 @@ pub fn verify_with_cancel(
         })
         .collect();
 
+    // An already-cancelled outer token must reach the entrants *before*
+    // they start: otherwise a fast entrant could race to a conclusive
+    // verdict inside the first poll interval of the loop below.
+    if cancel.is_cancelled() {
+        for token in &tokens {
+            token.cancel();
+        }
+    }
+
     let (tx, rx) = mpsc::channel::<(usize, EngineResult)>();
     let collected: Vec<Option<EngineResult>> = std::thread::scope(|scope| {
         for (slot, &engine) in ENTRANTS.iter().enumerate() {

@@ -17,11 +17,11 @@
 //! columns) and does not depend on this module.
 
 use crate::abstraction::Abstraction;
-use crate::engines::CancelToken;
+use crate::engines::{CancelToken, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
-use cnf::{BmcCheck, Unroller};
+use cnf::{BmcCheck, Clause, IncrementalUnroller, Unroller};
 use itp::InterpolationContext;
 use sat::{Proof, SolveResult, Solver};
 use std::collections::HashMap;
@@ -38,7 +38,10 @@ pub(crate) struct SeqConfig {
 
 /// How frame 0 of an unrolling is constrained.
 enum InitKind<'a> {
-    /// The design's reset state.
+    /// The design's reset state.  The engine itself now serves reset
+    /// instances from [`CachedUnrolling`]; this variant remains as the
+    /// scratch reference the cache is tested bit-identical against.
+    #[cfg_attr(not(test), allow(dead_code))]
     Reset,
     /// An arbitrary symbolic state set (used by serial steps).
     Set {
@@ -52,6 +55,94 @@ enum InitKind<'a> {
 struct SeqInstance {
     cnf: cnf::Cnf,
     frame_latches: Vec<Vec<cnf::Lit>>,
+}
+
+/// The per-run unrolling cache of the main bound loop: a persistent
+/// [`IncrementalUnroller`] that keeps the reset-state unrolling of the
+/// (possibly abstract) model alive across bounds, so growing the bound
+/// only Tseitin-encodes the new frame instead of all `k` of them.
+///
+/// The produced instances are **bit-identical** to what
+/// [`build_instance`] with [`InitKind::Reset`] builds from scratch — same
+/// clauses, same order, same variable numbering, same partition labels —
+/// because frame `f`'s clauses carry the same partition (`f + 1`) at every
+/// bound and the bad cone of frame `f` always lands in partition `f + 2`
+/// whether it is encoded as the bound-`f` target or as the assume-`k`
+/// property constraint of a later bound (the tests pin this equality
+/// down).  Only the per-bound target *unit* differs between bounds, so it
+/// is kept out of the cache and appended to each snapshot.
+///
+/// The proof-logging SAT solver is deliberately *not* shared: every bound
+/// solves a fresh snapshot, because the interpolation queries need a
+/// refutation of exactly the bound-`k` partition layout.
+struct CachedUnrolling {
+    unroller: IncrementalUnroller,
+    bad_index: usize,
+    check: BmcCheck,
+    /// Frames unrolled so far (0 = only the initial frame).
+    bound: usize,
+}
+
+impl CachedUnrolling {
+    fn new(model: &Aig, bad_index: usize, check: BmcCheck) -> CachedUnrolling {
+        let mut unroller = IncrementalUnroller::new(model);
+        unroller.builder_mut().set_partition(1);
+        unroller.assert_initial(0);
+        CachedUnrolling {
+            unroller,
+            bad_index,
+            check,
+            bound: 0,
+        }
+    }
+
+    /// Extends the cached unrolling to `k` frames, mirroring the frame
+    /// loop of [`build_instance`] (partition `f + 1` per transition, plus
+    /// the assume-k property constraint on the previous frame).
+    fn ensure_bound(&mut self, k: usize) {
+        while self.bound < k {
+            let f = self.bound + 1;
+            self.unroller.builder_mut().set_partition((f + 1) as u32);
+            if self.check == BmcCheck::ExactAssume && f >= 2 {
+                let bad_prev = self.unroller.bad_lit(f - 1, self.bad_index);
+                self.unroller.assert_lit(!bad_prev);
+            }
+            self.unroller.add_frame();
+            self.bound = f;
+        }
+    }
+
+    /// Produces the full bound-`k` instance for a fresh proof solver,
+    /// reusing every cached frame encoding.
+    fn instance(&mut self, k: usize, stats: &mut EngineStats) -> SeqInstance {
+        let encode_start = Instant::now();
+        self.ensure_bound(k);
+        let target_partition = (k + 2) as u32;
+        let cnf = match self.check {
+            BmcCheck::ExactAssume => {
+                // The bad cone of frame k belongs in the cache: the next
+                // bound re-uses it for its property assumption (and it
+                // carries the same partition label either way).
+                self.unroller.builder_mut().set_partition(target_partition);
+                let bad = self.unroller.bad_lit(k, self.bad_index);
+                self.unroller
+                    .snapshot_with([Clause::new(vec![bad], target_partition)])
+            }
+            BmcCheck::Exact | BmcCheck::Bound => {
+                // exact-k never re-visits earlier bad cones, so the target
+                // cone must *not* leak into the cache — encode it on a
+                // throwaway clone, exactly as a scratch build would.
+                let mut scratch = self.unroller.clone();
+                scratch.builder_mut().set_partition(target_partition);
+                let bad = scratch.bad_lit(k, self.bad_index);
+                scratch.assert_lit(bad);
+                scratch.into_cnf()
+            }
+        };
+        let frame_latches = (0..=k).map(|f| self.unroller.latch_lits(f)).collect();
+        stats.encode_time += encode_start.elapsed();
+        SeqInstance { cnf, frame_latches }
+    }
 }
 
 /// Builds the partitioned unrolling of `model` covering `transitions` steps,
@@ -107,12 +198,13 @@ fn build_instance(
 fn solve(
     cnf: &cnf::Cnf,
     stats: &mut EngineStats,
-    cancel: &CancelToken,
+    budget: &RunBudget,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
-    solver.set_interrupt(Some(cancel.flag()));
+    solver.set_interrupt(Some(budget.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
+    stats.clauses_encoded += cnf.clauses.len() as u64;
     let result = solver.solve();
     stats.conflicts += solver.stats().conflicts;
     let proof = if result == SolveResult::Unsat {
@@ -168,7 +260,7 @@ fn compute_sequence(
     full_instance: &SeqInstance,
     full_proof: &Proof,
     stats: &mut EngineStats,
-    cancel: &CancelToken,
+    budget: &RunBudget,
 ) -> Result<Vec<aig::Lit>, String> {
     let n = bound + 1;
     let serial = ((alpha_serial * n as f64).floor() as usize).min(bound);
@@ -182,6 +274,7 @@ fn compute_sequence(
             (None, full_proof.clone())
         } else {
             let prev = sequence[j - 2];
+            let encode_start = Instant::now();
             let inst = build_instance(
                 model,
                 0,
@@ -195,7 +288,8 @@ fn compute_sequence(
                     concrete_to_model,
                 },
             );
-            let (result, proof) = solve(&inst.cnf, stats, cancel);
+            stats.encode_time += encode_start.elapsed();
+            let (result, proof) = solve(&inst.cnf, stats, budget);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -203,7 +297,7 @@ fn compute_sequence(
                         "serial interpolation step {j} was unexpectedly satisfiable"
                     ));
                 }
-                SolveResult::Interrupted => return Err("cancelled".to_string()),
+                SolveResult::Interrupted => return Err(budget.interrupt_reason().to_string()),
             }
             (Some(inst), proof.expect("unsat result has a proof"))
         };
@@ -229,6 +323,7 @@ fn compute_sequence(
             sequence.extend(itps);
         } else {
             let prev = sequence[serial - 1];
+            let encode_start = Instant::now();
             let inst = build_instance(
                 model,
                 0,
@@ -242,7 +337,8 @@ fn compute_sequence(
                     concrete_to_model,
                 },
             );
-            let (result, proof) = solve(&inst.cnf, stats, cancel);
+            stats.encode_time += encode_start.elapsed();
+            let (result, proof) = solve(&inst.cnf, stats, budget);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -251,7 +347,7 @@ fn compute_sequence(
                             .to_string(),
                     );
                 }
-                SolveResult::Interrupted => return Err("cancelled".to_string()),
+                SolveResult::Interrupted => return Err(budget.interrupt_reason().to_string()),
             }
             let proof = proof.expect("unsat result has a proof");
             let cuts: Vec<u32> = (2..=(bound - serial + 1) as u32).collect();
@@ -283,8 +379,9 @@ fn extend_or_refine(
     abstraction: &mut Abstraction,
     check: BmcCheck,
     stats: &mut EngineStats,
-    cancel: &CancelToken,
+    budget: &RunBudget,
 ) -> ExtendOutcome {
+    let encode_start = Instant::now();
     let mut unroller = Unroller::new(design);
     let mut guards: Vec<Option<cnf::Lit>> = vec![None; design.num_latches()];
     let mut activation: Vec<(cnf::Lit, usize)> = Vec::new();
@@ -306,10 +403,13 @@ fn extend_or_refine(
     let bad = unroller.bad_lit(bound, bad_index);
     unroller.assert_lit(bad);
 
+    let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
-    solver.set_interrupt(Some(cancel.flag()));
-    solver.add_cnf(&unroller.into_cnf());
+    solver.set_interrupt(Some(budget.flag()));
+    solver.add_cnf(&cnf);
     stats.sat_calls += 1;
+    stats.clauses_encoded += cnf.clauses.len() as u64;
+    stats.encode_time += encode_start.elapsed();
     let assumptions: Vec<cnf::Lit> = activation.iter().map(|&(a, _)| a).collect();
     let result = solver.solve_with_assumptions(&assumptions);
     stats.conflicts += solver.stats().conflicts;
@@ -342,21 +442,19 @@ pub(crate) fn run(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
-    let stop_reason = || crate::engines::stop_reason(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let stop_reason = || budget.stop_reason();
     let mut stats = EngineStats::default();
     let mut space = StateSpace::new(design.num_latches());
     // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
     let mut columns: Vec<aig::Lit> = Vec::new();
 
-    if crate::engines::bmc::initial_violation(design, bad_index) {
-        stats.sat_calls += 1;
+    if let Some(verdict) =
+        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats)
+    {
         stats.time = start.elapsed();
-        return EngineResult {
-            verdict: Verdict::Falsified { depth: 0 },
-            stats,
-        };
+        return EngineResult { verdict, stats };
     }
-    stats.sat_calls += 1;
 
     let mut abstraction = if config.use_cba {
         Abstraction::initial(design, bad_index)
@@ -365,6 +463,9 @@ pub(crate) fn run(
     };
     stats.visible_latches = abstraction.num_visible();
     let mut current = abstraction.abstract_model(design, bad_index);
+    // The unrolling cache of the current model; dropped on refinement
+    // (the abstract model — and with it every frame encoding — changes).
+    let mut cache: Option<CachedUnrolling> = None;
 
     let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
         stats.time = start.elapsed();
@@ -384,18 +485,22 @@ pub(crate) fn run(
         }
 
         // Bounded check at bound k (on the abstract model when CBA is on),
-        // interleaved with abstraction refinement.
+        // interleaved with abstraction refinement.  The reset-state
+        // unrolling comes from the per-model cache, so only the new frame
+        // is Tseitin-encoded when the bound grows.
         let (instance, proof) = loop {
             let (model, _) = &current;
-            let instance = build_instance(model, 0, k, 0, k, options.check, InitKind::Reset);
-            let (result, proof) = solve(&instance.cnf, &mut stats, cancel);
+            let instance = cache
+                .get_or_insert_with(|| CachedUnrolling::new(model, bad_index, options.check))
+                .instance(k, &mut stats);
+            let (result, proof) = solve(&instance.cnf, &mut stats, &budget);
             match result {
                 SolveResult::Unsat => break (instance, proof.expect("unsat result has a proof")),
                 SolveResult::Interrupted => {
                     return finish(
                         stats,
                         Verdict::Inconclusive {
-                            reason: "cancelled".to_string(),
+                            reason: budget.interrupt_reason().to_string(),
                             bound_reached: k - 1,
                         },
                         start,
@@ -412,7 +517,7 @@ pub(crate) fn run(
                         &mut abstraction,
                         options.check,
                         &mut stats,
-                        cancel,
+                        &budget,
                     ) {
                         ExtendOutcome::ConcreteCounterexample => {
                             return finish(stats, Verdict::Falsified { depth: k }, start);
@@ -421,7 +526,7 @@ pub(crate) fn run(
                             return finish(
                                 stats,
                                 Verdict::Inconclusive {
-                                    reason: "cancelled".to_string(),
+                                    reason: budget.interrupt_reason().to_string(),
                                     bound_reached: k - 1,
                                 },
                                 start,
@@ -431,6 +536,7 @@ pub(crate) fn run(
                             stats.refinements += 1;
                             stats.visible_latches = abstraction.num_visible();
                             current = abstraction.abstract_model(design, bad_index);
+                            cache = None;
                         }
                     }
                 }
@@ -464,7 +570,7 @@ pub(crate) fn run(
             &instance,
             &proof,
             &mut stats,
-            cancel,
+            &budget,
         ) {
             Ok(sequence) => sequence,
             Err(reason) => {
@@ -509,4 +615,100 @@ pub(crate) fn run(
         },
         start,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::builder::{latch_word, word_equals_const, word_increment, word_mux};
+
+    fn modular_counter(width: usize, modulus: u64, bad_at: u64) -> Aig {
+        let mut aig = Aig::new();
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+        let inc = word_increment(&mut aig, &bits, aig::Lit::TRUE);
+        let zero = aig::builder::word_const(width, 0);
+        let next = word_mux(&mut aig, wrap, &zero, &inc);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &bits, bad_at);
+        aig.add_bad(bad);
+        aig
+    }
+
+    fn gated_counter(width: usize) -> Aig {
+        let mut aig = Aig::new();
+        let en = aig::Lit::positive(aig.add_input());
+        let (ids, bits) = latch_word(&mut aig, width, 0);
+        let next = word_increment(&mut aig, &bits, en);
+        for (id, n) in ids.iter().zip(next.iter()) {
+            aig.set_next(*id, *n);
+        }
+        let bad = word_equals_const(&mut aig, &bits, (1 << width) - 1);
+        aig.add_bad(bad);
+        aig
+    }
+
+    /// The cached unrolling must reproduce the scratch instance *exactly*:
+    /// same clauses in the same order with the same partition labels and
+    /// variable numbering — that is what keeps proofs, interpolants and
+    /// therefore every reported `k_fp`/`j_fp` bit-identical to the
+    /// pre-cache engine.
+    #[test]
+    fn cached_instances_are_bit_identical_to_scratch_builds() {
+        let designs = [modular_counter(3, 6, 7), gated_counter(3)];
+        for check in [BmcCheck::Exact, BmcCheck::ExactAssume] {
+            for design in &designs {
+                let mut cache = CachedUnrolling::new(design, 0, check);
+                let mut stats = EngineStats::default();
+                for k in 1..=6usize {
+                    let cached = cache.instance(k, &mut stats);
+                    let scratch = build_instance(design, 0, k, 0, k, check, InitKind::Reset);
+                    assert_eq!(
+                        cached.cnf, scratch.cnf,
+                        "{check:?} bound {k}: clauses must match exactly"
+                    );
+                    assert_eq!(
+                        cached.frame_latches, scratch.frame_latches,
+                        "{check:?} bound {k}: frame maps must match exactly"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-requesting the same bound (the CBA refinement loop does this)
+    /// must not grow the cache or change the instance.
+    #[test]
+    fn repeated_instances_at_one_bound_are_stable() {
+        let design = modular_counter(3, 6, 7);
+        for check in [BmcCheck::Exact, BmcCheck::ExactAssume] {
+            let mut cache = CachedUnrolling::new(&design, 0, check);
+            let mut stats = EngineStats::default();
+            let first = cache.instance(4, &mut stats);
+            let clauses_after_first = cache.unroller.num_clauses();
+            let second = cache.instance(4, &mut stats);
+            assert_eq!(cache.unroller.num_clauses(), clauses_after_first);
+            assert_eq!(first.cnf, second.cnf, "{check:?}");
+        }
+    }
+
+    /// Growing bound-by-bound and jumping straight to `k` (a fresh cache
+    /// after a refinement) must produce the same instance.
+    #[test]
+    fn incremental_growth_matches_fresh_growth() {
+        let design = gated_counter(3);
+        for check in [BmcCheck::Exact, BmcCheck::ExactAssume] {
+            let mut grown = CachedUnrolling::new(&design, 0, check);
+            let mut stats = EngineStats::default();
+            for k in 1..=5usize {
+                let _ = grown.instance(k, &mut stats);
+            }
+            let mut fresh = CachedUnrolling::new(&design, 0, check);
+            let a = grown.instance(5, &mut stats);
+            let b = fresh.instance(5, &mut stats);
+            assert_eq!(a.cnf, b.cnf, "{check:?}");
+        }
+    }
 }

@@ -70,6 +70,13 @@ pub struct EngineStats {
     pub sat_calls: u64,
     /// Total conflicts across all SAT queries.
     pub conflicts: u64,
+    /// Total clauses handed to SAT solvers (encoding volume).  With the
+    /// incremental unrolling cache this grows linearly in the bound for
+    /// BMC, where the scratch path grew quadratically.
+    pub clauses_encoded: u64,
+    /// Time spent building or extending CNF encodings (Tseitin encoding,
+    /// frame extension and instance snapshots), as opposed to solving.
+    pub encode_time: Duration,
     /// Number of interpolants extracted.
     pub interpolants: u64,
     /// Number of abstraction refinements (CBA engine only).

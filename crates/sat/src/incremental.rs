@@ -15,6 +15,10 @@
 //!   assumed true,
 //! * [`retire`](IncrementalSolver::retire) adds the unit `¬a`, which
 //!   permanently satisfies (and thereby deactivates) the guarded clause,
+//! * [`assert_group`](IncrementalSolver::assert_group) guards a whole
+//!   *set* of clauses behind one caller-allocated activation literal (an
+//!   assertion group), retired as a unit — the shape the incremental BMC
+//!   engine uses for its per-bound target clauses,
 //! * [`solve`](IncrementalSolver::solve) automatically assumes every
 //!   live activation literal, so callers only pass their own assumptions,
 //! * [`assumption_core`](IncrementalSolver::assumption_core) filters the
@@ -167,10 +171,24 @@ impl IncrementalSolver {
     }
 
     /// Sets how many retirements may accumulate before the solver rebuilds
-    /// itself to reclaim retired activation variables (0 disables
-    /// recycling).
+    /// itself to reclaim retired activation variables.
+    ///
+    /// `0` disables recycling *for good*: the replay bookkeeping (the base
+    /// formula and permanent-clause recording that a rebuild would need)
+    /// is dropped and no longer maintained, so a consumer that streams a
+    /// large formula through [`add_clause`](Self::add_clause) — the
+    /// incremental BMC engine, whose caller-owned activation variables a
+    /// rebuild could never reclaim anyway — does not pay for a second
+    /// copy of it.
     pub fn set_recycle_threshold(&mut self, threshold: u64) {
         self.recycle_threshold = threshold;
+        if threshold == 0 {
+            // The recording is incomplete from here on; make sure a later
+            // re-enable can never rebuild from it.
+            self.interleaved = true;
+            self.base = Cnf::default();
+            self.permanent = Vec::new();
+        }
     }
 
     /// Installs (or clears) a shared interrupt flag; see
@@ -196,10 +214,10 @@ impl IncrementalSolver {
         stats
     }
 
-    /// Adds a permanent clause (partition 0: incremental queries take no
-    /// part in interpolation).
-    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
-        let lits: Vec<Lit> = lits.into_iter().collect();
+    /// Notes caller-owned variables referenced by a new clause, disabling
+    /// recycling when they interleave with solver-allocated activation
+    /// variables (numbering would not be rebuild-stable).
+    fn note_user_vars(&mut self, lits: &[Lit]) {
         if let Some(max) = lits.iter().map(|l| l.var().index() + 1).max() {
             if max > self.user_vars {
                 if self.solver.num_vars() > self.user_vars {
@@ -212,7 +230,19 @@ impl IncrementalSolver {
                 }
             }
         }
-        self.permanent.push(lits.clone());
+    }
+
+    /// Adds a permanent clause (partition 0: incremental queries take no
+    /// part in interpolation).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        self.note_user_vars(&lits);
+        // The recording only exists to replay clauses on a recycling
+        // rebuild; once recycling is off (threshold 0 or interleaved
+        // numbering) it would be a dead second copy of the formula.
+        if !self.interleaved && self.recycle_threshold != 0 {
+            self.permanent.push(lits.clone());
+        }
         self.solver.add_clause(lits, 0);
     }
 
@@ -224,6 +254,41 @@ impl IncrementalSolver {
         let activation = Lit::positive(self.solver.new_var());
         let guarded: Vec<Lit> = std::iter::once(!activation).chain(lits).collect();
         self.solver.add_clause(guarded, 0);
+        self.live.push(activation);
+        ClauseGuard(activation)
+    }
+
+    /// Adds an *assertion group*: every clause in `clauses` is guarded by
+    /// the caller-allocated `activation` literal and stays in force (the
+    /// literal is assumed automatically by [`solve`](Self::solve)) until
+    /// the returned guard is [`retire`](Self::retire)d, which deactivates
+    /// the whole group at once.
+    ///
+    /// Unlike [`add_retirable_clause`](Self::add_retirable_clause), the
+    /// activation variable is owned by the *caller* — the pattern used by
+    /// the incremental BMC engine, where one variable-numbering authority
+    /// (the unroller) allocates every variable, so later frame extensions
+    /// can never collide with solver-internal activation variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation` is negated: guards must be positive literals
+    /// so that retirement (the unit `¬activation`) means what it says.
+    pub fn assert_group<I, C>(&mut self, activation: Lit, clauses: I) -> ClauseGuard
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = Lit>,
+    {
+        assert!(
+            activation.is_positive(),
+            "group activation literal must be positive"
+        );
+        self.note_user_vars(&[activation]);
+        for clause in clauses {
+            let guarded: Vec<Lit> = std::iter::once(!activation).chain(clause).collect();
+            self.note_user_vars(&guarded);
+            self.solver.add_clause(guarded, 0);
+        }
         self.live.push(activation);
         ClauseGuard(activation)
     }
@@ -327,6 +392,80 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.num_retired(), 2);
         assert_eq!(s.num_live(), 0);
+    }
+
+    #[test]
+    fn disabled_recycling_skips_replay_bookkeeping() {
+        let mut s = IncrementalSolver::new();
+        s.set_recycle_threshold(0);
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        for _ in 0..16 {
+            let g = s.add_retirable_clause([!v[0]]);
+            let _ = s.solve(&[]);
+            s.retire(g);
+        }
+        // No rebuilds happen (and nothing was recorded for one), yet the
+        // solver keeps answering from the live clause database.
+        assert_eq!(s.num_recycled_vars(), 0);
+        assert_eq!(s.num_retired(), 16);
+        assert_eq!(s.solve(&[!v[1]]), SolveResult::Sat);
+        assert_eq!(s.lit_value(v[0]), Some(true));
+        assert_eq!(s.solve(&[!v[0], !v[1]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assertion_groups_retire_as_a_unit() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        // Caller-allocated activation literal guarding two clauses.
+        let act = Lit::positive(s.new_var());
+        let guard = s.assert_group(act, [vec![!v[0]], vec![!v[1], !v[2]]]);
+        // Both clauses are in force while the group is live.
+        assert_eq!(s.solve(&[v[1], v[2]]), SolveResult::Unsat);
+        let core = s.assumption_core();
+        assert!(
+            core.iter().all(|l| *l == v[1] || *l == v[2]),
+            "activation literals must not leak into cores: {core:?}"
+        );
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.lit_value(v[0]), Some(false));
+        // Retiring the group deactivates both clauses at once.
+        s.retire(guard);
+        assert_eq!(s.solve(&[v[0], v[1], v[2]]), SolveResult::Sat);
+        assert_eq!(s.num_retired(), 1);
+    }
+
+    #[test]
+    fn successive_groups_model_growing_bound_targets() {
+        // The incremental BMC pattern: a growing disjunction re-asserted
+        // under a fresh group per bound, the previous group retired.
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 4);
+        for (bound, lit) in v.iter().enumerate() {
+            // "some bad up to this bound" — but every bad is pinned false
+            // so far, so each bound answers Unsat until the last.
+            let act = Lit::positive(s.new_var());
+            let clause: Vec<Lit> = v[..=bound].to_vec();
+            let guard = s.assert_group(act, [clause]);
+            if bound < 3 {
+                s.add_clause([!*lit]);
+                assert_eq!(s.solve(&[]), SolveResult::Unsat, "bound {bound}");
+                s.retire(guard);
+            } else {
+                assert_eq!(s.solve(&[]), SolveResult::Sat, "bound {bound}");
+                assert_eq!(s.lit_value(v[3]), Some(true));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_group_activation_is_rejected() {
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 1);
+        let _ = s.assert_group(!v[0], [vec![v[0]]]);
     }
 
     #[test]
