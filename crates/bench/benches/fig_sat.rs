@@ -1,0 +1,116 @@
+//! SAT-core microbenchmarks: the numbers the clause-arena overhaul moves.
+//!
+//! Three shapes, mirroring how the engines use the solver:
+//!
+//! * `php7_refutation` — one hard proof-logging refutation (conflict
+//!   analysis, minimization and pinned-clause reduction all hot),
+//! * `php7_no_proof` — the same search without proof logging, the
+//!   configuration the IC3/PDR and incremental-BMC solvers run in; the
+//!   gap between the two is the price of chain recording,
+//! * `reduction_on/off` — an easier instance solved with and without
+//!   learned-clause database reduction, pinning the cost/benefit of the
+//!   reduction schedule itself,
+//! * `incremental_retire` — a PDR-shaped workload: thousands of short
+//!   queries with retirable clauses on one long-lived
+//!   [`IncrementalSolver`], exercising the retirement sweep and the
+//!   arena's compacting garbage collector.
+//!
+//! Baseline (pre-arena `Vec<ClauseData>` solver, same machine, PR 4 dev
+//! notes): `sat/pigeonhole6_refutation` in the `micro` bench went from
+//! ~7.2 ms to ~6.1 ms, and the `table1 --suite smoke` wall clock from
+//! ~2.24 s to ~1.90 s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sat::{IncrementalSolver, Lit, SolveResult, Solver, Var};
+
+fn pigeonhole(solver: &mut Solver, holes: usize) {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+    solver.ensure_vars((pigeons * holes) as u32);
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::positive(var(p, h))).collect();
+        solver.add_clause(clause, 1);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                solver.add_clause([Lit::negative(var(p1, h)), Lit::negative(var(p2, h))], 2);
+            }
+        }
+    }
+}
+
+fn refutation_with_proof(c: &mut Criterion) {
+    c.bench_function("fig_sat/php7_refutation", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            pigeonhole(&mut solver, 7);
+            assert_eq!(solver.solve(), SolveResult::Unsat);
+            solver.proof().expect("proof").num_learned()
+        })
+    });
+}
+
+fn refutation_without_proof(c: &mut Criterion) {
+    c.bench_function("fig_sat/php7_no_proof", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            solver.set_proof_logging(false);
+            pigeonhole(&mut solver, 7);
+            assert_eq!(solver.solve(), SolveResult::Unsat);
+            solver.stats().conflicts
+        })
+    });
+}
+
+fn reduction_ablation(c: &mut Criterion) {
+    for (name, interval) in [
+        ("fig_sat/php6_reduction_on", Some(sat::DEFAULT_REDUCE_FIRST)),
+        ("fig_sat/php6_reduction_off", None),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                solver.set_proof_logging(false);
+                solver.set_reduce_interval(interval);
+                pigeonhole(&mut solver, 6);
+                assert_eq!(solver.solve(), SolveResult::Unsat);
+                solver.stats().conflicts
+            })
+        });
+    }
+}
+
+/// PDR-shaped incremental load: one long-lived solver, thousands of
+/// short-lived retirable clauses, constant retiring.
+fn incremental_retire(c: &mut Criterion) {
+    c.bench_function("fig_sat/incremental_retire", |b| {
+        b.iter(|| {
+            let mut solver = IncrementalSolver::new();
+            let vars: Vec<Lit> = (0..24).map(|_| Lit::positive(solver.new_var())).collect();
+            for w in vars.windows(2) {
+                solver.add_clause([!w[0], w[1]]);
+            }
+            let mut sat_answers = 0u32;
+            for round in 0..2000 {
+                let x = vars[round % vars.len()];
+                let y = vars[(round * 7 + 3) % vars.len()];
+                let guard = solver.add_retirable_clause([!x, !y]);
+                if solver.solve(&[x]) == SolveResult::Sat {
+                    sat_answers += 1;
+                }
+                solver.retire(guard);
+            }
+            sat_answers
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    refutation_with_proof,
+    refutation_without_proof,
+    reduction_ablation,
+    incremental_retire
+);
+criterion_main!(benches);

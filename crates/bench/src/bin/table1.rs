@@ -9,8 +9,10 @@
 //! * `--suite full|mid|industrial|smoke` — benchmark selection (default
 //!   `full`; `smoke` is the fast subset CI reruns on every push),
 //! * `--json PATH` — additionally write the records as machine-readable
-//!   JSON (schema `itpseq-table1/v2`, which adds `encode_time_ms` and
-//!   `clauses_encoded` so the unrolling-cache speedup is visible in the
+//!   JSON (schema `itpseq-table1/v3`, which adds the SAT-core counters
+//!   `learned_deleted`, `minimized_literals` and `db_reductions` on top
+//!   of v2's `encode_time_ms`/`clauses_encoded`, so both the
+//!   unrolling-cache and the clause-database effects stay visible in the
 //!   perf-smoke artifacts), the artifact CI uploads.
 
 use itpseq_bench::{experiment_options, records_to_json, run_engine, suite_by_name, RunRecord};

@@ -7,7 +7,9 @@
 //! * `table1` — the per-benchmark table with BDD diameters and
 //!   `Time / k_fp / j_fp` per engine (now including the racing
 //!   portfolio); `--suite` selects a benchmark subset and `--json`
-//!   additionally emits the machine-readable records CI archives,
+//!   additionally emits the machine-readable records CI archives
+//!   (schema `itpseq-table1/v3`, which carries the SAT-core counters
+//!   `learned_deleted`/`minimized_literals`/`db_reductions`),
 //! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
 //! * `ablation_alpha` — the `αs` sweep for the serial sequences.
 //!
@@ -79,6 +81,12 @@ impl RunRecord {
         }
     }
 
+    /// Learned clauses the run's SAT cores deleted (DB reductions plus
+    /// retirement sweeps) — one of the schema-v3 solver counters.
+    pub fn learned_deleted(&self) -> u64 {
+        self.result.stats.learned_deleted
+    }
+
     /// One flat JSON object per record, for the machine-readable artifact
     /// CI uploads next to the text table.
     pub fn to_json(&self) -> String {
@@ -106,7 +114,8 @@ impl RunRecord {
             concat!(
                 r#"{{"benchmark":"{}","engine":"{}","verdict":"{}","time_ms":{:.3},"#,
                 r#""encode_time_ms":{:.3},"k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"#,
-                r#""reason":{},"sat_calls":{},"conflicts":{},"clauses_encoded":{},"winner":{}}}"#
+                r#""reason":{},"sat_calls":{},"conflicts":{},"clauses_encoded":{},"#,
+                r#""learned_deleted":{},"minimized_literals":{},"db_reductions":{},"winner":{}}}"#
             ),
             json_escape(&self.benchmark),
             self.engine.name(),
@@ -121,6 +130,9 @@ impl RunRecord {
             self.result.stats.sat_calls,
             self.result.stats.conflicts,
             self.result.stats.clauses_encoded,
+            self.result.stats.learned_deleted,
+            self.result.stats.minimized_literals,
+            self.result.stats.db_reductions,
             opt_str(self.result.stats.winner),
         )
     }
@@ -174,7 +186,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-table1/v2\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-table1/v3\",\n  \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -242,6 +254,9 @@ mod tests {
                 verdict,
                 stats: mc::EngineStats {
                     sat_calls: 3,
+                    learned_deleted: 7,
+                    minimized_literals: 9,
+                    db_reductions: 2,
                     winner: Some("PDR"),
                     ..Default::default()
                 },
@@ -254,6 +269,9 @@ mod tests {
         assert!(proved.contains(r#"counter \"quoted\""#), "{proved}");
         assert!(proved.contains(r#""encode_time_ms":"#), "{proved}");
         assert!(proved.contains(r#""clauses_encoded":0"#), "{proved}");
+        assert!(proved.contains(r#""learned_deleted":7"#), "{proved}");
+        assert!(proved.contains(r#""minimized_literals":9"#), "{proved}");
+        assert!(proved.contains(r#""db_reductions":2"#), "{proved}");
         let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
         assert!(falsified.contains(r#""depth":7"#), "{falsified}");
         assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
@@ -275,7 +293,7 @@ mod tests {
             mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
             mk(Verdict::Falsified { depth: 2 }),
         ]);
-        assert!(document.contains("itpseq-table1/v2"));
+        assert!(document.contains("itpseq-table1/v3"));
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());

@@ -53,9 +53,9 @@ enum Depth0 {
 /// Result and cost of a depth-0 check (see [`initial_violation`]).
 struct Depth0Check {
     outcome: Depth0,
-    /// Conflicts spent by the solver — callers fold this into
-    /// [`EngineStats::conflicts`] so table1 does not undercount.
-    conflicts: u64,
+    /// Solver statistics of the check — callers fold the delta into
+    /// [`EngineStats`] so table1 does not undercount.
+    solver: SolverStats,
     /// Clauses handed to the solver.
     clauses: u64,
     /// Time spent encoding (not solving) the instance.
@@ -73,6 +73,7 @@ fn initial_violation(
     aig: &Aig,
     bad_index: usize,
     interrupt: Option<Arc<AtomicBool>>,
+    reduce: Option<u64>,
 ) -> Depth0Check {
     let encode_start = Instant::now();
     let mut unroller = cnf::Unroller::new(aig);
@@ -81,6 +82,8 @@ fn initial_violation(
     unroller.assert_lit(bad);
     let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
+    solver.set_proof_logging(false);
+    solver.set_reduce_interval(reduce);
     solver.set_interrupt(interrupt);
     solver.add_cnf(&cnf);
     let encode_time = encode_start.elapsed();
@@ -91,7 +94,7 @@ fn initial_violation(
     };
     Depth0Check {
         outcome,
-        conflicts: solver.stats().conflicts,
+        solver: solver.stats(),
         clauses: cnf.clauses.len() as u64,
         encode_time,
     }
@@ -109,10 +112,16 @@ pub(crate) fn depth0_verdict(
     bad_index: usize,
     budget: &RunBudget,
     stats: &mut EngineStats,
+    options: &Options,
 ) -> Option<Verdict> {
-    let depth0 = initial_violation(aig, bad_index, Some(budget.flag()));
+    let depth0 = initial_violation(
+        aig,
+        bad_index,
+        Some(budget.flag()),
+        options.reduce_interval(),
+    );
     stats.sat_calls += 1;
-    stats.conflicts += depth0.conflicts;
+    stats.add_solver_delta(depth0.solver);
     stats.clauses_encoded += depth0.clauses;
     stats.encode_time += depth0.encode_time;
     match depth0.outcome {
@@ -145,6 +154,7 @@ impl IncrementalBmc {
         aig: &Aig,
         bad_index: usize,
         check: BmcCheck,
+        reduce: Option<u64>,
         interrupt: Arc<AtomicBool>,
         stats: &mut EngineStats,
     ) -> IncrementalBmc {
@@ -157,6 +167,7 @@ impl IncrementalBmc {
         // variables itself — turn it off so the solver does not record a
         // replay copy of the whole unrolling.
         solver.set_recycle_threshold(0);
+        solver.set_reduce_interval(reduce);
         solver.set_interrupt(Some(interrupt));
         stats.encode_time += encode_start.elapsed();
         IncrementalBmc {
@@ -241,15 +252,21 @@ pub fn verify_with_cancel(
         EngineResult { verdict, stats }
     };
 
-    if let Some(verdict) = depth0_verdict(aig, bad_index, &budget, &mut stats) {
+    if let Some(verdict) = depth0_verdict(aig, bad_index, &budget, &mut stats, options) {
         return finish(stats, verdict);
     }
 
     // `bound-k` already covers all depths up to k, so for plain BMC the
     // exact/assume schemes are the natural incremental formulations; all
     // three now run on one persistent unroller + solver pair.
-    let mut incremental =
-        IncrementalBmc::new(aig, bad_index, options.check, budget.flag(), &mut stats);
+    let mut incremental = IncrementalBmc::new(
+        aig,
+        bad_index,
+        options.check,
+        options.reduce_interval(),
+        budget.flag(),
+        &mut stats,
+    );
     for k in 1..=options.max_bound {
         if let Some(reason) = budget.stop_reason() {
             return finish(
@@ -262,9 +279,9 @@ pub fn verify_with_cancel(
         }
         let assumptions = incremental.advance(&mut stats);
         stats.sat_calls += 1;
-        let conflicts_before = incremental.solver.stats().conflicts;
+        let before = incremental.solver.stats();
         let result = incremental.solver.solve(&assumptions);
-        stats.conflicts += incremental.solver.stats().conflicts - conflicts_before;
+        stats.add_solver_delta(incremental.solver.stats() - before);
         match result {
             SolveResult::Sat => {
                 return finish(stats, Verdict::Falsified { depth: k });
@@ -308,6 +325,7 @@ pub fn check_bound_with_stats(
 ) -> (bool, SolverStats) {
     let instance = cnf::bmc::build(aig, bad_index, bound, check);
     let mut solver = Solver::new();
+    solver.set_proof_logging(false);
     solver.add_cnf(&instance.cnf);
     let violated = solver.solve() == SolveResult::Sat;
     (violated, solver.stats())
@@ -387,7 +405,7 @@ mod tests {
     /// every bound, exactly as the engine did before the unrolling cache.
     fn verify_scratch(aig: &Aig, bad_index: usize, options: &Options) -> (Verdict, u64) {
         let mut sat_calls = 0u64;
-        let depth0 = initial_violation(aig, bad_index, None);
+        let depth0 = initial_violation(aig, bad_index, None, Some(sat::DEFAULT_REDUCE_FIRST));
         sat_calls += 1;
         if matches!(depth0.outcome, Depth0::Violated) {
             return (Verdict::Falsified { depth: 0 }, sat_calls);
@@ -560,9 +578,9 @@ mod tests {
         // A small pigeonhole cone makes the depth-0 refutation conflict
         // for real; those conflicts used to be dropped on the floor.
         let aig = hostile_depth0(4);
-        let depth0 = initial_violation(&aig, 0, None);
+        let depth0 = initial_violation(&aig, 0, None, Some(sat::DEFAULT_REDUCE_FIRST));
         assert!(matches!(depth0.outcome, Depth0::Safe));
-        assert!(depth0.conflicts > 0, "php(4) must conflict");
+        assert!(depth0.solver.conflicts > 0, "php(4) must conflict");
         // With max_bound = 0 the engine's statistics are exactly the
         // depth-0 check's, so the accumulation is observable end to end.
         let result = verify(&aig, 0, &Options::default().with_max_bound(0));

@@ -61,14 +61,16 @@ fn solve(
     cnf: &cnf::Cnf,
     stats: &mut EngineStats,
     budget: &RunBudget,
+    reduce: Option<u64>,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
+    solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
     let result = solver.solve();
-    stats.conflicts += solver.stats().conflicts;
+    stats.add_solver_delta(solver.stats());
     let proof = if result == SolveResult::Unsat {
         solver.proof()
     } else {
@@ -122,7 +124,7 @@ pub fn verify_with_cancel(
         ..EngineStats::default()
     };
     if let Some(verdict) =
-        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats)
+        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
@@ -152,7 +154,12 @@ pub fn verify_with_cancel(
         let encode_start = Instant::now();
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
         stats.encode_time += encode_start.elapsed();
-        let (result, proof) = solve(&instance.cnf, &mut stats, &budget);
+        let (result, proof) = solve(
+            &instance.cnf,
+            &mut stats,
+            &budget,
+            options.reduce_interval(),
+        );
         if result == SolveResult::Sat {
             // bound-(k-1) was unsatisfiable, so the counterexample has
             // length exactly k.
@@ -204,7 +211,12 @@ pub fn verify_with_cancel(
             let encode_start = Instant::now();
             instance = build_bound_instance(design, bad_index, k, Some((&space, itp)), &identity);
             stats.encode_time += encode_start.elapsed();
-            let (result, next_proof) = solve(&instance.cnf, &mut stats, &budget);
+            let (result, next_proof) = solve(
+                &instance.cnf,
+                &mut stats,
+                &budget,
+                options.reduce_interval(),
+            );
             if result == SolveResult::Sat {
                 // Spurious hit from the over-approximated frontier: deepen.
                 break;

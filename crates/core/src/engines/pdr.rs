@@ -96,7 +96,8 @@ pub fn verify_with_cancel(
         ..EngineStats::default()
     };
     let budget = RunBudget::arm(cancel, start, options.timeout);
-    if let Some(verdict) = crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats)
+    if let Some(verdict) =
+        crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats, options)
     {
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
@@ -193,12 +194,14 @@ impl<'a> Pdr<'a> {
 
         let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
         let mut init_solver = IncrementalSolver::with_base(&template);
+        init_solver.set_reduce_interval(options.reduce_interval());
         init_solver.set_interrupt(Some(budget.flag()));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
         }
         let mut lift = IncrementalSolver::with_base(&template);
+        lift.set_reduce_interval(options.reduce_interval());
         lift.set_interrupt(Some(budget.flag()));
 
         Pdr {
@@ -285,6 +288,7 @@ impl<'a> Pdr<'a> {
     fn extend(&mut self) {
         self.frames.push_frame();
         let mut solver = IncrementalSolver::with_base(&self.template);
+        solver.set_reduce_interval(self.options.reduce_interval());
         solver.set_interrupt(Some(self.budget.flag()));
         self.solvers.push(solver);
     }
@@ -505,19 +509,19 @@ impl<'a> Pdr<'a> {
             .collect();
         if self.threads > 1 && cubes.len() >= PAR_MIN_ITEMS {
             let solver = &self.solvers[frame];
-            let answers: Vec<(SolveResult, u64)> = pool::map_chunked(
+            let answers: Vec<(SolveResult, sat::SolverStats)> = pool::map_chunked(
                 &assumption_sets,
                 self.threads,
                 || solver.clone(),
                 |worker, assumptions| {
-                    let before = worker.stats().conflicts;
+                    let before = worker.stats();
                     let result = worker.solve(assumptions);
-                    (result, worker.stats().conflicts - before)
+                    (result, worker.stats() - before)
                 },
             );
-            for &(_, conflicts) in &answers {
+            for &(_, delta) in &answers {
                 self.stats.sat_calls += 1;
-                self.stats.conflicts += conflicts;
+                self.stats.add_solver_delta(delta);
             }
             answers.into_iter().map(|(result, _)| result).collect()
         } else {
@@ -547,13 +551,13 @@ impl<'a> Pdr<'a> {
         debug_assert!(frame >= 1 && frame <= self.frames.level());
         let this = &*self;
         let solver = &this.solvers[frame - 1];
-        let answers: Vec<(Option<Vec<Lit>>, u64, bool)> = pool::map_chunked(
+        let answers: Vec<(Option<Vec<Lit>>, sat::SolverStats, bool)> = pool::map_chunked(
             candidates,
             this.threads,
             || solver,
             |base, candidate| {
                 if candidate.is_empty() || candidate.contains_state(&this.init) {
-                    return (None, 0, false);
+                    return (None, sat::SolverStats::default(), false);
                 }
                 // Every candidate gets its own pristine clone: a shared
                 // clone would accumulate the earlier candidates' live
@@ -571,20 +575,20 @@ impl<'a> Pdr<'a> {
                     .map(|(latch, value)| Self::state_lit(&this.latch1, latch, value))
                     .collect();
                 worker.add_retirable_clause(clause);
-                let before = worker.stats().conflicts;
+                let before = worker.stats();
                 let result = worker.solve(&assumptions);
-                let conflicts = worker.stats().conflicts - before;
+                let delta = worker.stats() - before;
                 match result {
-                    SolveResult::Unsat => (Some(worker.assumption_core()), conflicts, true),
-                    SolveResult::Sat | SolveResult::Interrupted => (None, conflicts, true),
+                    SolveResult::Unsat => (Some(worker.assumption_core()), delta, true),
+                    SolveResult::Sat | SolveResult::Interrupted => (None, delta, true),
                 }
             },
         );
         let mut outcomes = Vec::with_capacity(candidates.len());
-        for ((core, conflicts, queried), candidate) in answers.into_iter().zip(candidates) {
+        for ((core, delta, queried), candidate) in answers.into_iter().zip(candidates) {
             if queried {
                 self.stats.sat_calls += 1;
-                self.stats.conflicts += conflicts;
+                self.stats.add_solver_delta(delta);
             }
             outcomes.push(core.map(|core| {
                 let mut seed = self.cube_from_core1(&core);
@@ -715,10 +719,10 @@ impl<'a> Pdr<'a> {
         stats: &mut EngineStats,
         assumptions: &[Lit],
     ) -> SolveResult {
-        let before = solver.stats().conflicts;
+        let before = solver.stats();
         let result = solver.solve(assumptions);
         stats.sat_calls += 1;
-        stats.conflicts += solver.stats().conflicts - before;
+        stats.add_solver_delta(solver.stats() - before);
         result
     }
 }

@@ -199,14 +199,16 @@ fn solve(
     cnf: &cnf::Cnf,
     stats: &mut EngineStats,
     budget: &RunBudget,
+    reduce: Option<u64>,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
+    solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
     let result = solver.solve();
-    stats.conflicts += solver.stats().conflicts;
+    stats.add_solver_delta(solver.stats());
     let proof = if result == SolveResult::Unsat {
         solver.proof()
     } else {
@@ -254,6 +256,7 @@ fn compute_sequence(
     bound: usize,
     check: BmcCheck,
     alpha_serial: f64,
+    reduce: Option<u64>,
     space: &mut StateSpace,
     model_to_concrete: &[usize],
     concrete_to_model: &[usize],
@@ -289,7 +292,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -338,7 +341,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -378,6 +381,7 @@ fn extend_or_refine(
     bound: usize,
     abstraction: &mut Abstraction,
     check: BmcCheck,
+    reduce: Option<u64>,
     stats: &mut EngineStats,
     budget: &RunBudget,
 ) -> ExtendOutcome {
@@ -405,6 +409,10 @@ fn extend_or_refine(
 
     let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
+    // This query only reads the assumption core on Unsat, never a proof —
+    // skip chain recording so DB reduction stays unrestricted.
+    solver.set_proof_logging(false);
+    solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
     solver.add_cnf(&cnf);
     stats.sat_calls += 1;
@@ -412,7 +420,7 @@ fn extend_or_refine(
     stats.encode_time += encode_start.elapsed();
     let assumptions: Vec<cnf::Lit> = activation.iter().map(|&(a, _)| a).collect();
     let result = solver.solve_with_assumptions(&assumptions);
-    stats.conflicts += solver.stats().conflicts;
+    stats.add_solver_delta(solver.stats());
     match result {
         SolveResult::Sat => ExtendOutcome::ConcreteCounterexample,
         SolveResult::Interrupted => ExtendOutcome::Cancelled,
@@ -450,7 +458,7 @@ pub(crate) fn run(
     let mut columns: Vec<aig::Lit> = Vec::new();
 
     if let Some(verdict) =
-        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats)
+        crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
@@ -493,7 +501,12 @@ pub(crate) fn run(
             let instance = cache
                 .get_or_insert_with(|| CachedUnrolling::new(model, bad_index, options.check))
                 .instance(k, &mut stats);
-            let (result, proof) = solve(&instance.cnf, &mut stats, &budget);
+            let (result, proof) = solve(
+                &instance.cnf,
+                &mut stats,
+                &budget,
+                options.reduce_interval(),
+            );
             match result {
                 SolveResult::Unsat => break (instance, proof.expect("unsat result has a proof")),
                 SolveResult::Interrupted => {
@@ -516,6 +529,7 @@ pub(crate) fn run(
                         k,
                         &mut abstraction,
                         options.check,
+                        options.reduce_interval(),
                         &mut stats,
                         &budget,
                     ) {
@@ -564,6 +578,7 @@ pub(crate) fn run(
             k,
             options.check,
             config.alpha_serial,
+            options.reduce_interval(),
             &mut space,
             model_to_concrete,
             &concrete_to_model,

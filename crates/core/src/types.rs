@@ -77,6 +77,15 @@ pub struct EngineStats {
     /// Time spent building or extending CNF encodings (Tseitin encoding,
     /// frame extension and instance snapshots), as opposed to solving.
     pub encode_time: Duration,
+    /// Learned clauses the SAT cores deleted — by the periodic LBD-driven
+    /// database reduction and by the root-satisfied sweeps that follow
+    /// incremental clause retirement.
+    pub learned_deleted: u64,
+    /// Literals removed from learned clauses by the SAT cores' recursive
+    /// minimization before backjumping.
+    pub minimized_literals: u64,
+    /// Learned-clause database reduction passes across all SAT queries.
+    pub db_reductions: u64,
     /// Number of interpolants extracted.
     pub interpolants: u64,
     /// Number of abstraction refinements (CBA engine only).
@@ -87,6 +96,18 @@ pub struct EngineStats {
     /// Name of the entrant whose verdict a portfolio run adopted
     /// ([`Engine::Portfolio`] only; `None` for direct engine runs).
     pub winner: Option<&'static str>,
+}
+
+impl EngineStats {
+    /// Folds a SAT-solver statistics delta (`after - before` snapshots of
+    /// one query, or the whole stats of a throwaway solver) into the
+    /// engine-level counters.
+    pub fn add_solver_delta(&mut self, delta: sat::SolverStats) {
+        self.conflicts += delta.conflicts;
+        self.learned_deleted += delta.learned_deleted;
+        self.minimized_literals += delta.minimized_literals;
+        self.db_reductions += delta.db_reductions;
+    }
 }
 
 /// The verdict plus the statistics of one engine run.
@@ -112,6 +133,11 @@ pub struct Options {
     /// Serial fraction `αs` of [`crate::engines::sitpseq`] (0 = fully
     /// parallel, 1 = fully serial).  The paper uses 0.5.
     pub alpha_serial: f64,
+    /// Whether the SAT cores periodically retire high-LBD learned clauses
+    /// (`true`, the default).  The switch exists for A/B validation: the
+    /// reduction-regression tests re-run the suite with it off and assert
+    /// bit-identical verdicts and counterexample depths.
+    pub reduce_db: bool,
     /// Worker threads for the concurrent modes.
     ///
     /// `1` (the default) keeps every engine's internals strictly
@@ -132,6 +158,7 @@ impl Default for Options {
             timeout: Duration::from_secs(30),
             check: BmcCheck::ExactAssume,
             alpha_serial: 0.5,
+            reduce_db: true,
             threads: 1,
         }
     }
@@ -160,6 +187,24 @@ impl Options {
     pub fn with_alpha(mut self, alpha: f64) -> Options {
         self.alpha_serial = alpha;
         self
+    }
+
+    /// Returns a copy with learned-clause database reduction switched on
+    /// or off (see [`Options::reduce_db`]).
+    pub fn with_reduce_db(mut self, reduce_db: bool) -> Options {
+        self.reduce_db = reduce_db;
+        self
+    }
+
+    /// The [`sat::Solver::set_reduce_interval`] argument implementing
+    /// [`Options::reduce_db`]: `None` (reduction disabled) when the A/B
+    /// switch is off, the solver default otherwise.
+    pub(crate) fn reduce_interval(&self) -> Option<u64> {
+        if self.reduce_db {
+            Some(sat::DEFAULT_REDUCE_FIRST)
+        } else {
+            None
+        }
     }
 
     /// Returns a copy with the given worker-thread count (see

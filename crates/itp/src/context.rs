@@ -285,8 +285,13 @@ mod tests {
     /// by brute force over all assignments.
     fn check_interpolant_properties(cnf: &Cnf) {
         let proof = refute(cnf).expect("formula must be unsatisfiable");
+        check_proof_interpolants(cnf, &proof);
+    }
+
+    /// [`check_interpolant_properties`] on an externally produced proof.
+    fn check_proof_interpolants(cnf: &Cnf, proof: &Proof) {
         proof.check().expect("proof must be valid");
-        let ctx = InterpolationContext::new(&proof).expect("context");
+        let ctx = InterpolationContext::new(proof).expect("context");
         let n = ctx.num_partitions();
         assert!(n >= 2, "need at least two partitions");
 
@@ -403,6 +408,45 @@ mod tests {
             }
         }
         check_interpolant_properties(&b.into_cnf());
+    }
+
+    #[test]
+    fn interpolants_stay_valid_after_db_reduction_cycles() {
+        // An aggressive reduction schedule forces many learned-clause
+        // deletion passes *during* the proof-logging refutation; clauses
+        // referenced by recorded chains are pinned, so the exported proof
+        // must still be complete and its whole interpolation sequence
+        // must satisfy every defining property.
+        let holes = 3;
+        let pigeons = holes + 1;
+        let mut b = CnfBuilder::new();
+        let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+        for _ in 0..pigeons * holes {
+            b.new_var();
+        }
+        b.set_partition(1);
+        for p in 0..pigeons {
+            b.add_clause((0..holes).map(|h| Lit::positive(var(p, h))));
+        }
+        b.set_partition(2);
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    b.add_clause([Lit::negative(var(p1, h)), Lit::negative(var(p2, h))]);
+                }
+            }
+        }
+        let cnf = b.into_cnf();
+        let mut solver = Solver::new();
+        solver.set_reduce_interval(Some(2));
+        solver.add_cnf(&cnf);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert!(
+            solver.stats().db_reductions > 0,
+            "the aggressive schedule must actually run reduction passes"
+        );
+        let proof = solver.proof().expect("proof");
+        check_proof_interpolants(&cnf, &proof);
     }
 
     #[test]

@@ -34,8 +34,15 @@
 //! retirements (and only while no retirable clause is live), it rebuilds
 //! the underlying solver from the recorded base formula and permanent
 //! clauses, compacting the variable range back to the caller's own
-//! variables.  Search statistics are carried across rebuilds; learned
-//! clauses and cached models are discarded.
+//! variables.  Search statistics, VSIDS activities and saved phases are
+//! carried across rebuilds (so the branching heuristics stay warm);
+//! learned clauses and cached models are discarded.
+//!
+//! Independent of recycling, every 32 retirements the solver sweeps
+//! root-satisfied clauses — the ones the retirement units permanently
+//! deactivated — out of the clause database and the watch lists
+//! ([`Solver::remove_root_satisfied`]), so propagation does not slow down
+//! linearly in the number of retired queries.
 //!
 //! Recycling silently disables itself when caller variables and
 //! activation variables interleave (a [`new_var`](IncrementalSolver::new_var)
@@ -56,13 +63,19 @@
 //! assert_eq!(solver.solve(&[]), SolveResult::Sat);
 //! ```
 
-use crate::solver::{SolveResult, Solver, SolverStats};
+use crate::solver::{SolveResult, Solver, SolverStats, DEFAULT_REDUCE_FIRST};
 use cnf::{Cnf, Lit, Var};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Default number of retirements between two recycling rebuilds.
 const DEFAULT_RECYCLE_THRESHOLD: u64 = 4096;
+
+/// Retirements between two root-satisfied sweeps of the clause database
+/// (see [`Solver::remove_root_satisfied`]): every retirement permanently
+/// satisfies its guarded clauses, and the sweep removes them from the
+/// watch lists instead of letting them clog propagation forever.
+const RETIRE_SWEEP_INTERVAL: u64 = 32;
 
 /// Handle of a retirable clause: the activation literal guarding it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -101,12 +114,22 @@ pub struct IncrementalSolver {
     interrupt: Option<Arc<AtomicBool>>,
     /// Conflict budget re-installed on every rebuilt solver.
     conflict_limit: Option<u64>,
+    /// Learned-DB reduction trigger re-installed on every rebuilt solver
+    /// (`None` disables reduction; see [`Solver::set_reduce_interval`]).
+    reduce_interval: Option<u64>,
+    /// Retirements since the last root-satisfied sweep.
+    retired_since_sweep: u64,
 }
 
 impl Default for IncrementalSolver {
     fn default() -> IncrementalSolver {
+        // Incremental consumers (IC3/PDR, the incremental BMC engine) only
+        // need SAT/UNSAT answers and cores, never proofs — run the solver
+        // without chain recording so learned-DB reduction is unrestricted.
+        let mut solver = Solver::new();
+        solver.set_proof_logging(false);
         IncrementalSolver {
-            solver: Solver::new(),
+            solver,
             live: Vec::new(),
             retired: 0,
             base: Cnf::default(),
@@ -119,6 +142,8 @@ impl Default for IncrementalSolver {
             stats_offset: SolverStats::default(),
             interrupt: None,
             conflict_limit: None,
+            reduce_interval: Some(DEFAULT_REDUCE_FIRST),
+            retired_since_sweep: 0,
         }
     }
 }
@@ -153,6 +178,12 @@ impl IncrementalSolver {
     /// Number of variables allocated so far.
     pub fn num_vars(&self) -> u32 {
         self.solver.num_vars()
+    }
+
+    /// Number of live clauses in the underlying solver (retired clauses
+    /// leave this count once a periodic sweep or rebuild culls them).
+    pub fn num_clauses(&self) -> usize {
+        self.solver.num_clauses()
     }
 
     /// Number of retirable clauses still in force.
@@ -204,6 +235,15 @@ impl IncrementalSolver {
     pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
         self.conflict_limit = limit;
         self.solver.set_conflict_limit(limit);
+    }
+
+    /// Sets the learned-clause count that triggers the underlying
+    /// solver's next database reduction (`None` disables reduction); see
+    /// [`Solver::set_reduce_interval`].  The setting survives recycling
+    /// rebuilds.
+    pub fn set_reduce_interval(&mut self, first: Option<u64>) {
+        self.reduce_interval = first;
+        self.solver.set_reduce_interval(first);
     }
 
     /// Returns the accumulated search statistics (including solvers
@@ -307,6 +347,14 @@ impl IncrementalSolver {
             self.solver.add_clause([!guard.0], 0);
             self.retired += 1;
             self.retired_since_rebuild += 1;
+            self.retired_since_sweep += 1;
+            if self.retired_since_sweep >= RETIRE_SWEEP_INTERVAL {
+                self.retired_since_sweep = 0;
+                // The retired units permanently satisfy their guarded
+                // clauses; sweep them (and any root-satisfied learned
+                // clauses) out of the database and the watch lists.
+                self.solver.remove_root_satisfied();
+            }
             self.maybe_recycle();
         }
     }
@@ -322,6 +370,7 @@ impl IncrementalSolver {
             return;
         }
         let mut fresh = Solver::new();
+        fresh.set_proof_logging(false);
         fresh.add_cnf(&self.base);
         fresh.ensure_vars(self.user_vars);
         for clause in &self.permanent {
@@ -329,6 +378,14 @@ impl IncrementalSolver {
         }
         fresh.set_interrupt(self.interrupt.clone());
         fresh.set_conflict_limit(self.conflict_limit);
+        fresh.set_reduce_interval(self.reduce_interval);
+        // Warm-start the rebuilt solver: the caller's VSIDS activities and
+        // saved phases survive the rebuild, so a long PDR run does not
+        // restart its branching heuristics from scratch every few thousand
+        // retirements.  (Learned clauses are still discarded — their
+        // variable numbering may mention retired activation variables.)
+        let (activity, phase, var_inc) = self.solver.heuristics(self.user_vars);
+        fresh.restore_heuristics(&activity, &phase, var_inc);
         self.recycled_vars += u64::from(self.solver.num_vars() - self.user_vars);
         self.stats_offset += self.solver.stats();
         self.retired_since_rebuild = 0;
@@ -601,6 +658,66 @@ mod tests {
         assert_eq!(s.num_recycled_vars(), 0);
         // The solver keeps answering correctly, it just leaks as before.
         assert_eq!(s.solve(&[!v[0], !w]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn saved_phases_survive_recycling_rebuilds() {
+        let mut s = IncrementalSolver::new();
+        s.set_recycle_threshold(1);
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1], v[2], v[3]]);
+        // Establish non-default saved phases: force all variables true.
+        assert_eq!(s.solve(&[v[0], v[1], v[2], v[3]]), SolveResult::Sat);
+        // Trigger a recycling rebuild (no intermediate solve: the rebuild
+        // itself must carry the phases over).
+        let g = s.add_retirable_clause([v[0], v[1]]);
+        s.retire(g);
+        assert!(s.num_recycled_vars() > 0, "rebuild must have happened");
+        // Phase saving steers the free solve towards the remembered
+        // all-true assignment; a cold-started solver would pick false.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for &l in &v {
+            assert_eq!(s.lit_value(l), Some(true), "phase of {l} lost in rebuild");
+        }
+    }
+
+    #[test]
+    fn retirement_sweeps_shrink_the_clause_database() {
+        let mut s = IncrementalSolver::new();
+        // Recycling off: the sweep is the only mechanism culling retired
+        // clauses.
+        s.set_recycle_threshold(0);
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let mut peak = 0;
+        for round in 0..200 {
+            let g = s.add_retirable_clause([if round % 2 == 0 { !v[0] } else { !v[1] }]);
+            let _ = s.solve(&[]);
+            s.retire(g);
+            peak = peak.max(s.num_clauses());
+        }
+        // 200 guarded clauses plus 200 retirement units were added; the
+        // periodic sweep keeps the live database from accumulating them.
+        assert!(
+            s.num_clauses() < 150,
+            "sweeps must cull retired clauses, live database has {}",
+            s.num_clauses()
+        );
+        assert_eq!(s.solve(&[v[0]]), SolveResult::Sat);
+        assert_eq!(s.solve(&[!v[0], !v[1]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reduce_interval_survives_recycling() {
+        let mut s = IncrementalSolver::new();
+        s.set_recycle_threshold(1);
+        s.set_reduce_interval(None);
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        let g = s.add_retirable_clause([!v[0]]);
+        s.retire(g); // triggers a rebuild
+        assert_eq!(s.stats().db_reductions, 0);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]

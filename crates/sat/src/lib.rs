@@ -8,17 +8,28 @@
 //! proof.  None of the existing pure-Rust solvers expose proofs in this
 //! form, so the reproduction ships its own solver:
 //!
-//! * conflict-driven clause learning with first-UIP learning,
-//! * two-watched-literal propagation,
+//! * conflict-driven clause learning with first-UIP learning and
+//!   recursive learned-clause minimization (proof-exact: the removals are
+//!   recorded as real resolution steps),
+//! * two-watched-literal propagation over a flat clause arena, with
+//!   blocker literals and a binary-clause fast path so the hot loop
+//!   rarely touches clause memory,
+//! * LBD ("glue") tracking and periodic learned-clause database
+//!   reduction with a compacting garbage collector — proof-aware:
+//!   clauses referenced by recorded chains are pinned while proof
+//!   logging is on ([`Solver::set_reduce_interval`]),
 //! * VSIDS-style variable activities with a lazy heap,
 //! * phase saving and Luby restarts,
 //! * incremental assumptions with assumption-core extraction (used by the
 //!   counterexample-based abstraction refinement),
 //! * activation-literal clause retirement for the thousands of temporary
 //!   `¬cube` clauses issued by IC3/PDR-style engines
-//!   ([`IncrementalSolver`]),
+//!   ([`IncrementalSolver`]), with periodic sweeps of the retired
+//!   (root-satisfied) clauses,
 //! * resolution chains recorded for every learned clause and for the final
-//!   empty clause ([`Proof`]).
+//!   empty clause ([`Proof`]); logging is optional
+//!   ([`Solver::set_proof_logging`]) and the incremental solver runs
+//!   without it.
 //!
 //! # Example
 //!
@@ -37,6 +48,7 @@
 //! assert!(!proof.clauses.is_empty());
 //! ```
 
+mod arena;
 mod incremental;
 mod luby;
 mod proof;
@@ -45,4 +57,4 @@ mod solver;
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{ClauseGuard, IncrementalSolver};
 pub use proof::{Chain, ClauseOrigin, Proof, ProofClause};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverStats, DEFAULT_REDUCE_FIRST};

@@ -1,5 +1,17 @@
 //! The CDCL search engine.
+//!
+//! The hot paths run on a flat [`ClauseArena`]: watcher lists carry
+//! *blocker literals* (a cached literal whose truth lets propagation skip
+//! the clause without touching its memory) and a binary-clause fast path
+//! (the watcher itself holds the other literal, so two-literal clauses
+//! propagate without any clause access at all).  Learned clauses are
+//! tagged with their LBD ("glue") at learn time, shrunk by recursive
+//! minimization before backjumping, and periodically retired by a
+//! proof-aware database reduction — clauses referenced by recorded
+//! resolution [`Chain`]s are pinned while proof logging is on, so
+//! interpolant extraction keeps working after any number of reductions.
 
+use crate::arena::{ClauseArena, ClauseRef, NO_PROOF_ID};
 use crate::luby::luby;
 use crate::proof::{Chain, ClauseOrigin, Proof, ProofClause};
 use cnf::{Cnf, Lit, Var};
@@ -38,6 +50,15 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learned clauses.
     pub learned: u64,
+    /// Learned clauses deleted — by the periodic LBD-driven database
+    /// reduction and by the root-satisfied sweep
+    /// ([`Solver::remove_root_satisfied`]).
+    pub learned_deleted: u64,
+    /// Literals removed from learned clauses by recursive minimization
+    /// before backjumping.
+    pub minimized_literals: u64,
+    /// Learned-clause database reduction passes performed.
+    pub db_reductions: u64,
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -47,12 +68,44 @@ impl std::ops::AddAssign for SolverStats {
         self.propagations += other.propagations;
         self.restarts += other.restarts;
         self.learned += other.learned;
+        self.learned_deleted += other.learned_deleted;
+        self.minimized_literals += other.minimized_literals;
+        self.db_reductions += other.db_reductions;
+    }
+}
+
+impl std::ops::Sub for SolverStats {
+    type Output = SolverStats;
+
+    /// Per-query deltas: `after - before` of a monotonically growing
+    /// counter snapshot.
+    fn sub(self, other: SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - other.conflicts,
+            decisions: self.decisions - other.decisions,
+            propagations: self.propagations - other.propagations,
+            restarts: self.restarts - other.restarts,
+            learned: self.learned - other.learned,
+            learned_deleted: self.learned_deleted - other.learned_deleted,
+            minimized_literals: self.minimized_literals - other.minimized_literals,
+            db_reductions: self.db_reductions - other.db_reductions,
+        }
     }
 }
 
 /// How many conflicts-or-decisions pass between two polls of the shared
 /// interrupt flag during search.
 pub const INTERRUPT_CHECK_INTERVAL: u64 = 64;
+
+/// Live learned clauses that trigger the first database reduction (the
+/// default argument behind [`Solver::set_reduce_interval`]).  The
+/// reproduction's workloads issue thousands of *small* incremental queries
+/// rather than one giant search, so the schedule starts far earlier than
+/// a standalone solver's would.
+pub const DEFAULT_REDUCE_FIRST: u64 = 30;
+
+/// Growth of the reduction trigger after each pass.
+const REDUCE_INC: u64 = 100;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum LBool {
@@ -61,10 +114,15 @@ enum LBool {
     Undef,
 }
 
-#[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    origin: ClauseOrigin,
+/// One watch-list entry.  `blocker` is some other literal of the clause:
+/// if it is already true the clause is satisfied and propagation skips it
+/// without touching clause memory.  For `binary` clauses the blocker *is*
+/// the only other literal, so the clause body is never read at all.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+    binary: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -93,16 +151,59 @@ impl Ord for HeapEntry {
     }
 }
 
+/// The resolution chains recorded while proof logging is on, indexed by
+/// proof-clause id (`None` for original clauses).  Clause bodies live in
+/// the arena; deleted clauses drop their chains, and [`Solver::proof`]
+/// renumbers the survivors densely on export.
+#[derive(Clone, Debug, Default)]
+struct ProofRecorder {
+    chains: Vec<Option<Chain>>,
+}
+
+impl ProofRecorder {
+    fn register_original(&mut self) -> u32 {
+        self.chains.push(None);
+        (self.chains.len() - 1) as u32
+    }
+
+    fn register_learned(&mut self, chain: Chain) -> u32 {
+        self.chains.push(Some(chain));
+        (self.chains.len() - 1) as u32
+    }
+}
+
+fn remap_chain(chain: &Chain, remap: &[usize]) -> Chain {
+    debug_assert!(remap[chain.start] != usize::MAX);
+    Chain {
+        start: remap[chain.start],
+        steps: chain
+            .steps
+            .iter()
+            .map(|&(v, c)| {
+                debug_assert!(remap[c] != usize::MAX);
+                (v, remap[c])
+            })
+            .collect(),
+    }
+}
+
 /// A conflict-driven clause-learning SAT solver with proof logging.
 ///
 /// See the crate-level documentation for an overview and an example.
 #[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<ClauseData>,
-    watches: Vec<Vec<usize>>,
+    arena: ClauseArena,
+    /// Live clauses (original plus learned, minus deleted).
+    num_clauses: usize,
+    /// Live learned clauses (the reduction trigger).
+    learned_live: u64,
+    watches: Vec<Vec<Watcher>>,
     assign: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<Option<usize>>,
+    /// Trail index of each assigned variable (stale when unassigned);
+    /// orders the resolution steps of proof-exact clause minimization.
+    trail_pos: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -111,7 +212,18 @@ pub struct Solver {
     heap: BinaryHeap<HeapEntry>,
     phase: Vec<bool>,
     seen: Vec<bool>,
+    /// Variables whose `seen` bit is set during conflict analysis.
+    to_clear: Vec<usize>,
+    /// DFS stack of the recursive-minimization redundancy check.
+    min_stack: Vec<Var>,
+    /// Scratch marks of the chain-extension pass (0 none, 1 kept,
+    /// 2 queued for elimination).
+    cmark: Vec<u8>,
+    /// Per-decision-level stamps for LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
     ok: bool,
+    proof: Option<ProofRecorder>,
     final_chain: Option<Chain>,
     assumption_core: Vec<Lit>,
     stats: SolverStats,
@@ -122,6 +234,9 @@ pub struct Solver {
     interrupt: Option<Arc<AtomicBool>>,
     /// Per-call conflict budget; `None` means unlimited.
     conflict_limit: Option<u64>,
+    /// Learned-clause count that triggers the next database reduction;
+    /// `None` disables reduction.
+    reduce_limit: Option<u64>,
 }
 
 impl Default for Solver {
@@ -131,13 +246,16 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with proof logging enabled.
     pub fn new() -> Solver {
         Solver {
-            clauses: Vec::new(),
+            arena: ClauseArena::default(),
+            num_clauses: 0,
+            learned_live: 0,
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
+            trail_pos: Vec::new(),
             reason: Vec::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
@@ -147,14 +265,57 @@ impl Solver {
             heap: BinaryHeap::new(),
             phase: Vec::new(),
             seen: Vec::new(),
+            to_clear: Vec::new(),
+            min_stack: Vec::new(),
+            cmark: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_counter: 0,
             ok: true,
+            proof: Some(ProofRecorder::default()),
             final_chain: None,
             assumption_core: Vec::new(),
             stats: SolverStats::default(),
             status: None,
             interrupt: None,
             conflict_limit: None,
+            reduce_limit: Some(DEFAULT_REDUCE_FIRST),
         }
+    }
+
+    /// Enables or disables resolution-proof logging (default: enabled).
+    ///
+    /// With logging off no chains are recorded, [`Solver::proof`] returns
+    /// `None`, and database reduction is unrestricted; engines that only
+    /// need SAT/UNSAT answers (IC3/PDR, incremental BMC) run measurably
+    /// lighter this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after a clause has been added — a half-logged
+    /// clause database could not produce a checkable proof.
+    pub fn set_proof_logging(&mut self, enabled: bool) {
+        assert!(
+            self.arena.is_empty(),
+            "proof logging must be configured before clauses are added"
+        );
+        self.proof = if enabled {
+            Some(ProofRecorder::default())
+        } else {
+            None
+        };
+    }
+
+    /// Returns `true` while resolution proofs are being recorded.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Sets the learned-clause count that triggers the next database
+    /// reduction pass (`None` disables reduction).  Each pass raises the
+    /// trigger, so the database still grows — just sublinearly in the
+    /// conflict count.
+    pub fn set_reduce_interval(&mut self, first: Option<u64>) {
+        self.reduce_limit = first;
     }
 
     /// Installs (or clears) a shared interrupt flag.
@@ -185,10 +346,13 @@ impl Solver {
         let v = Var::new(self.assign.len() as u32);
         self.assign.push(LBool::Undef);
         self.level.push(0);
+        self.trail_pos.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
+        self.cmark.push(0);
+        self.lbd_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap.push(HeapEntry {
@@ -210,14 +374,46 @@ impl Solver {
         self.assign.len() as u32
     }
 
-    /// Number of clauses (original plus learned).
+    /// Number of live clauses (original plus learned, minus those retired
+    /// by database reduction or the root-satisfied sweep).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.num_clauses
     }
 
     /// Returns the accumulated statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// VSIDS activities and saved phases of the first `upto` variables,
+    /// plus the current activity increment — everything needed to warm-
+    /// start a rebuilt solver (see `IncrementalSolver` recycling).
+    pub(crate) fn heuristics(&self, upto: u32) -> (Vec<f64>, Vec<bool>, f64) {
+        let n = (upto as usize).min(self.activity.len());
+        (
+            self.activity[..n].to_vec(),
+            self.phase[..n].to_vec(),
+            self.var_inc,
+        )
+    }
+
+    /// Transplants heuristic state captured by [`Solver::heuristics`].
+    pub(crate) fn restore_heuristics(&mut self, activity: &[f64], phase: &[bool], var_inc: f64) {
+        self.var_inc = var_inc;
+        for (v, &a) in activity.iter().enumerate() {
+            if v < self.activity.len() {
+                self.activity[v] = a;
+                self.heap.push(HeapEntry {
+                    activity: a,
+                    var: Var::new(v as u32),
+                });
+            }
+        }
+        for (v, &p) in phase.iter().enumerate() {
+            if v < self.phase.len() {
+                self.phase[v] = p;
+            }
+        }
     }
 
     /// Adds a clause belonging to interpolation partition `partition`
@@ -235,12 +431,13 @@ impl Solver {
         // Clauses are always installed at the root level so that the watch
         // set-up below sees a consistent (level-0) partial assignment.
         self.backtrack(0);
-        let id = self.clauses.len();
-        self.clauses.push(ClauseData {
-            lits,
-            origin: ClauseOrigin::Original { partition },
-        });
-        self.attach_clause(id);
+        let pid = match &mut self.proof {
+            Some(recorder) => recorder.register_original(),
+            None => NO_PROOF_ID,
+        };
+        let cref = self.arena.alloc(&lits, false, partition, pid);
+        self.num_clauses += 1;
+        self.attach_clause(cref);
     }
 
     /// Adds every clause of a [`Cnf`], preserving the partition labels.
@@ -251,63 +448,102 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, id: usize) {
-        let lits = self.clauses[id].lits.clone();
-        if lits.is_empty() {
+    /// Chain of the root-level conflict `confl`, recorded only while proof
+    /// logging is on.
+    fn record_final_chain(&mut self, confl: ClauseRef) {
+        if self.proof.is_some() {
+            self.final_chain = Some(self.final_chain_from(confl));
+        }
+    }
+
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let size = self.arena.size(cref);
+        if size == 0 {
             self.ok = false;
-            self.final_chain = Some(Chain {
-                start: id,
-                steps: Vec::new(),
-            });
+            if self.proof.is_some() {
+                self.final_chain = Some(Chain {
+                    start: self.arena.proof_id(cref) as usize,
+                    steps: Vec::new(),
+                });
+            }
             return;
         }
-        if lits.len() == 1 {
-            match self.value_lit(lits[0]) {
+        if size == 1 {
+            let l = self.arena.lit(cref, 0);
+            match self.value_lit(l) {
                 LBool::True => {}
-                LBool::Undef => self.enqueue(lits[0], Some(id)),
+                LBool::Undef => self.enqueue(l, Some(cref)),
                 LBool::False => {
                     self.ok = false;
-                    self.final_chain = Some(self.final_chain_from(id));
+                    self.record_final_chain(cref);
                 }
             }
             return;
         }
         // Move two non-false literals to the watch positions when possible.
-        let mut ordered = lits;
-        let mut non_false: Vec<usize> = (0..ordered.len())
-            .filter(|&i| self.value_lit(ordered[i]) != LBool::False)
-            .collect();
-        if non_false.is_empty() {
-            self.ok = false;
-            self.final_chain = Some(self.final_chain_from(id));
-            return;
-        }
-        if non_false.len() == 1 {
-            ordered.swap(0, non_false[0]);
-            self.clauses[id].lits = ordered.clone();
-            self.watch(ordered[0], id);
-            self.watch(ordered[1], id);
-            if self.value_lit(ordered[0]) == LBool::Undef {
-                self.enqueue(ordered[0], Some(id));
+        let mut first_free = None;
+        let mut second_free = None;
+        for i in 0..size {
+            if self.value_lit(self.arena.lit(cref, i)) != LBool::False {
+                if first_free.is_none() {
+                    first_free = Some(i);
+                } else {
+                    second_free = Some(i);
+                    break;
+                }
             }
-            return;
         }
-        non_false.truncate(2);
-        ordered.swap(0, non_false[0]);
-        // After the first swap the second index may have moved.
-        let second = if non_false[1] == 0 {
-            non_false[0]
-        } else {
-            non_false[1]
-        };
-        ordered.swap(1, second);
-        self.clauses[id].lits = ordered.clone();
-        self.watch(ordered[0], id);
-        self.watch(ordered[1], id);
+        match (first_free, second_free) {
+            (None, _) => {
+                self.ok = false;
+                self.record_final_chain(cref);
+            }
+            (Some(a), None) => {
+                self.arena.swap_lits(cref, 0, a);
+                self.watch_clause(cref);
+                let first = self.arena.lit(cref, 0);
+                if self.value_lit(first) == LBool::Undef {
+                    self.enqueue(first, Some(cref));
+                }
+            }
+            (Some(a), Some(b)) => {
+                // The ascending scan guarantees a < b, so the first swap
+                // (0 ↔ a) cannot displace the literal at b.
+                self.arena.swap_lits(cref, 0, a);
+                self.arena.swap_lits(cref, 1, b);
+                self.watch_clause(cref);
+            }
+        }
     }
 
-    fn watch(&mut self, lit: Lit, id: usize) {
-        self.watches[lit.code() as usize].push(id);
+    /// Installs watchers for positions 0 and 1, each blocked by the other.
+    fn watch_clause(&mut self, cref: ClauseRef) {
+        let l0 = self.arena.lit(cref, 0);
+        let l1 = self.arena.lit(cref, 1);
+        let binary = self.arena.size(cref) == 2;
+        self.watches[l0.code() as usize].push(Watcher {
+            cref,
+            blocker: l1,
+            binary,
+        });
+        self.watches[l1.code() as usize].push(Watcher {
+            cref,
+            blocker: l0,
+            binary,
+        });
+    }
+
+    /// Removes the two watchers of a clause (positions 0 and 1).
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        for pos in 0..2 {
+            let lit = self.arena.lit(cref, pos);
+            let list = &mut self.watches[lit.code() as usize];
+            let at = list
+                .iter()
+                .position(|w| w.cref == cref)
+                .expect("watched clause is in both watch lists");
+            list.swap_remove(at);
+        }
     }
 
     #[inline]
@@ -369,19 +605,71 @@ impl Solver {
     }
 
     /// Returns the resolution proof of the last assumption-free `Unsat`
-    /// answer, or `None` when no refutation has been derived.
+    /// answer, or `None` when no refutation has been derived (or proof
+    /// logging is off).
+    ///
+    /// The export contains every original clause (interpolation needs the
+    /// full partition layout for its variable-occurrence ranges) but only
+    /// the learned clauses actually referenced — transitively — by the
+    /// empty-clause chain; everything else the search learned along the
+    /// way is skipped instead of cloned.
     pub fn proof(&self) -> Option<Proof> {
-        self.final_chain.as_ref()?;
+        let recorder = self.proof.as_ref()?;
+        let final_chain = self.final_chain.as_ref()?;
+        let total = recorder.chains.len();
+        // Cone of the refutation over proof ids.
+        let mut needed = vec![false; total];
+        let mut stack: Vec<usize> = Vec::new();
+        let push_chain = |chain: &Chain, stack: &mut Vec<usize>| {
+            stack.push(chain.start);
+            for &(_, c) in &chain.steps {
+                stack.push(c);
+            }
+        };
+        push_chain(final_chain, &mut stack);
+        while let Some(id) = stack.pop() {
+            if needed[id] {
+                continue;
+            }
+            needed[id] = true;
+            if let Some(chain) = &recorder.chains[id] {
+                push_chain(chain, &mut stack);
+            }
+        }
+        // Export in creation order (the arena preserves it across
+        // compactions), renumbering chains densely.
+        let mut remap = vec![usize::MAX; total];
+        let mut clauses = Vec::new();
+        for cref in self.arena.refs() {
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            let pid = self.arena.proof_id(cref) as usize;
+            let learned = self.arena.is_learned(cref);
+            if learned && !needed[pid] {
+                continue;
+            }
+            remap[pid] = clauses.len();
+            let lits: Vec<Lit> = (0..self.arena.size(cref))
+                .map(|i| self.arena.lit(cref, i))
+                .collect();
+            let origin = if learned {
+                let chain = recorder.chains[pid]
+                    .as_ref()
+                    .expect("clauses in the refutation cone keep their chains");
+                ClauseOrigin::Learned {
+                    chain: remap_chain(chain, &remap),
+                }
+            } else {
+                ClauseOrigin::Original {
+                    partition: self.arena.partition(cref),
+                }
+            };
+            clauses.push(ProofClause { lits, origin });
+        }
         Some(Proof {
-            clauses: self
-                .clauses
-                .iter()
-                .map(|c| ProofClause {
-                    lits: c.lits.clone(),
-                    origin: c.origin.clone(),
-                })
-                .collect(),
-            empty_clause_chain: self.final_chain.clone(),
+            clauses,
+            empty_clause_chain: Some(remap_chain(final_chain, &remap)),
         })
     }
 
@@ -394,7 +682,7 @@ impl Solver {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.value_lit(lit), LBool::Undef);
         let v = lit.var().index() as usize;
         self.assign[v] = if lit.is_negative() {
@@ -403,52 +691,71 @@ impl Solver {
             LBool::True
         };
         self.level[v] = self.decision_level() as u32;
+        self.trail_pos[v] = self.trail.len() as u32;
         self.reason[v] = reason;
         self.trail.push(lit);
     }
 
-    fn propagate(&mut self) -> Option<usize> {
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            let watch_idx = false_lit.code() as usize;
+            let widx = false_lit.code() as usize;
             let mut i = 0;
-            while i < self.watches[watch_idx].len() {
-                let clause_id = self.watches[watch_idx][i];
-                // Make sure the false literal is at position 1.
-                let lits_len = self.clauses[clause_id].lits.len();
-                if self.clauses[clause_id].lits[0] == false_lit {
-                    self.clauses[clause_id].lits.swap(0, 1);
+            'watchers: while i < self.watches[widx].len() {
+                let w = self.watches[widx][i];
+                let blocker_value = self.value_lit(w.blocker);
+                if blocker_value == LBool::True {
+                    i += 1;
+                    continue;
                 }
-                let first = self.clauses[clause_id].lits[0];
-                if self.value_lit(first) == LBool::True {
+                if w.binary {
+                    // The blocker is the only other literal: conclude
+                    // without reading clause memory.
+                    if blocker_value == LBool::False {
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                    self.enqueue(w.blocker, Some(w.cref));
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure the false literal is at position 1.
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                let first = self.arena.lit(cref, 0);
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    self.watches[widx][i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a replacement watch.
-                let mut replaced = false;
-                for j in 2..lits_len {
-                    let candidate = self.clauses[clause_id].lits[j];
+                let size = self.arena.size(cref);
+                for j in 2..size {
+                    let candidate = self.arena.lit(cref, j);
                     if self.value_lit(candidate) != LBool::False {
-                        self.clauses[clause_id].lits.swap(1, j);
-                        self.watches[watch_idx].swap_remove(i);
-                        self.watch(candidate, clause_id);
-                        replaced = true;
-                        break;
+                        self.arena.swap_lits(cref, 1, j);
+                        self.watches[widx].swap_remove(i);
+                        self.watches[candidate.code() as usize].push(Watcher {
+                            cref,
+                            blocker: first,
+                            binary: false,
+                        });
+                        continue 'watchers;
                     }
-                }
-                if replaced {
-                    continue;
                 }
                 if self.value_lit(first) == LBool::False {
                     // Conflict.
                     self.qhead = self.trail.len();
-                    return Some(clause_id);
+                    return Some(cref);
                 }
                 // Unit clause: propagate `first`.
-                self.enqueue(first, Some(clause_id));
+                self.enqueue(first, Some(cref));
+                self.watches[widx][i].blocker = first;
                 i += 1;
             }
         }
@@ -474,28 +781,62 @@ impl Solver {
         self.var_inc /= 0.95;
     }
 
+    /// Pins a clause referenced by a recorded chain: while proof logging
+    /// is on such clauses are exempt from database reduction, so the
+    /// eventual [`Solver::proof`] export can still read their bodies.
+    fn pin_for_proof(&mut self, cref: ClauseRef) {
+        if self.proof.is_some() {
+            self.arena.pin(cref);
+        }
+    }
+
+    /// Number of distinct decision levels among `lits` (the clause's LBD
+    /// or "glue"; level 0 counts like any other level).
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0;
+        for l in lits {
+            let lvl = self.level[l.var().index() as usize] as usize;
+            // Already-satisfied assumptions open "dummy" decision levels
+            // that assign no variable, so levels can exceed the variable
+            // count the stamp array was sized for — grow it on demand.
+            if lvl >= self.lbd_stamp.len() {
+                self.lbd_stamp.resize(lvl + 1, 0);
+            }
+            if self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// First-UIP conflict analysis; returns the learned clause (asserting
-    /// literal first), the backtrack level and the resolution chain deriving
-    /// the learned clause.
-    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize, Chain) {
+    /// literal first, minimized), the backtrack level, the clause LBD and
+    /// — while proof logging is on — the resolution chain deriving it.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize, u32, Option<Chain>) {
         let current_level = self.decision_level() as u32;
         let mut learned: Vec<Lit> = vec![Lit::positive(Var::new(0))];
-        let mut chain = Chain {
-            start: confl,
+        let mut chain = self.proof.as_ref().map(|_| Chain {
+            start: self.arena.proof_id(confl) as usize,
             steps: Vec::new(),
-        };
-        let mut to_clear: Vec<usize> = Vec::new();
+        });
         let mut path_count: u32 = 0;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut clause_id = confl;
+        let mut clause_ref = confl;
 
         loop {
-            if let Some(pl) = p {
-                chain.steps.push((pl.var(), clause_id));
+            self.pin_for_proof(clause_ref);
+            if let (Some(pl), Some(chain)) = (p, chain.as_mut()) {
+                chain
+                    .steps
+                    .push((pl.var(), self.arena.proof_id(clause_ref) as usize));
             }
-            let lits = self.clauses[clause_id].lits.clone();
-            for &q in &lits {
+            let size = self.arena.size(clause_ref);
+            for i in 0..size {
+                let q = self.arena.lit(clause_ref, i);
                 if let Some(pl) = p {
                     if q.var() == pl.var() {
                         continue;
@@ -506,14 +847,15 @@ impl Solver {
                     continue;
                 }
                 self.seen[v] = true;
-                to_clear.push(v);
+                self.to_clear.push(v);
                 self.bump_var(q.var());
                 if self.level[v] == current_level {
                     path_count += 1;
                 } else {
                     // Literals below the current level (including level 0)
-                    // stay in the learned clause; keeping the level-0 ones
-                    // makes the recorded resolution chain exact.
+                    // stay in the learned clause here; minimization below
+                    // removes the redundant ones with exact chain
+                    // extension, so the recorded resolution stays valid.
                     learned.push(q);
                 }
             }
@@ -533,11 +875,14 @@ impl Solver {
                 break;
             }
             p = Some(pivot);
-            clause_id = self.reason[pivot.var().index() as usize]
+            clause_ref = self.reason[pivot.var().index() as usize]
                 .expect("propagated literal at current level has a reason");
         }
 
-        for v in to_clear {
+        let removed = self.minimize(&mut learned, chain.as_mut());
+        self.stats.minimized_literals += removed;
+
+        for v in self.to_clear.drain(..) {
             self.seen[v] = false;
         }
 
@@ -557,31 +902,165 @@ impl Solver {
             learned.swap(1, max_idx);
             self.level[learned[1].var().index() as usize] as usize
         };
-        (learned, backtrack_level, chain)
+        let lbd = self.compute_lbd(&learned);
+        (learned, backtrack_level, lbd, chain)
+    }
+
+    /// Recursive learned-clause minimization: removes every literal whose
+    /// falsification is implied by the rest of the clause (its reason
+    /// chain bottoms out in clause literals or level-0 facts).  When a
+    /// chain is being recorded, the removals are appended to it as real
+    /// resolution steps, so the recorded derivation stays exact.
+    ///
+    /// On entry `seen` marks exactly the variables of `learned[1..]`;
+    /// speculative marks added by the redundancy DFS are registered in
+    /// `to_clear` like the analysis marks.  Returns the number of removed
+    /// literals.
+    fn minimize(&mut self, learned: &mut Vec<Lit>, chain: Option<&mut Chain>) -> u64 {
+        if learned.len() <= 1 {
+            return 0;
+        }
+        let mut kept: Vec<Lit> = Vec::with_capacity(learned.len());
+        let mut removed: Vec<Lit> = Vec::new();
+        let (first, rest) = learned.split_first().expect("asserting literal present");
+        kept.push(*first);
+        for &l in rest {
+            if self.lit_redundant(l) {
+                removed.push(l);
+            } else {
+                kept.push(l);
+            }
+        }
+        if removed.is_empty() {
+            return 0;
+        }
+        if let Some(chain) = chain {
+            self.extend_chain_for_removed(&kept, &removed, chain);
+        }
+        let count = removed.len() as u64;
+        *learned = kept;
+        count
+    }
+
+    /// Returns `true` when `p` (a falsified literal of the learned
+    /// clause) is redundant: every path through the implication graph
+    /// from its reason terminates in clause literals or level-0 facts.
+    fn lit_redundant(&mut self, p: Lit) -> bool {
+        let v0 = p.var().index() as usize;
+        if self.level[v0] == 0 {
+            return true;
+        }
+        if self.reason[v0].is_none() {
+            return false;
+        }
+        self.min_stack.clear();
+        self.min_stack.push(p.var());
+        let top = self.to_clear.len();
+        while let Some(v) = self.min_stack.pop() {
+            let cref = self.reason[v.index() as usize].expect("stacked literals have reasons");
+            let size = self.arena.size(cref);
+            for i in 0..size {
+                let q = self.arena.lit(cref, i);
+                if q.var() == v {
+                    continue;
+                }
+                let qv = q.var().index() as usize;
+                if self.seen[qv] || self.level[qv] == 0 {
+                    continue;
+                }
+                if self.reason[qv].is_none() {
+                    // A decision or assumption outside the clause: `p` is
+                    // not redundant.  Undo this check's speculative marks.
+                    for &u in &self.to_clear[top..] {
+                        self.seen[u] = false;
+                    }
+                    self.to_clear.truncate(top);
+                    return false;
+                }
+                self.seen[qv] = true;
+                self.to_clear.push(qv);
+                self.min_stack.push(q.var());
+            }
+        }
+        // Successful marks persist: those variables are now known-
+        // redundant sources for the remaining checks (and are cleared
+        // with the other analysis marks at the end of `analyze`).
+        true
+    }
+
+    /// Appends to `chain` the resolution steps eliminating every removed
+    /// literal (and whatever falsified literals their reasons introduce),
+    /// in decreasing trail order so each step's pivot is present in the
+    /// running resolvent.
+    fn extend_chain_for_removed(&mut self, kept: &[Lit], removed: &[Lit], chain: &mut Chain) {
+        const KEPT: u8 = 1;
+        const QUEUED: u8 = 2;
+        let mut marked: Vec<usize> = Vec::with_capacity(kept.len() + removed.len());
+        for l in kept {
+            let v = l.var().index() as usize;
+            self.cmark[v] = KEPT;
+            marked.push(v);
+        }
+        // Max-heap on trail position: eliminate later assignments first.
+        let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::new();
+        for l in removed {
+            let v = l.var().index() as usize;
+            self.cmark[v] = QUEUED;
+            marked.push(v);
+            heap.push((self.trail_pos[v], l.var().index()));
+        }
+        while let Some((_, vidx)) = heap.pop() {
+            let cref = self.reason[vidx as usize].expect("removed literals have reasons");
+            self.pin_for_proof(cref);
+            chain
+                .steps
+                .push((Var::new(vidx), self.arena.proof_id(cref) as usize));
+            let size = self.arena.size(cref);
+            for i in 0..size {
+                let q = self.arena.lit(cref, i);
+                let qv = q.var().index() as usize;
+                if qv == vidx as usize || self.cmark[qv] != 0 {
+                    continue;
+                }
+                // `q` is falsified and not in the kept clause: it enters
+                // the resolvent here and must be eliminated in turn.
+                self.cmark[qv] = QUEUED;
+                marked.push(qv);
+                heap.push((self.trail_pos[qv], q.var().index()));
+            }
+        }
+        for v in marked {
+            self.cmark[v] = 0;
+        }
     }
 
     /// Builds the resolution chain refuting the formula from a conflict in
     /// which every literal is falsified at decision level 0.
-    fn final_chain_from(&self, confl: usize) -> Chain {
+    fn final_chain_from(&mut self, confl: ClauseRef) -> Chain {
+        self.pin_for_proof(confl);
         let mut seen = vec![false; self.num_vars() as usize];
-        for &l in &self.clauses[confl].lits {
+        for i in 0..self.arena.size(confl) {
+            let l = self.arena.lit(confl, i);
             seen[l.var().index() as usize] = true;
         }
         let mut steps = Vec::new();
-        for &lit in self.trail.iter().rev() {
+        for idx in (0..self.trail.len()).rev() {
+            let lit = self.trail[idx];
             let v = lit.var().index() as usize;
             if !seen[v] {
                 continue;
             }
             let reason = self.reason[v]
                 .expect("level-0 assignments used in the final conflict have reasons");
-            steps.push((lit.var(), reason));
-            for &q in &self.clauses[reason].lits {
+            self.pin_for_proof(reason);
+            steps.push((lit.var(), self.arena.proof_id(reason) as usize));
+            for i in 0..self.arena.size(reason) {
+                let q = self.arena.lit(reason, i);
                 seen[q.var().index() as usize] = true;
             }
         }
         Chain {
-            start: confl,
+            start: self.arena.proof_id(confl) as usize,
             steps,
         }
     }
@@ -606,19 +1085,181 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
-    fn add_learned(&mut self, lits: Vec<Lit>, chain: Chain) -> usize {
-        let id = self.clauses.len();
+    fn add_learned(&mut self, lits: Vec<Lit>, lbd: u32, chain: Option<Chain>) -> ClauseRef {
         self.stats.learned += 1;
-        self.clauses.push(ClauseData {
-            lits: lits.clone(),
-            origin: ClauseOrigin::Learned { chain },
-        });
+        let pid = match (&mut self.proof, chain) {
+            (Some(recorder), Some(chain)) => recorder.register_learned(chain),
+            _ => NO_PROOF_ID,
+        };
+        let cref = self.arena.alloc(&lits, true, 0, pid);
+        self.arena.set_lbd(cref, lbd);
+        self.num_clauses += 1;
+        self.learned_live += 1;
         if lits.len() >= 2 {
-            self.watch(lits[0], id);
-            self.watch(lits[1], id);
+            self.watch_clause(cref);
         }
-        self.enqueue(lits[0], Some(id));
-        id
+        self.enqueue(lits[0], Some(cref));
+        cref
+    }
+
+    /// Returns `true` when the clause is the reason of one of its watched
+    /// literals (deleting it would orphan a trail assignment).
+    fn locked(&self, cref: ClauseRef) -> bool {
+        let watched = self.arena.size(cref).min(2);
+        for pos in 0..watched {
+            let l = self.arena.lit(cref, pos);
+            if self.value_lit(l) == LBool::True
+                && self.reason[l.var().index() as usize] == Some(cref)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deletes a clause: detaches its watchers, marks the arena slot as
+    /// garbage and drops its recorded chain (a deleted clause can never
+    /// be referenced by a later one).
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        if self.arena.size(cref) >= 2 {
+            self.detach_clause(cref);
+        }
+        if self.arena.is_learned(cref) {
+            self.learned_live -= 1;
+            self.stats.learned_deleted += 1;
+        }
+        if let Some(recorder) = &mut self.proof {
+            let pid = self.arena.proof_id(cref);
+            if pid != NO_PROOF_ID {
+                recorder.chains[pid as usize] = None;
+            }
+        }
+        self.num_clauses -= 1;
+        self.arena.mark_deleted(cref);
+    }
+
+    fn maybe_reduce(&mut self) {
+        if let Some(limit) = self.reduce_limit {
+            if self.learned_live >= limit {
+                self.reduce_db();
+            }
+        }
+    }
+
+    /// One learned-clause database reduction pass: collects the deletable
+    /// learned clauses (not glue, not binary, not locked as a reason, not
+    /// pinned by a recorded proof chain) and retires the worse half by
+    /// `(LBD, size)`.  Raises the next trigger and compacts the arena when
+    /// enough garbage has accumulated.
+    fn reduce_db(&mut self) {
+        let refs: Vec<ClauseRef> = self.arena.refs().collect();
+        let mut candidates: Vec<(u32, u32, ClauseRef)> = Vec::new();
+        for cref in refs {
+            if self.arena.is_deleted(cref)
+                || !self.arena.is_learned(cref)
+                || self.arena.is_pinned(cref)
+            {
+                continue;
+            }
+            let size = self.arena.size(cref);
+            let lbd = self.arena.lbd(cref);
+            if size <= 2 || lbd <= 2 || self.locked(cref) {
+                continue;
+            }
+            candidates.push((lbd, size as u32, cref));
+        }
+        // Worst first: highest LBD, then longest, then oldest.
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+        let doomed = candidates.len() / 2;
+        for &(_, _, cref) in &candidates[..doomed] {
+            self.delete_clause(cref);
+        }
+        self.stats.db_reductions += 1;
+        if let Some(limit) = self.reduce_limit {
+            self.reduce_limit = Some(limit + REDUCE_INC);
+        }
+        self.maybe_collect_garbage();
+    }
+
+    /// Removes every clause satisfied at decision level 0 — the clauses an
+    /// `IncrementalSolver` retirement permanently deactivates, which would
+    /// otherwise clog the watch lists forever.  Only available while proof
+    /// logging is off (a no-op otherwise: exported proofs may reference
+    /// any original clause).
+    pub fn remove_root_satisfied(&mut self) {
+        if self.proof.is_some() || !self.ok {
+            return;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        let refs: Vec<ClauseRef> = self.arena.refs().collect();
+        for cref in refs {
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            let size = self.arena.size(cref);
+            let satisfied =
+                (0..size).any(|i| self.value_lit(self.arena.lit(cref, i)) == LBool::True);
+            if !satisfied {
+                continue;
+            }
+            // The clause may be the reason of a root assignment (e.g. a
+            // retirement unit).  The assignment itself is permanent, and
+            // with proof logging off level-0 reasons are never read again
+            // — conflict analysis resolves only current-level literals and
+            // minimization treats level-0 facts as redundant outright — so
+            // the reference can be dropped along with the clause.
+            for pos in 0..size.min(2) {
+                let l = self.arena.lit(cref, pos);
+                let v = l.var().index() as usize;
+                if self.reason[v] == Some(cref) {
+                    debug_assert_eq!(self.level[v], 0);
+                    self.reason[v] = None;
+                }
+            }
+            self.delete_clause(cref);
+        }
+        self.maybe_collect_garbage();
+    }
+
+    fn maybe_collect_garbage(&mut self) {
+        let wasted = self.arena.wasted_words();
+        if wasted > 0 && wasted * 3 >= self.arena.len_words() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Compacts the arena, rewriting every watcher and reason reference
+    /// through the forwarding addresses.  Clause order — and with it the
+    /// proof-id order the export relies on — is preserved.
+    fn garbage_collect(&mut self) {
+        let refs: Vec<ClauseRef> = self.arena.refs().collect();
+        let mut to = ClauseArena::with_capacity(self.arena.len_words() - self.arena.wasted_words());
+        for cref in refs {
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            let new = self.arena.copy_into(cref, &mut to);
+            self.arena.set_forward(cref, new);
+        }
+        let arena = &self.arena;
+        for list in &mut self.watches {
+            for w in list.iter_mut() {
+                w.cref = arena.forward(w.cref);
+            }
+        }
+        for cref in self.reason.iter_mut().flatten() {
+            *cref = arena.forward(*cref);
+        }
+        self.arena = to;
+    }
+
+    #[cfg(test)]
+    fn arena_words(&self) -> (usize, usize) {
+        (self.arena.len_words(), self.arena.wasted_words())
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -650,7 +1291,8 @@ impl Solver {
             match self.reason[v] {
                 None => core.push(lit),
                 Some(r) => {
-                    for &q in &self.clauses[r].lits {
+                    for j in 0..self.arena.size(r) {
+                        let q = self.arena.lit(r, j);
                         if self.level[q.var().index() as usize] > 0 {
                             seen[q.var().index() as usize] = true;
                         }
@@ -683,7 +1325,7 @@ impl Solver {
         }
         if let Some(confl) = self.propagate() {
             self.ok = false;
-            self.final_chain = Some(self.final_chain_from(confl));
+            self.record_final_chain(confl);
             self.status = Some(SolveResult::Unsat);
             return SolveResult::Unsat;
         }
@@ -713,7 +1355,7 @@ impl Solver {
                 conflicts_this_call += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    self.final_chain = Some(self.final_chain_from(confl));
+                    self.record_final_chain(confl);
                     self.status = Some(SolveResult::Unsat);
                     return SolveResult::Unsat;
                 }
@@ -725,10 +1367,11 @@ impl Solver {
                     self.status = Some(SolveResult::Interrupted);
                     return SolveResult::Interrupted;
                 }
-                let (learned, backtrack_level, chain) = self.analyze(confl);
+                let (learned, backtrack_level, lbd, chain) = self.analyze(confl);
                 self.backtrack(backtrack_level);
-                self.add_learned(learned, chain);
+                self.add_learned(learned, lbd, chain);
                 self.decay_activities();
+                self.maybe_reduce();
             } else {
                 if conflicts_since_restart >= restart_limit {
                     self.stats.restarts += 1;
@@ -1076,5 +1719,201 @@ mod tests {
         let proof = s.proof().expect("proof");
         assert_eq!(proof.num_partitions(), 2);
         assert_eq!(proof.num_original(), 3);
+    }
+
+    #[test]
+    fn minimization_shrinks_learned_clauses_and_keeps_proofs_exact() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(
+            s.stats().minimized_literals > 0,
+            "php(5) must exercise learned-clause minimization"
+        );
+        // Every chain — including the minimization extension steps — must
+        // replay to a subset of its recorded clause.
+        s.proof().expect("proof").check().expect("exact chains");
+    }
+
+    #[test]
+    fn db_reduction_fires_and_keeps_answers() {
+        let mut with = Solver::new();
+        with.set_proof_logging(false);
+        with.set_reduce_interval(Some(10));
+        pigeonhole(&mut with, 6);
+        assert_eq!(with.solve(), SolveResult::Unsat);
+        let stats = with.stats();
+        assert!(stats.db_reductions > 0, "reduction must trigger");
+        assert!(stats.learned_deleted > 0, "reduction must delete clauses");
+
+        let mut without = Solver::new();
+        without.set_proof_logging(false);
+        without.set_reduce_interval(None);
+        pigeonhole(&mut without, 6);
+        assert_eq!(without.solve(), SolveResult::Unsat);
+        assert_eq!(without.stats().db_reductions, 0);
+        assert_eq!(without.stats().learned_deleted, 0);
+    }
+
+    #[test]
+    fn db_reduction_with_proof_logging_keeps_proofs_valid() {
+        let mut s = Solver::new();
+        s.set_reduce_interval(Some(5));
+        pigeonhole(&mut s, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().db_reductions > 0, "reduction passes must run");
+        // Chain-referenced clauses were pinned, so the export still
+        // replays end to end.
+        let proof = s.proof().expect("proof");
+        proof.check().expect("proof survives reductions");
+    }
+
+    #[test]
+    fn reduction_survives_incremental_reuse() {
+        // Solve, reduce, then keep querying the same solver under
+        // assumptions: retired clauses must not be missed.
+        let mut s = Solver::new();
+        s.set_proof_logging(false);
+        s.set_reduce_interval(Some(8));
+        pigeonhole(&mut s, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().db_reductions > 0);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn garbage_collection_compacts_the_arena() {
+        let mut s = Solver::new();
+        s.set_proof_logging(false);
+        s.set_reduce_interval(Some(8));
+        pigeonhole(&mut s, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let (len, wasted) = s.arena_words();
+        assert!(
+            wasted * 3 < len.max(1),
+            "GC must keep garbage below a third of the arena ({wasted}/{len})"
+        );
+        assert!(s.stats().learned_deleted > 0);
+    }
+
+    #[test]
+    fn remove_root_satisfied_drops_deactivated_clauses() {
+        let mut s = Solver::new();
+        s.set_proof_logging(false);
+        let v = vars(&mut s, 3);
+        // An activation-literal pattern: a guard, two guarded clauses.
+        let guard = lit(&v, 0, false);
+        s.add_clause([!guard, lit(&v, 1, false), lit(&v, 2, false)], 0);
+        s.add_clause([!guard, lit(&v, 1, true)], 0);
+        let before = s.num_clauses();
+        // Retire the guard: the guarded clauses become root-satisfied.
+        s.add_clause([!guard], 0);
+        s.remove_root_satisfied();
+        assert!(
+            s.num_clauses() < before,
+            "retired clauses must leave the database"
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // The sweep must not have touched live constraints.
+        s.add_clause([lit(&v, 1, false)], 0);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1, true)]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn remove_root_satisfied_is_a_noop_with_proof_logging() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([lit(&v, 0, false), lit(&v, 1, false)], 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        let before = s.num_clauses();
+        s.remove_root_satisfied();
+        assert_eq!(s.num_clauses(), before, "proofs may reference any clause");
+    }
+
+    #[test]
+    fn proof_logging_toggle_is_rejected_after_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([lit(&v, 0, false)], 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.set_proof_logging(false);
+        }));
+        assert!(result.is_err(), "late toggles must panic");
+    }
+
+    #[test]
+    fn proof_export_skips_unused_learned_clauses() {
+        // A formula with an easy refutation plus satisfiable padding the
+        // search may learn about: the export keeps every original clause
+        // but only the cone of the refutation.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().expect("proof");
+        proof.check().expect("valid");
+        assert!(
+            (proof.num_learned() as u64) <= s.stats().learned,
+            "export must not invent clauses"
+        );
+        let refs_in_cone = proof.num_learned();
+        // Solve again after the fact: the export is stable.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.proof().expect("proof").num_learned(), refs_in_cone);
+    }
+
+    #[test]
+    fn duplicate_assumptions_open_dummy_levels_safely() {
+        // Already-true assumptions open decision levels that assign no
+        // variable, so a conflict can occur at a level greater than the
+        // variable count — the LBD stamp array must grow, not panic.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([lit(&v, 2, true), lit(&v, 1, false)], 1);
+        s.add_clause([lit(&v, 2, true), lit(&v, 1, true)], 1);
+        let a = lit(&v, 0, false);
+        let c = lit(&v, 2, false);
+        assert_eq!(
+            s.solve_with_assumptions(&[a, a, a, a, c]),
+            SolveResult::Unsat
+        );
+        assert!(!s.assumption_core().is_empty());
+        assert_eq!(s.solve_with_assumptions(&[a, a, a, a]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn binary_chains_propagate_through_the_fast_path() {
+        // A long implication chain of binary clauses, driven from an
+        // assumption so the whole chain runs through the binary fast path
+        // during search (attach-time enqueues would bypass it).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 16);
+        for i in 0..15 {
+            s.add_clause([lit(&v, i, true), lit(&v, i + 1, false)], 1);
+        }
+        let before = s.stats().propagations;
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 0, false), lit(&v, 15, true)]),
+            SolveResult::Unsat
+        );
+        assert!(
+            s.stats().propagations - before >= 15,
+            "the chain must propagate through the binary watchers"
+        );
+        assert!(!s.assumption_core().is_empty());
+        assert_eq!(s.solve(), SolveResult::Sat);
+
+        // The same chain closed by units still yields an exact proof.
+        let mut closed = Solver::new();
+        let w = vars(&mut closed, 16);
+        closed.add_clause([lit(&w, 0, false)], 1);
+        for i in 0..15 {
+            closed.add_clause([lit(&w, i, true), lit(&w, i + 1, false)], 1);
+        }
+        closed.add_clause([lit(&w, 15, true)], 2);
+        assert_eq!(closed.solve(), SolveResult::Unsat);
+        closed.proof().expect("proof").check().expect("valid proof");
     }
 }

@@ -1,0 +1,122 @@
+//! A/B regression harness for the SAT core's learned-clause database
+//! reduction: every engine must report the same *semantic* outcome with
+//! reduction on (the default) and off ([`Options::with_reduce_db`]).
+//!
+//! "Semantic" means the verdict kind and — for falsified properties — the
+//! counterexample depth, which every engine reports minimally (BMC and
+//! the sequence engines ascend bound by bound, PDR keeps obligation
+//! push-forward off).  Those are properties of the *design*, so deleting
+//! learned clauses can never legitimately change them.  `k_fp`/`j_fp` of
+//! proving runs are deliberately *not* compared: they depend on the
+//! refutation proofs the search happens to find, and reduction (like any
+//! search-order change) may shift them without being wrong.
+
+use itpseq::cnf::BmcCheck;
+use itpseq::mc::{Engine, Options, Verdict};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn options(reduce: bool, check: BmcCheck) -> Options {
+    Options::default()
+        .with_timeout(Duration::from_secs(10))
+        .with_max_bound(40)
+        .with_check(check)
+        .with_reduce_db(reduce)
+}
+
+/// Small designs for which the duplicated runs stay cheap.
+fn small_designs() -> Vec<itpseq::workloads::Benchmark> {
+    itpseq::workloads::suite::mid_size()
+        .into_iter()
+        .filter(|b| b.aig.num_latches() <= 10)
+        .collect()
+}
+
+/// The semantically pinned part of a verdict: its kind, and the exact
+/// counterexample depth when falsified.
+fn semantic(verdict: &Verdict) -> (u8, Option<usize>) {
+    match verdict {
+        Verdict::Proved { .. } => (0, None),
+        Verdict::Falsified { depth } => (1, Some(*depth)),
+        Verdict::Inconclusive { .. } => (2, None),
+    }
+}
+
+/// Whole-suite sweep: BMC (whose entire verdict, including the bound
+/// reached, is semantic), PDR and the serial sequence engine agree with
+/// themselves across the reduction switch on every small design.
+#[test]
+fn suite_verdicts_are_identical_with_reduction_on_and_off() {
+    for benchmark in small_designs() {
+        for engine in [Engine::Bmc, Engine::Pdr, Engine::SerialItpSeq] {
+            let with = engine.verify(&benchmark.aig, 0, &options(true, BmcCheck::ExactAssume));
+            let without = engine.verify(&benchmark.aig, 0, &options(false, BmcCheck::ExactAssume));
+            assert_eq!(
+                semantic(&with.verdict),
+                semantic(&without.verdict),
+                "{} on {}: reduction changed the outcome ({} vs {})",
+                engine.name(),
+                benchmark.name,
+                with.verdict,
+                without.verdict
+            );
+            if engine == Engine::Bmc {
+                // BMC reports nothing search-dependent: the full verdict
+                // must match bit for bit.
+                assert_eq!(with.verdict, without.verdict, "BMC on {}", benchmark.name);
+            }
+        }
+    }
+}
+
+/// The reduction run must actually exercise the machinery somewhere on
+/// the suite — otherwise the A/B comparison above proves nothing.
+#[test]
+fn reduction_machinery_is_exercised_on_the_suite() {
+    let mut deleted = 0;
+    let mut minimized = 0;
+    for benchmark in small_designs() {
+        for engine in [Engine::Pdr, Engine::SerialItpSeq] {
+            let result = engine.verify(&benchmark.aig, 0, &options(true, BmcCheck::ExactAssume));
+            deleted += result.stats.learned_deleted;
+            minimized += result.stats.minimized_literals;
+        }
+    }
+    assert!(minimized > 0, "minimization must fire on the suite");
+    assert!(deleted > 0, "clause deletion must fire on the suite");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized cross-product of benchmark × engine × BMC formulation:
+    /// the semantic outcome is invariant under the reduction switch.
+    #[test]
+    fn reduction_preserves_verdicts_and_depths(
+        bench_sel in 0usize..1024,
+        engine_sel in 0usize..5,
+        check_sel in 0usize..3,
+    ) {
+        let designs = small_designs();
+        let benchmark = &designs[bench_sel % designs.len()];
+        let engine = [
+            Engine::Bmc,
+            Engine::Itp,
+            Engine::ItpSeq,
+            Engine::ItpSeqCba,
+            Engine::Pdr,
+        ][engine_sel];
+        let check = [BmcCheck::Bound, BmcCheck::Exact, BmcCheck::ExactAssume][check_sel];
+        let with = engine.verify(&benchmark.aig, 0, &options(true, check));
+        let without = engine.verify(&benchmark.aig, 0, &options(false, check));
+        prop_assert!(
+            semantic(&with.verdict) == semantic(&without.verdict),
+            "{} on {} with {:?}: {} vs {}",
+            engine.name(),
+            benchmark.name,
+            check,
+            with.verdict,
+            without.verdict
+        );
+    }
+}
