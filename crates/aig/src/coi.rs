@@ -85,6 +85,65 @@ pub fn property_coi(aig: &Aig) -> Coi {
     sequential_coi(aig, &bads)
 }
 
+/// The sequential COI of each bad-state property, indexed by property.
+pub fn bad_cois(aig: &Aig) -> Vec<Coi> {
+    aig.bad_lits()
+        .map(|bad| sequential_coi(aig, &[bad]))
+        .collect()
+}
+
+/// Partitions the bad-state properties into groups whose sequential COIs
+/// overlap on at least one *latch* (the connected components of the
+/// latch-sharing relation).  Properties in different groups read disjoint
+/// state, so a multi-property engine gains nothing from checking them on
+/// one shared trace — the scheduler hands each group to its own engine
+/// instance instead.
+///
+/// Purely combinational properties (empty latch COI) each form their own
+/// singleton group.  The result is deterministic: groups are ordered by
+/// their smallest property index and members are ascending.
+pub fn group_bads_by_coi(aig: &Aig) -> Vec<Vec<usize>> {
+    let cois = bad_cois(aig);
+    // Union-find over property indices, latches as the joining keys.
+    let mut parent: Vec<usize> = (0..cois.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner_of_latch: std::collections::HashMap<LatchId, usize> =
+        std::collections::HashMap::new();
+    for (prop, coi) in cois.iter().enumerate() {
+        for &latch in &coi.latches {
+            match owner_of_latch.entry(latch) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(prop);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let a = find(&mut parent, *slot.get());
+                    let b = find(&mut parent, prop);
+                    // Union towards the smaller root so group order below
+                    // is independent of latch iteration order.
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cois.len()];
+    for prop in 0..cois.len() {
+        let root = find(&mut parent, prop);
+        groups[root].push(prop);
+    }
+    groups.retain(|g| !g.is_empty());
+    // Members are already ascending (pushed in index order); roots are the
+    // smallest member, so retaining in root order keeps groups sorted by
+    // their smallest property index.
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +201,55 @@ mod tests {
         let coi = combinational_support(&aig, Lit::TRUE);
         assert!(coi.latches.is_empty());
         assert!(coi.inputs.is_empty());
+    }
+
+    /// Three latch chains A, B, C; properties over A, B, A∧B and C.
+    fn grouped_design() -> Aig {
+        let mut aig = Aig::new();
+        let chain = |aig: &mut Aig| {
+            let l = aig.add_latch(false);
+            let i = Lit::positive(aig.add_input());
+            aig.set_next(l, i);
+            aig.latch_lit(l)
+        };
+        let a = chain(&mut aig);
+        let b = chain(&mut aig);
+        let c = chain(&mut aig);
+        aig.add_bad(a); // prop 0: chain A
+        aig.add_bad(b); // prop 1: chain B
+        let ab = aig.and(a, b);
+        aig.add_bad(ab); // prop 2: bridges A and B
+        aig.add_bad(c); // prop 3: chain C alone
+        aig
+    }
+
+    #[test]
+    fn bad_cois_are_per_property() {
+        let aig = grouped_design();
+        let cois = bad_cois(&aig);
+        assert_eq!(cois.len(), 4);
+        assert_eq!(cois[0].latches.len(), 1);
+        assert_eq!(cois[2].latches.len(), 2, "prop 2 reads both A and B");
+    }
+
+    #[test]
+    fn coi_groups_are_connected_components() {
+        let aig = grouped_design();
+        // Prop 2 bridges chains A and B, so {0, 1, 2} is one group and the
+        // C-only property is alone.
+        assert_eq!(group_bads_by_coi(&aig), vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn disjoint_properties_form_singleton_groups() {
+        let (aig, _) = two_chains();
+        assert_eq!(group_bads_by_coi(&aig), vec![vec![0]]);
+        let mut combinational = Aig::new();
+        let i = Lit::positive(combinational.add_input());
+        combinational.add_bad(i);
+        combinational.add_bad(!i);
+        // No latches at all: each property stands alone.
+        assert_eq!(group_bads_by_coi(&combinational), vec![vec![0], vec![1]]);
     }
 
     #[test]

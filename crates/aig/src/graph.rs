@@ -252,6 +252,22 @@ impl Aig {
         self.bad.push(lit);
     }
 
+    /// Promotes every ordinary output to a bad-state property and returns
+    /// how many were promoted.
+    ///
+    /// Benchmark files predating AIGER 1.9 have no `B` section — by the
+    /// HWMCC convention each *output* is then a bad-state literal.  The
+    /// promotion only applies when the design has no explicit bad-state
+    /// properties; a design that already carries a `B` section is left
+    /// untouched (its outputs are plain observables).
+    pub fn promote_outputs_to_bad(&mut self) -> usize {
+        if !self.bad.is_empty() {
+            return 0;
+        }
+        self.bad = self.outputs.clone();
+        self.bad.len()
+    }
+
     /// Returns bad-state literal `index`.
     pub fn bad(&self, index: usize) -> Lit {
         self.bad[index]

@@ -237,6 +237,70 @@ mod tests {
     }
 
     #[test]
+    fn parses_empty_bad_section() {
+        // An explicit `B = 0` header field: no bad states, outputs stay
+        // plain observables even after the HWMCC promotion.
+        let text = "aag 3 1 1 1 1 0\n2\n4 6 0\n6\n6 2 4\n";
+        let mut aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_bad(), 0);
+        assert_eq!(aig.num_outputs(), 1);
+        assert_eq!(aig.promote_outputs_to_bad(), 1);
+        assert_eq!(aig.num_bad(), 1);
+        assert_eq!(aig.bad(0), aig.output(0));
+    }
+
+    #[test]
+    fn parses_many_bad_literals() {
+        // A toggling latch with three bad-state properties: the latch, its
+        // complement and an AND over latch and input.
+        let text = "aag 3 1 1 0 1 3\n2\n4 5 0\n4\n5\n6\n6 2 4\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_bad(), 3);
+        assert_eq!(aig.num_outputs(), 0);
+        assert_eq!(aig.bad(1), !aig.bad(0), "bads 0/1 are complements");
+        // Distinct properties resolve to distinct literals.
+        assert_ne!(aig.bad(0), aig.bad(2));
+        // Simulation sees per-property verdicts: with the input held high,
+        // the latch starts 0 (bad 1 fires immediately), toggles to 1 at
+        // cycle 1 (bads 0 and 2 fire there).
+        let trace = crate::simulate(&aig, &[vec![true], vec![true]]);
+        assert_eq!(trace.bad[0], vec![false, true, false]);
+        assert_eq!(trace.bad[1], vec![true, false, true]);
+    }
+
+    #[test]
+    fn outputs_as_properties_fallback_only_when_b_is_absent() {
+        // Pre-1.9 file: outputs only.  The HWMCC convention promotes them.
+        let no_b = "aag 2 1 1 2 0\n2\n4 2 0\n4\n2\n";
+        let mut aig = parse_aag(no_b).expect("parse");
+        assert_eq!(aig.num_bad(), 0);
+        assert_eq!(aig.promote_outputs_to_bad(), 2);
+        assert_eq!(aig.num_bad(), 2);
+        // A 1.9 file with an explicit B section: outputs are NOT promoted.
+        let with_b = "aag 2 1 1 1 0 1\n2\n4 2 0\n4\n2\n";
+        let mut aig = parse_aag(with_b).expect("parse");
+        assert_eq!((aig.num_outputs(), aig.num_bad()), (1, 1));
+        assert_eq!(aig.promote_outputs_to_bad(), 0);
+        assert_eq!(aig.num_bad(), 1);
+    }
+
+    #[test]
+    fn multi_bad_roundtrip_through_writer() {
+        let text = "aag 3 1 1 0 1 3\n2\n4 5 0\n4\n5\n6\n6 2 4\n";
+        let aig = parse_aag(text).expect("parse");
+        let rendered = to_aag(&aig);
+        let back = parse_aag(&rendered).expect("reparse");
+        assert_eq!(back.num_bad(), 3);
+        assert_eq!(back.num_outputs(), 0);
+        // Behavioural equality per property, not just counts.
+        let stim = vec![vec![true], vec![false], vec![true]];
+        assert_eq!(
+            crate::simulate(&aig, &stim).bad,
+            crate::simulate(&back, &stim).bad
+        );
+    }
+
+    #[test]
     fn rejects_bad_header() {
         assert!(matches!(
             parse_aag("hello world\n"),

@@ -1,0 +1,197 @@
+//! HWMCC-style benchmark-directory runner.
+//!
+//! Walks a directory of ASCII AIGER (`.aag`) files, runs `verify_all`
+//! on every design and emits a per-design/per-property report — the
+//! real-benchmark ingestion path next to the synthetic `table1` suite.
+//!
+//! Run with
+//! `cargo run --release -p itpseq-bench --bin hwmcc -- tests/data`.
+//!
+//! Options:
+//!
+//! * `--engine bmc|pdr|portfolio` — the `verify_all` backend (default
+//!   `portfolio`: COI grouping + racing multi-PDR/multi-BMC),
+//! * `--json PATH` — additionally write the machine-readable report
+//!   (schema `itpseq-hwmcc/v1`), the artifact CI uploads,
+//! * `--timeout-ms N` / `--max-bound N` — per-design budget (defaults:
+//!   5000 ms, bound 40).
+//!
+//! Files without an AIGER 1.9 `B` section fall back to the pre-1.9 HWMCC
+//! convention: every *output* is a bad-state property
+//! ([`aig::Aig::promote_outputs_to_bad`]).  Unparsable files are reported
+//! (and counted as errors in the exit code) but do not abort the run.
+
+use itpseq_bench::{hwmcc_records_to_json, HwmccRecord};
+use mc::{Engine, Options};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hwmcc DIR [--engine bmc|pdr|portfolio] [--json PATH] \
+         [--timeout-ms N] [--max-bound N]"
+    );
+    std::process::exit(2);
+}
+
+fn engine_by_name(name: &str) -> Option<Engine> {
+    match name.to_ascii_lowercase().as_str() {
+        "bmc" => Some(Engine::Bmc),
+        "pdr" => Some(Engine::Pdr),
+        "portfolio" => Some(Engine::Portfolio),
+        _ => None,
+    }
+}
+
+/// The `.aag` files of `dir`, sorted by file name for a stable report.
+fn aag_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.is_file() && path.extension().is_some_and(|ext| ext == "aag"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn run_file(path: &Path, engine: Engine, options: &Options) -> HwmccRecord {
+    let file = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return HwmccRecord {
+                file,
+                inputs: 0,
+                latches: 0,
+                ands: 0,
+                promoted_outputs: false,
+                result: Err(format!("cannot read: {e}")),
+            }
+        }
+    };
+    let mut aig = match aig::parse_aag(&text) {
+        Ok(aig) => aig,
+        Err(e) => {
+            return HwmccRecord {
+                file,
+                inputs: 0,
+                latches: 0,
+                ands: 0,
+                promoted_outputs: false,
+                result: Err(e.to_string()),
+            }
+        }
+    };
+    let promoted_outputs = aig.promote_outputs_to_bad() > 0;
+    HwmccRecord {
+        file,
+        inputs: aig.num_inputs(),
+        latches: aig.num_latches(),
+        ands: aig.num_ands(),
+        promoted_outputs,
+        result: Ok(engine.verify_all(&aig, options)),
+    }
+}
+
+fn main() {
+    let mut dir: Option<String> = None;
+    let mut engine = Engine::Portfolio;
+    let mut json_path: Option<String> = None;
+    let mut timeout = Duration::from_secs(5);
+    let mut max_bound = 40usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                engine = engine_by_name(&name).unwrap_or_else(|| usage());
+            }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--timeout-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Duration::from_millis(ms);
+            }
+            "--max-bound" => {
+                max_bound = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| usage());
+    let files = aag_files(Path::new(&dir)).unwrap_or_else(|e| {
+        eprintln!("hwmcc: cannot list {dir}: {e}");
+        std::process::exit(2);
+    });
+    if files.is_empty() {
+        eprintln!("hwmcc: no .aag files under {dir}");
+        std::process::exit(2);
+    }
+
+    let options = Options::default()
+        .with_timeout(timeout)
+        .with_max_bound(max_bound);
+    println!(
+        "# hwmcc run — {} designs, engine {}, timeout {} ms, bound {}",
+        files.len(),
+        engine.name(),
+        timeout.as_millis(),
+        max_bound
+    );
+    println!(
+        "{:<28} {:>4} {:>4} {:>5} | per-property statuses",
+        "file", "#PI", "#FF", "#P"
+    );
+
+    let mut records = Vec::with_capacity(files.len());
+    let mut errors = 0usize;
+    for path in &files {
+        let record = run_file(path, engine, &options);
+        match &record.result {
+            Ok(result) => {
+                let cells: Vec<String> = result
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| format!("p{i}: {s}"))
+                    .collect();
+                println!(
+                    "{:<28} {:>4} {:>4} {:>5} | {}{}",
+                    record.file,
+                    record.inputs,
+                    record.latches,
+                    result.statuses.len(),
+                    cells.join("; "),
+                    if record.promoted_outputs {
+                        "  [outputs promoted]"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Err(message) => {
+                errors += 1;
+                println!("{:<28} skipped: {message}", record.file);
+            }
+        }
+        records.push(record);
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, hwmcc_records_to_json(engine, &records))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {} design records to {path}", records.len());
+    }
+    if errors > 0 {
+        eprintln!("hwmcc: {errors} file(s) failed to parse");
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@
 //! benchmark set; the *shapes* (which engine wins, where overflows appear,
 //! how `k_fp`/`j_fp` relate) are the reproduction target.
 
-use mc::{Engine, EngineResult, Options, Verdict};
+use mc::{Engine, EngineResult, MultiResult, Options, PropertyStatus, Verdict};
 use std::time::Duration;
 use workloads::Benchmark;
 
@@ -157,6 +157,126 @@ impl RunRecord {
             ),
         }
     }
+}
+
+/// One design's outcome in an HWMCC-style directory run: the parsed
+/// design's shape, `verify_all`'s per-property statuses — or the parse
+/// error that kept the design out of the run.
+#[derive(Clone, Debug)]
+pub struct HwmccRecord {
+    /// File name within the benchmark directory (e.g. `counter.aag`).
+    pub file: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of latches.
+    pub latches: usize,
+    /// Number of AND gates.
+    pub ands: usize,
+    /// Whether the properties came from the pre-AIGER-1.9 fallback
+    /// (outputs promoted to bad-state literals because `B` was absent).
+    pub promoted_outputs: bool,
+    /// The multi-property result, or `Err(message)` when the file did not
+    /// parse.
+    pub result: Result<MultiResult, String>,
+}
+
+impl HwmccRecord {
+    /// Renders one property's status as a flat JSON object.
+    fn property_json(index: usize, status: &PropertyStatus) -> String {
+        let (kind, depth, k_fp, j_fp, bound, reason, has_cex) = match status {
+            PropertyStatus::Proved { k_fp, j_fp } => {
+                ("proved", None, Some(*k_fp), Some(*j_fp), None, None, false)
+            }
+            PropertyStatus::Falsified { depth, cex } => (
+                "falsified",
+                Some(*depth),
+                None,
+                None,
+                None,
+                None,
+                cex.is_some(),
+            ),
+            PropertyStatus::Inconclusive {
+                reason,
+                bound_reached,
+            } => (
+                "inconclusive",
+                None,
+                None,
+                None,
+                Some(*bound_reached),
+                Some(reason.as_str()),
+                false,
+            ),
+        };
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
+        let opt_str =
+            |v: Option<&str>| v.map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s)));
+        format!(
+            concat!(
+                r#"{{"index":{},"status":"{}","depth":{},"k_fp":{},"j_fp":{},"#,
+                r#""bound_reached":{},"reason":{},"has_cex":{}}}"#
+            ),
+            index,
+            kind,
+            opt(depth),
+            opt(k_fp),
+            opt(j_fp),
+            opt(bound),
+            opt_str(reason),
+            has_cex,
+        )
+    }
+
+    /// One flat JSON object per design, properties nested.
+    pub fn to_json(&self) -> String {
+        match &self.result {
+            Ok(result) => {
+                let properties: Vec<String> = result
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(index, status)| Self::property_json(index, status))
+                    .collect();
+                format!(
+                    concat!(
+                        r#"{{"file":"{}","inputs":{},"latches":{},"ands":{},"#,
+                        r#""promoted_outputs":{},"time_ms":{:.3},"sat_calls":{},"#,
+                        r#""conflicts":{},"clauses_encoded":{},"properties":[{}]}}"#
+                    ),
+                    json_escape(&self.file),
+                    self.inputs,
+                    self.latches,
+                    self.ands,
+                    self.promoted_outputs,
+                    result.stats.time.as_secs_f64() * 1e3,
+                    result.stats.sat_calls,
+                    result.stats.conflicts,
+                    result.stats.clauses_encoded,
+                    properties.join(","),
+                )
+            }
+            Err(message) => format!(
+                r#"{{"file":"{}","error":"{}"}}"#,
+                json_escape(&self.file),
+                json_escape(message),
+            ),
+        }
+    }
+}
+
+/// Renders an HWMCC directory run as the machine-readable JSON document
+/// (schema `itpseq-hwmcc/v1`) the `hwmcc` binary writes and CI archives.
+pub fn hwmcc_records_to_json(engine: Engine, records: &[HwmccRecord]) -> String {
+    let body: Vec<String> = records
+        .iter()
+        .map(|record| format!("    {}", record.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"itpseq-hwmcc/v1\",\n  \"engine\": \"{}\",\n  \"designs\": [\n{}\n  ]\n}}\n",
+        engine.name(),
+        body.join(",\n")
+    )
 }
 
 /// Runs one engine on one benchmark with the given per-instance budget.
@@ -297,6 +417,57 @@ mod tests {
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());
+    }
+
+    #[test]
+    fn hwmcc_json_covers_all_status_shapes() {
+        let ok = HwmccRecord {
+            file: "counter.aag".to_string(),
+            inputs: 1,
+            latches: 4,
+            ands: 9,
+            promoted_outputs: true,
+            result: Ok(MultiResult {
+                statuses: vec![
+                    PropertyStatus::Proved { k_fp: 3, j_fp: 2 },
+                    PropertyStatus::Falsified {
+                        depth: 5,
+                        cex: Some(vec![vec![true]; 6]),
+                    },
+                    PropertyStatus::Inconclusive {
+                        reason: "bound exhausted".to_string(),
+                        bound_reached: 40,
+                    },
+                ],
+                stats: mc::EngineStats {
+                    sat_calls: 12,
+                    ..Default::default()
+                },
+            }),
+        };
+        let broken = HwmccRecord {
+            file: "broken \"quoted\".aag".to_string(),
+            inputs: 0,
+            latches: 0,
+            ands: 0,
+            promoted_outputs: false,
+            result: Err("invalid aag header: nope".to_string()),
+        };
+        let document = hwmcc_records_to_json(Engine::Portfolio, &[ok, broken]);
+        assert!(
+            document.contains(r#""schema": "itpseq-hwmcc/v1""#),
+            "{document}"
+        );
+        assert!(document.contains(r#""engine": "PORTFOLIO""#));
+        assert!(document.contains(r#""status":"proved""#));
+        assert!(document.contains(r#""status":"falsified""#));
+        assert!(document.contains(r#""depth":5"#));
+        assert!(document.contains(r#""has_cex":true"#));
+        assert!(document.contains(r#""reason":"bound exhausted""#));
+        assert!(document.contains(r#""promoted_outputs":true"#));
+        assert!(document.contains(r#""error":"invalid aag header: nope""#));
+        assert!(document.contains(r#"broken \"quoted\".aag"#));
+        assert_eq!(document.matches('{').count(), document.matches('}').count());
     }
 
     #[test]

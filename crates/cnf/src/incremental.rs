@@ -144,6 +144,22 @@ impl IncrementalUnroller {
         self.core.bad_lit(&self.aig, frame, index)
     }
 
+    /// Encodes several bad-state literals at frame `frame` in one call —
+    /// the multi-property consumers' bulk form of
+    /// [`bad_lit`](Self::bad_lit).  Shared cone structure is encoded once
+    /// (the per-frame Tseitin cache deduplicates across properties), so
+    /// the emitted delta grows with the *union* of the cones, not their
+    /// sum.
+    pub fn bad_lits<I>(&mut self, frame: usize, indices: I) -> Vec<Lit>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        indices
+            .into_iter()
+            .map(|index| self.bad_lit(frame, index))
+            .collect()
+    }
+
     /// Asserts an already-encoded SAT literal as a unit clause.
     pub fn assert_lit(&mut self, lit: Lit) {
         self.core.assert_lit(lit);
@@ -270,6 +286,40 @@ mod tests {
         assert!(
             per_frame[1..].iter().all(|&n| n == first),
             "steady-state per-frame delta must be constant: {per_frame:?}"
+        );
+    }
+
+    /// A counter with three bad cones over the same latch word.
+    fn multi_bad_counter() -> Aig {
+        let mut aig = counter2();
+        let lits: Vec<aig::Lit> = (0..2).map(|l| aig.latch_lit(l)).collect();
+        let both_low = aig.and(!lits[0], !lits[1]);
+        aig.add_bad(both_low);
+        aig.add_bad(lits[0]);
+        aig
+    }
+
+    #[test]
+    fn bulk_bad_encoding_matches_one_by_one() {
+        let aig = multi_bad_counter();
+        let mut bulk = IncrementalUnroller::new(&aig);
+        let mut single = IncrementalUnroller::new(&aig);
+        bulk.assert_initial(0);
+        single.assert_initial(0);
+        let bulk_lits = bulk.bad_lits(0, 0..aig.num_bad());
+        let single_lits: Vec<Lit> = (0..aig.num_bad()).map(|i| single.bad_lit(0, i)).collect();
+        assert_eq!(bulk_lits, single_lits);
+        assert_eq!(bulk.num_clauses(), single.num_clauses());
+        // The shared cone structure (the latch literals) is cached: the
+        // second and third cones add at most their own gates.
+        let mut fresh = IncrementalUnroller::new(&aig);
+        fresh.assert_initial(0);
+        let _ = fresh.bad_lit(0, 0);
+        let after_first = fresh.num_clauses();
+        let _ = fresh.bad_lits(0, [1, 2]);
+        assert!(
+            fresh.num_clauses() - after_first <= after_first,
+            "later cones reuse the cached structure"
         );
     }
 

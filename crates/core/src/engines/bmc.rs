@@ -29,6 +29,11 @@
 //! construction — each bound solves an equisatisfiable formula, and the
 //! loop still reports the first satisfiable bound (see the
 //! scratch-vs-incremental cross-check in the tests).
+//!
+//! For designs with several bad-state properties, [`crate::multi::bmc`]
+//! amortizes one unroller/solver pair across *all* of them (targets as
+//! per-property assumptions, per-property retirement) instead of running
+//! this engine once per property.
 
 use crate::engines::{CancelToken, RunBudget};
 use crate::{EngineResult, EngineStats, Options, Verdict};

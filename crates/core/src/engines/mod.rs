@@ -1,6 +1,11 @@
 //! The verification engines evaluated in the paper, the IC3/PDR
 //! competitor every modern checker ships, and the racing portfolio that
 //! combines them.
+//!
+//! Every engine verifies one bad-state property per run
+//! ([`Engine::verify`](crate::Engine::verify)); the multi-property
+//! entry points that amortize one run across all properties of a design
+//! live in [`crate::multi`].
 
 pub mod bmc;
 pub mod itp;

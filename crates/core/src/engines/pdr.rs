@@ -62,7 +62,8 @@ mod generalize;
 mod obligations;
 
 use crate::engines::{pool, CancelToken, RunBudget};
-use crate::{EngineResult, EngineStats, Options, Verdict};
+use crate::multi::{RetireBoard, StatusSlots};
+use crate::{EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};
 use aig::Aig;
 use cnf::{Cnf, Lit, Unroller};
 use frames::{Cube, FrameTrace};
@@ -102,7 +103,129 @@ pub fn verify_with_cancel(
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
     }
-    Pdr::new(aig, bad_index, options, start, stats, &budget).run()
+    Pdr::new(aig, &[bad_index], options, start, stats, &budget).run()
+}
+
+/// Amortized multi-property PDR: one frame trace and one per-frame solver
+/// family serve every property in `props` (see [`crate::multi`]).
+///
+/// Frame lemmas are facts about *reachability*, not about any particular
+/// property, so cubes blocked while working on one property remain valid
+/// for all the others; the shared transition template carries every
+/// property's bad cone at frame 0.  The outer loop is the standard
+/// level-by-level major loop, with each level's blocking phase run once
+/// per live property (in index order):
+///
+/// * an obligation chain reaching frame 0 falsifies exactly that property
+///   at the level's (structurally minimal) depth and retires it — its
+///   blocked cubes stay behind for the survivors;
+/// * a converged frame after a level in which every live property's
+///   frontier was cleaned is an inductive invariant excluding all of
+///   their bad states: every surviving property is proved at once.
+///
+/// With a [`RetireBoard`], conclusive statuses are published and
+/// externally-decided properties are dropped from the live set (the
+/// scheduler's per-property cancellation).
+pub(crate) fn verify_all_with_cancel(
+    aig: &Aig,
+    props: &[usize],
+    options: &Options,
+    cancel: &CancelToken,
+    board: Option<&RetireBoard>,
+) -> MultiResult {
+    let start = Instant::now();
+    let stats = EngineStats {
+        visible_latches: aig.num_latches(),
+        ..EngineStats::default()
+    };
+    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let mut statuses = StatusSlots::new(props.len(), board);
+    let mut pdr = Pdr::new(aig, props, options, start, stats, &budget);
+
+    let finish = |mut pdr: Pdr<'_>, statuses: StatusSlots<'_>| {
+        pdr.stats.time = start.elapsed();
+        MultiResult {
+            statuses: statuses.into_statuses(),
+            stats: pdr.stats,
+        }
+    };
+
+    // Depth 0 per property, answered by the init solver (`I ∧ T` plus
+    // every bad cone): equisatisfiable with the per-property check.
+    for i in 0..props.len() {
+        if statuses.yield_if_retired(i, 0) {
+            continue;
+        }
+        let bad0 = pdr.bads0[i];
+        let result = Pdr::solve_on(&mut pdr.solvers[0], &mut pdr.stats, &[bad0]);
+        match result {
+            SolveResult::Sat => {
+                statuses.decide(
+                    i,
+                    PropertyStatus::Falsified {
+                        depth: 0,
+                        cex: None,
+                    },
+                );
+            }
+            SolveResult::Unsat => {}
+            SolveResult::Interrupted => {
+                statuses.give_up(budget.interrupt_reason(), 0);
+                return finish(pdr, statuses);
+            }
+        }
+    }
+
+    for level in 1..=options.max_bound {
+        statuses.sync_board(level - 1);
+        let live = statuses.live();
+        if live.is_empty() {
+            return finish(pdr, statuses);
+        }
+        pdr.extend();
+        for i in live {
+            // A property the other backend decided mid-level is recorded
+            // as yielded, so the convergence sweep below can never
+            // misreport it as proved — its frontier was not cleaned.
+            if statuses.yield_if_retired(i, level - 1) {
+                continue;
+            }
+            match pdr.blocking_phase(i) {
+                Phase::Falsified(depth) => {
+                    statuses.decide(i, PropertyStatus::Falsified { depth, cex: None });
+                }
+                Phase::Stopped => {
+                    statuses.give_up(pdr.stop_reason(), level - 1);
+                    return finish(pdr, statuses);
+                }
+                Phase::Done => {}
+            }
+        }
+        if statuses.all_decided() {
+            return finish(pdr, statuses);
+        }
+        if let Some(frame) = pdr.propagate() {
+            // The converged frame is inductive and clean of every still-
+            // undecided property's bad states (their blocking phases all
+            // completed this level): every survivor is proved at once.
+            for i in statuses.live() {
+                statuses.decide(
+                    i,
+                    PropertyStatus::Proved {
+                        k_fp: level,
+                        j_fp: frame,
+                    },
+                );
+            }
+            return finish(pdr, statuses);
+        }
+        if pdr.stopped() {
+            statuses.give_up(pdr.stop_reason(), level);
+            return finish(pdr, statuses);
+        }
+    }
+    statuses.give_up("bound exhausted", options.max_bound);
+    finish(pdr, statuses)
 }
 
 /// Outcome of one relative-induction query.
@@ -145,8 +268,9 @@ struct Pdr<'a> {
     latch1: Vec<Lit>,
     /// Primary-input variables of frame 0.
     input0: Vec<Lit>,
-    /// The bad literal at frame 0.
-    bad0: Lit,
+    /// The bad literals at frame 0, one per verified property (a single
+    /// property for [`verify`], the whole group for `verify_all`).
+    bads0: Vec<Lit>,
     latch_of_var0: HashMap<u32, usize>,
     latch_of_var1: HashMap<u32, usize>,
     /// `solvers[i]` decides queries against `F_i ∧ T`; `solvers[0]` is
@@ -162,7 +286,7 @@ struct Pdr<'a> {
 impl<'a> Pdr<'a> {
     fn new(
         aig: &'a Aig,
-        bad_index: usize,
+        bad_indices: &[usize],
         options: &'a Options,
         start: Instant,
         stats: EngineStats,
@@ -172,7 +296,10 @@ impl<'a> Pdr<'a> {
         for input in 0..aig.num_inputs() {
             let _ = unroller.input_lit(0, input);
         }
-        let bad0 = unroller.bad_lit(0, bad_index);
+        let bads0: Vec<Lit> = bad_indices
+            .iter()
+            .map(|&bad_index| unroller.bad_lit(0, bad_index))
+            .collect();
         unroller.add_frame();
         let latch0 = unroller.latch_lits(0);
         let latch1 = unroller.latch_lits(1);
@@ -215,7 +342,7 @@ impl<'a> Pdr<'a> {
             latch0,
             latch1,
             input0,
-            bad0,
+            bads0,
             latch_of_var0,
             latch_of_var1,
             solvers: vec![init_solver],
@@ -231,7 +358,7 @@ impl<'a> Pdr<'a> {
     fn run(mut self) -> EngineResult {
         for level in 1..=self.options.max_bound {
             self.extend();
-            match self.blocking_phase() {
+            match self.blocking_phase(0) {
                 Phase::Falsified(depth) => {
                     return self.finish(Verdict::Falsified { depth });
                 }
@@ -293,15 +420,15 @@ impl<'a> Pdr<'a> {
         self.solvers.push(solver);
     }
 
-    /// Blocks frontier bad states until none remain (or a counterexample
-    /// or timeout surfaces).
-    fn blocking_phase(&mut self) -> Phase {
+    /// Blocks frontier bad states of property `prop` until none remain
+    /// (or a counterexample or timeout surfaces).
+    fn blocking_phase(&mut self, prop: usize) -> Phase {
         let level = self.frames.level();
         loop {
             if self.stopped() {
                 return Phase::Stopped;
             }
-            let Some(bad) = self.get_bad() else {
+            let Some(bad) = self.get_bad(prop) else {
                 // `None` also covers an interrupted query: distinguish a
                 // clean "no bad states" from a cancelled probe.
                 if self.stopped() {
@@ -320,13 +447,27 @@ impl<'a> Pdr<'a> {
                     return Phase::Stopped;
                 }
                 if obligation.frame == 0 {
-                    debug_assert_eq!(obligation.depth, level);
+                    // Without push-forward every chain satisfies
+                    // `frame + depth = level`, which is what makes the
+                    // reported depths minimal; a forwarded chain reaches
+                    // frame 0 with a real but possibly longer depth.
+                    debug_assert!(self.options.push_obligations || obligation.depth == level);
                     return Phase::Falsified(obligation.depth);
                 }
                 match self.relative_induction(obligation.frame, &obligation.cube) {
                     Query::Blocked(core) => {
                         let lemma = generalize::generalize(self, obligation.frame, core);
                         self.add_lemma(obligation.frame, lemma);
+                        // Push-forward: the cube's states stay `depth`
+                        // transitions from bad, so re-examining it one
+                        // frame later eagerly strengthens the trace.
+                        if self.options.push_obligations && obligation.frame < level {
+                            self.obligations.push(Obligation {
+                                frame: obligation.frame + 1,
+                                depth: obligation.depth,
+                                cube: obligation.cube,
+                            });
+                        }
                     }
                     Query::Predecessor(cube) => {
                         let child = Obligation {
@@ -344,11 +485,11 @@ impl<'a> Pdr<'a> {
         }
     }
 
-    /// Returns a (lifted) frontier state that exhibits the bad property,
-    /// or `None` when `F_k ∧ bad` is unsatisfiable.
-    fn get_bad(&mut self) -> Option<Cube> {
+    /// Returns a (lifted) frontier state that exhibits property `prop`'s
+    /// bad cone, or `None` when `F_k ∧ bad` is unsatisfiable.
+    fn get_bad(&mut self, prop: usize) -> Option<Cube> {
         let level = self.frames.level();
-        let bad0 = self.bad0;
+        let bad0 = self.bads0[prop];
         let result = Self::solve_on(&mut self.solvers[level], &mut self.stats, &[bad0]);
         if result != SolveResult::Sat {
             // Unsat: the frontier is clean.  Interrupted: the caller
@@ -865,6 +1006,46 @@ mod tests {
             let again = verify(&aig, 0, &options().with_threads(threads));
             assert_eq!(reference.verdict, again.verdict, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn push_forward_keeps_verdict_kinds() {
+        // Options::push_obligations is an A/B switch: verdict kinds must
+        // be identical on and off, and the default (off) reports minimal
+        // counterexample depths.  A forwarded chain may witness a longer
+        // (but still real) counterexample.
+        for (modulus, bad_at) in [(6u64, 7u64), (6, 3), (10, 9), (14, 15), (14, 6)] {
+            let aig = modular_counter(4, modulus, bad_at);
+            let off = verify(&aig, 0, &options());
+            let on = verify(&aig, 0, &options().with_push_obligations(true));
+            assert_eq!(
+                off.verdict.is_proved(),
+                on.verdict.is_proved(),
+                "modulus={modulus} bad_at={bad_at}: {} vs {}",
+                off.verdict,
+                on.verdict
+            );
+            if let Verdict::Falsified { depth: minimal } = off.verdict {
+                assert_eq!(minimal, bad_at as usize, "off must stay minimal");
+                match on.verdict {
+                    Verdict::Falsified { depth } => assert!(
+                        depth >= minimal,
+                        "push-forward counterexamples are real, so never shorter"
+                    ),
+                    ref other => panic!("expected a counterexample, got {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_forward_default_is_off() {
+        assert!(!Options::default().push_obligations);
+        assert!(
+            Options::default()
+                .with_push_obligations(true)
+                .push_obligations
+        );
     }
 
     #[test]

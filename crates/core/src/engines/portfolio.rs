@@ -37,6 +37,14 @@
 //! PDR's parallel per-frame propagation and generalization (see
 //! [`crate::engines::pdr`]).  With the default budget of 1, every
 //! entrant runs its deterministic sequential reference.
+//!
+//! # Multiple properties
+//!
+//! `Engine::Portfolio.verify_all` does *not* loop this race per
+//! property: [`crate::multi::scheduler`] groups the properties by
+//! cone-of-influence overlap and races the amortized multi-PDR and
+//! multi-BMC backends per group, with per-property retirement across
+//! the race.
 
 use crate::engines::CancelToken;
 use crate::{Engine, EngineResult, Options, Verdict};

@@ -498,8 +498,11 @@ pub(crate) fn run(
         // is Tseitin-encoded when the bound grows.
         let (instance, proof) = loop {
             let (model, _) = &current;
+            // The abstract model carries exactly one bad-state literal —
+            // the copy of `bad_index` — at index 0 (passing the concrete
+            // index here panicked on every property but the first).
             let instance = cache
-                .get_or_insert_with(|| CachedUnrolling::new(model, bad_index, options.check))
+                .get_or_insert_with(|| CachedUnrolling::new(model, 0, options.check))
                 .instance(k, &mut stats);
             let (result, proof) = solve(
                 &instance.cnf,

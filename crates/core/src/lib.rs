@@ -22,7 +22,12 @@
 //! * [`engines::portfolio`] — the racing portfolio ([`Engine::Portfolio`]):
 //!   PDR, ITPSEQCBA and BMC run concurrently per property, the first
 //!   conclusive verdict wins and the losers are cancelled through
-//!   [`CancelToken`]s.
+//!   [`CancelToken`]s,
+//! * [`multi`] — multi-property verification ([`verify_all`] /
+//!   [`Engine::verify_all`]): amortized multi-BMC and multi-PDR backends
+//!   plus a COI-grouping property scheduler, with per-property statuses
+//!   bit-identical in kind and counterexample depth to the per-property
+//!   loop.
 //!
 //! All engines return an [`EngineResult`] carrying the verdict together
 //! with the depth statistics `(k_fp, j_fp)` the paper's Table I reports
@@ -61,8 +66,10 @@
 
 pub mod abstraction;
 pub mod engines;
+pub mod multi;
 pub mod state;
 mod types;
 
 pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, portfolio, sitpseq, CancelToken};
-pub use types::{Engine, EngineResult, EngineStats, Options, Verdict};
+pub use multi::verify_all;
+pub use types::{Engine, EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};

@@ -1,0 +1,252 @@
+//! The property scheduler behind `Engine::Portfolio.verify_all`.
+//!
+//! Two observations shape the schedule:
+//!
+//! 1. Properties whose sequential cones of influence share no latches
+//!    gain nothing from a shared frame trace or unrolling — their
+//!    reachable-state facts are disjoint.  [`aig::coi::group_bads_by_coi`]
+//!    partitions the properties into COI-overlap groups, and each group
+//!    gets its own amortized engine instances over only its members'
+//!    cones.
+//! 2. Within a group, no single backend dominates (the portfolio
+//!    argument): multi-BMC retires failing properties fastest, multi-PDR
+//!    is the prover.  Each group therefore *races* the two on their own
+//!    threads, connected by a retirement board: the moment one backend
+//!    decides a property, the other sees the retirement at its next
+//!    bound/level and stops spending work on it — per-property
+//!    cancellation that never tears down the shared solver state the
+//!    survivors depend on.
+//!
+//! Groups run concurrently, one pair of racing threads each, with at
+//! most [`Options::effective_threads`] groups in flight at a time; the
+//! outer [`CancelToken`] reaches every backend.  As with the single-property
+//! portfolio, racing decides *when* backends stop, never *what* they
+//! answer: status kinds and falsified depths are invariant (both
+//! backends report structurally minimal depths), while proof bookkeeping
+//! and counterexample traces depend on which backend wins the race.
+
+use crate::engines::CancelToken;
+use crate::multi::{bmc, RetireBoard};
+use crate::{EngineStats, MultiResult, Options, PropertyStatus};
+use aig::Aig;
+use std::time::Instant;
+
+/// Verifies every bad-state property of `aig`: COI grouping, then one
+/// racing multi-PDR/multi-BMC pair per group.
+pub(crate) fn verify_all_with_cancel(
+    aig: &Aig,
+    options: &Options,
+    cancel: &CancelToken,
+) -> MultiResult {
+    let start = Instant::now();
+    let mut stats = EngineStats {
+        visible_latches: aig.num_latches(),
+        ..EngineStats::default()
+    };
+    let num_props = aig.num_bad();
+    if num_props == 0 {
+        stats.time = start.elapsed();
+        return MultiResult {
+            statuses: Vec::new(),
+            stats,
+        };
+    }
+
+    let groups = aig::coi::group_bads_by_coi(aig);
+    debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), num_props);
+
+    // Each group races on its own pair of threads, and at most
+    // `effective_threads` groups are in flight at once — a design with
+    // hundreds of disjoint properties (hundreds of singleton groups)
+    // must not fan out hundreds of solver instances simultaneously.
+    // Chunking changes scheduling only, never statuses: kinds and depths
+    // are deterministic per group.
+    let concurrent_groups = options.effective_threads().max(1);
+    let mut statuses: Vec<Option<PropertyStatus>> = vec![None; num_props];
+    for batch in groups.chunks(concurrent_groups) {
+        let batch_results: Vec<MultiResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .map(|props| scope.spawn(move || race_group(aig, props, options, cancel)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("group thread"))
+                .collect()
+        });
+        for (props, result) in batch.iter().zip(batch_results) {
+            stats.absorb(&result.stats);
+            for (&slot, status) in props.iter().zip(result.statuses) {
+                statuses[slot] = Some(status);
+            }
+        }
+    }
+    stats.time = start.elapsed();
+    MultiResult {
+        statuses: statuses
+            .into_iter()
+            .map(|slot| slot.expect("every property scheduled"))
+            .collect(),
+        stats,
+    }
+}
+
+/// Races multi-PDR against multi-BMC on one COI group; statuses are
+/// indexed like `props`.
+fn race_group(aig: &Aig, props: &[usize], options: &Options, cancel: &CancelToken) -> MultiResult {
+    let start = Instant::now();
+    let board = RetireBoard::new(props.len());
+    // Each entrant runs its deterministic sequential internals; the
+    // scheduler's parallelism is groups × the two racing threads.
+    let entrant_options = options.clone().with_threads(1);
+    let (pdr, bmc) = std::thread::scope(|scope| {
+        let pdr = scope.spawn(|| {
+            crate::engines::pdr::verify_all_with_cancel(
+                aig,
+                props,
+                &entrant_options,
+                cancel,
+                Some(&board),
+            )
+        });
+        let bmc = scope.spawn(|| {
+            bmc::verify_all_with_cancel(aig, props, &entrant_options, cancel, Some(&board))
+        });
+        (
+            pdr.join().expect("pdr entrant"),
+            bmc.join().expect("bmc entrant"),
+        )
+    });
+
+    let mut stats = EngineStats::default();
+    stats.absorb(&pdr.stats);
+    stats.absorb(&bmc.stats);
+    let statuses = (0..props.len())
+        .map(|i| {
+            // The board holds whoever decided first; with nothing
+            // published both entrants ran out of budget — adopt the one
+            // that got further, PDR on ties (the portfolio's precedence).
+            board.take(i).unwrap_or_else(|| {
+                let bound = |status: &PropertyStatus| match status {
+                    PropertyStatus::Inconclusive { bound_reached, .. } => *bound_reached,
+                    _ => 0,
+                };
+                if bound(&bmc.statuses[i]) > bound(&pdr.statuses[i]) {
+                    bmc.statuses[i].clone()
+                } else {
+                    pdr.statuses[i].clone()
+                }
+            })
+        })
+        .collect();
+    stats.time = start.elapsed();
+    MultiResult { statuses, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use std::time::Duration;
+
+    fn options() -> Options {
+        Options::default()
+            .with_timeout(Duration::from_secs(20))
+            .with_max_bound(40)
+    }
+
+    /// Two independent counters in one design: disjoint COIs, so the
+    /// scheduler runs them as separate groups.
+    fn two_counters() -> Aig {
+        let mut aig = Aig::new();
+        for (modulus, thresholds) in [(6u64, [2u64, 7]), (5, [6, 3])] {
+            let (ids, bits) = aig::builder::latch_word(&mut aig, 3, 0);
+            let wrap = aig::builder::word_equals_const(&mut aig, &bits, modulus - 1);
+            let inc = aig::builder::word_increment(&mut aig, &bits, aig::Lit::TRUE);
+            let zero = aig::builder::word_const(3, 0);
+            let next = aig::builder::word_mux(&mut aig, wrap, &zero, &inc);
+            for (id, n) in ids.iter().zip(next.iter()) {
+                aig.set_next(*id, *n);
+            }
+            for threshold in thresholds {
+                let bad = aig::builder::word_equals_const(&mut aig, &bits, threshold);
+                aig.add_bad(bad);
+            }
+        }
+        aig
+    }
+
+    #[test]
+    fn disjoint_groups_are_scheduled_independently() {
+        let aig = two_counters();
+        assert_eq!(
+            aig::coi::group_bads_by_coi(&aig),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        let multi = Engine::Portfolio.verify_all(&aig, &options());
+        assert_eq!(multi.statuses[0].depth(), Some(2));
+        assert!(multi.statuses[1].is_proved(), "{}", multi.statuses[1]);
+        assert!(multi.statuses[2].is_proved(), "{}", multi.statuses[2]);
+        assert_eq!(multi.statuses[3].depth(), Some(3));
+    }
+
+    #[test]
+    fn statuses_match_the_per_property_portfolio_loop() {
+        let aig = workloads::counter::modular_multi(4, 10, &[3, 11, 7, 15]);
+        let multi = Engine::Portfolio.verify_all(&aig, &options());
+        for prop in 0..aig.num_bad() {
+            let single = Engine::Portfolio.verify(&aig, prop, &options());
+            assert!(
+                multi.statuses[prop].agrees_with(&single.verdict),
+                "property {prop}: {} vs {}",
+                multi.statuses[prop],
+                single.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn design_without_properties_yields_an_empty_result() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, aig::Lit::FALSE);
+        let multi = Engine::Portfolio.verify_all(&aig, &options());
+        assert!(multi.statuses.is_empty());
+        assert!(multi.all_conclusive(), "vacuously conclusive");
+    }
+
+    #[test]
+    fn outer_cancellation_stops_every_group() {
+        let aig = two_counters();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let multi = Engine::Portfolio.verify_all_with_cancel(&aig, &options(), &cancel);
+        assert!(
+            multi.statuses.iter().all(|s| !s.is_conclusive()),
+            "{:?}",
+            multi.statuses
+        );
+    }
+
+    #[test]
+    fn racing_is_deterministic_in_kind_and_depth() {
+        let aig = workloads::arbiter::round_robin_multi(3, true);
+        let reference: Vec<_> = Engine::Portfolio
+            .verify_all(&aig, &options())
+            .statuses
+            .iter()
+            .map(PropertyStatus::kind_and_depth)
+            .map(|(kind, depth)| (kind.to_string(), depth))
+            .collect();
+        for _ in 0..3 {
+            let again: Vec<_> = Engine::Portfolio
+                .verify_all(&aig, &options())
+                .statuses
+                .iter()
+                .map(PropertyStatus::kind_and_depth)
+                .map(|(kind, depth)| (kind.to_string(), depth))
+                .collect();
+            assert_eq!(reference, again);
+        }
+    }
+}

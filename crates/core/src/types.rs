@@ -108,6 +108,23 @@ impl EngineStats {
         self.minimized_literals += delta.minimized_literals;
         self.db_reductions += delta.db_reductions;
     }
+
+    /// Folds another run's counters into this one (multi-property runs
+    /// aggregate the statistics of every backend and property group).
+    /// Work counters add up; `time` is *not* touched — it stays the
+    /// caller's wall clock, which concurrent backends overlap.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.sat_calls += other.sat_calls;
+        self.conflicts += other.conflicts;
+        self.clauses_encoded += other.clauses_encoded;
+        self.encode_time += other.encode_time;
+        self.learned_deleted += other.learned_deleted;
+        self.minimized_literals += other.minimized_literals;
+        self.db_reductions += other.db_reductions;
+        self.interpolants += other.interpolants;
+        self.refinements += other.refinements;
+        self.visible_latches = self.visible_latches.max(other.visible_latches);
+    }
 }
 
 /// The verdict plus the statistics of one engine run.
@@ -117,6 +134,160 @@ pub struct EngineResult {
     pub verdict: Verdict,
     /// Aggregate run statistics.
     pub stats: EngineStats,
+}
+
+/// Per-property outcome of a multi-property run ([`crate::multi`]).
+///
+/// The variants mirror [`Verdict`]; `Falsified` additionally carries the
+/// counterexample's input trace when the deciding backend produced one
+/// (multi-BMC reads it off the satisfying assignment; multi-PDR reports
+/// the depth only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertyStatus {
+    /// The property holds for every reachable state.
+    Proved {
+        /// Level at which the deciding engine converged.
+        k_fp: usize,
+        /// Frame/cut index of the fixed point.
+        j_fp: usize,
+    },
+    /// The property is violated.
+    Falsified {
+        /// Length of the counterexample (number of transitions).
+        depth: usize,
+        /// The violating input sequence, one vector of primary-input
+        /// values per cycle (`depth + 1` cycles), when available.
+        /// Replaying it through [`aig::simulate()`] exhibits the bad state
+        /// at cycle `depth`.
+        cex: Option<Vec<Vec<bool>>>,
+    },
+    /// The run stopped without an answer for this property.
+    Inconclusive {
+        /// Why the engine stopped.
+        reason: String,
+        /// Bound reached when the engine stopped.
+        bound_reached: usize,
+    },
+}
+
+impl PropertyStatus {
+    /// Builds a status from a single-property [`Verdict`] (no trace).
+    pub fn from_verdict(verdict: Verdict) -> PropertyStatus {
+        match verdict {
+            Verdict::Proved { k_fp, j_fp } => PropertyStatus::Proved { k_fp, j_fp },
+            Verdict::Falsified { depth } => PropertyStatus::Falsified { depth, cex: None },
+            Verdict::Inconclusive {
+                reason,
+                bound_reached,
+            } => PropertyStatus::Inconclusive {
+                reason,
+                bound_reached,
+            },
+        }
+    }
+
+    /// The status as a plain [`Verdict`] (dropping any counterexample).
+    pub fn verdict(&self) -> Verdict {
+        match self {
+            PropertyStatus::Proved { k_fp, j_fp } => Verdict::Proved {
+                k_fp: *k_fp,
+                j_fp: *j_fp,
+            },
+            PropertyStatus::Falsified { depth, .. } => Verdict::Falsified { depth: *depth },
+            PropertyStatus::Inconclusive {
+                reason,
+                bound_reached,
+            } => Verdict::Inconclusive {
+                reason: reason.clone(),
+                bound_reached: *bound_reached,
+            },
+        }
+    }
+
+    /// Returns `true` for [`PropertyStatus::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, PropertyStatus::Proved { .. })
+    }
+
+    /// Returns `true` for [`PropertyStatus::Falsified`].
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, PropertyStatus::Falsified { .. })
+    }
+
+    /// Returns `true` when the property got a definite answer.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, PropertyStatus::Inconclusive { .. })
+    }
+
+    /// The counterexample depth of a falsified property.
+    pub fn depth(&self) -> Option<usize> {
+        match self {
+            PropertyStatus::Falsified { depth, .. } => Some(*depth),
+            _ => None,
+        }
+    }
+
+    /// The comparison key of the multi-property determinism contract:
+    /// verdict *kind* plus the counterexample depth.  Proof bookkeeping
+    /// (`k_fp`/`j_fp`), inconclusive reasons and counterexample traces may
+    /// legitimately vary between backends, schedules and thread counts;
+    /// this key never does.
+    pub fn kind_and_depth(&self) -> (&'static str, Option<usize>) {
+        match self {
+            PropertyStatus::Proved { .. } => ("proved", None),
+            PropertyStatus::Falsified { depth, .. } => ("falsified", Some(*depth)),
+            PropertyStatus::Inconclusive { .. } => ("inconclusive", None),
+        }
+    }
+
+    /// Returns `true` when the status agrees with a single-property
+    /// verdict under the determinism contract (same kind; equal depths
+    /// when falsified).
+    pub fn agrees_with(&self, verdict: &Verdict) -> bool {
+        match (self, verdict) {
+            (PropertyStatus::Proved { .. }, Verdict::Proved { .. }) => true,
+            (PropertyStatus::Falsified { depth, .. }, Verdict::Falsified { depth: expected }) => {
+                depth == expected
+            }
+            (PropertyStatus::Inconclusive { .. }, Verdict::Inconclusive { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PropertyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyStatus::Falsified {
+                depth,
+                cex: Some(_),
+            } => write!(f, "falsified at depth {depth} (with trace)"),
+            other => other.verdict().fmt(f),
+        }
+    }
+}
+
+/// Outcome of a multi-property run: one [`PropertyStatus`] per bad-state
+/// property (indexed like the design's bad literals) plus the aggregated
+/// statistics of every backend that contributed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiResult {
+    /// Per-property outcomes.
+    pub statuses: Vec<PropertyStatus>,
+    /// Aggregate statistics across all backends and property groups.
+    pub stats: EngineStats,
+}
+
+impl MultiResult {
+    /// Number of properties that received a definite answer.
+    pub fn num_conclusive(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_conclusive()).count()
+    }
+
+    /// Returns `true` when every property received a definite answer.
+    pub fn all_conclusive(&self) -> bool {
+        self.statuses.iter().all(|s| s.is_conclusive())
+    }
 }
 
 /// Configuration shared by all engines.
@@ -138,6 +309,16 @@ pub struct Options {
     /// reduction-regression tests re-run the suite with it off and assert
     /// bit-identical verdicts and counterexample depths.
     pub reduce_db: bool,
+    /// Whether PDR re-enqueues a blocked proof obligation one frame
+    /// forward (`false`, the default).
+    ///
+    /// Pushing obligations forward strengthens later frames eagerly and
+    /// can speed up convergence, but a forwarded obligation chain that
+    /// reaches frame 0 witnesses a real — yet possibly non-minimal —
+    /// counterexample, so the option trades the engine's minimal-depth
+    /// guarantee for speed.  Verdict *kinds* are unaffected either way
+    /// (see `tests/multi_property.rs` and the PDR A/B regression).
+    pub push_obligations: bool,
     /// Worker threads for the concurrent modes.
     ///
     /// `1` (the default) keeps every engine's internals strictly
@@ -159,6 +340,7 @@ impl Default for Options {
             check: BmcCheck::ExactAssume,
             alpha_serial: 0.5,
             reduce_db: true,
+            push_obligations: false,
             threads: 1,
         }
     }
@@ -205,6 +387,13 @@ impl Options {
         } else {
             None
         }
+    }
+
+    /// Returns a copy with PDR's obligation push-forward switched on or
+    /// off (see [`Options::push_obligations`]).
+    pub fn with_push_obligations(mut self, push_obligations: bool) -> Options {
+        self.push_obligations = push_obligations;
+        self
     }
 
     /// Returns a copy with the given worker-thread count (see
@@ -306,6 +495,29 @@ impl Engine {
                 crate::engines::portfolio::verify_with_cancel(aig, bad_index, options, cancel)
             }
         }
+    }
+
+    /// Verifies *every* bad-state property of `aig` in one run and
+    /// returns one [`PropertyStatus`] per property.
+    ///
+    /// For [`Engine::Bmc`], [`Engine::Pdr`] and [`Engine::Portfolio`] the
+    /// run is genuinely amortized (see [`crate::multi`]): one unrolling /
+    /// frame trace / scheduler serves all properties, with per-property
+    /// retirement.  The remaining engines fall back to a per-property
+    /// loop.  Verdict kinds and counterexample depths always match the
+    /// per-property [`Engine::verify`] loop.
+    pub fn verify_all(self, aig: &aig::Aig, options: &Options) -> crate::MultiResult {
+        self.verify_all_with_cancel(aig, options, &CancelToken::new())
+    }
+
+    /// [`verify_all`](Self::verify_all) under a cancellation token.
+    pub fn verify_all_with_cancel(
+        self,
+        aig: &aig::Aig,
+        options: &Options,
+        cancel: &CancelToken,
+    ) -> crate::MultiResult {
+        crate::multi::verify_all_with_engine(aig, self, options, cancel)
     }
 }
 

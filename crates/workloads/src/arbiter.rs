@@ -44,6 +44,54 @@ pub fn round_robin(clients: usize, seeded_bug: bool) -> Aig {
     aig
 }
 
+/// The multi-property round-robin arbiter: one bad-state property *per
+/// client* instead of one global mutual-exclusion output.
+///
+/// Property `i` states "client `i` is never granted while another client
+/// is granted at the same time".  On the correct arbiter every property
+/// holds; with `seeded_bug`, client 0 is granted whenever it requests, so
+/// every client that can legitimately hold a grant concurrently with
+/// client 0 fails its property — a design whose properties share almost
+/// all of their cones of influence yet fail at different depths.
+pub fn round_robin_multi(clients: usize, seeded_bug: bool) -> Aig {
+    assert!(clients >= 2, "an arbiter needs at least two clients");
+    let mut aig = Aig::new();
+    aig.set_name(format!(
+        "arbiter{clients}{}multi",
+        if seeded_bug { "bug" } else { "ok" }
+    ));
+    let requests: Vec<Lit> = (0..clients)
+        .map(|_| Lit::positive(aig.add_input()))
+        .collect();
+    let token_latches: Vec<usize> = (0..clients).map(|i| aig.add_latch(i == 0)).collect();
+    let token: Vec<Lit> = token_latches.iter().map(|&l| aig.latch_lit(l)).collect();
+    for i in 0..clients {
+        let prev = token[(i + clients - 1) % clients];
+        aig.set_next(token_latches[i], prev);
+    }
+    let grant_latches: Vec<usize> = (0..clients).map(|_| aig.add_latch(false)).collect();
+    let grants: Vec<Lit> = grant_latches.iter().map(|&l| aig.latch_lit(l)).collect();
+    for i in 0..clients {
+        let legitimate = aig.and(requests[i], token[i]);
+        let next = if seeded_bug && i == 0 {
+            aig.or(legitimate, requests[0])
+        } else {
+            legitimate
+        };
+        aig.set_next(grant_latches[i], next);
+    }
+    for i in 0..clients {
+        let others: Vec<Lit> = (0..clients)
+            .filter(|&j| j != i)
+            .map(|j| grants[j])
+            .collect();
+        let any_other = aig.or_many(others);
+        let clash = aig.and(grants[i], any_other);
+        aig.add_bad(clash);
+    }
+    aig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +121,28 @@ mod tests {
             bdd::reach::analyze(&round_robin(3, true), 0, 200_000).verdict,
             bdd::BddVerdict::Fail { .. }
         ));
+    }
+
+    #[test]
+    fn multi_arbiter_has_one_property_per_client() {
+        let ok = round_robin_multi(4, false);
+        assert_eq!(ok.num_bad(), 4);
+        let stim: Vec<Vec<bool>> = vec![vec![true; 4]; 20];
+        assert_eq!(aig::simulate(&ok, &stim).first_failure(), None);
+
+        let buggy = round_robin_multi(3, true);
+        let stim: Vec<Vec<bool>> = vec![vec![true; 3]; 8];
+        let trace = aig::simulate(&buggy, &stim);
+        // The seeded bug double-grants, so at least client 0's property
+        // (and the clashing client's) fails under the all-ones stimulus.
+        let failed: Vec<usize> = (0..3)
+            .filter(|&p| trace.bad.iter().any(|cycle| cycle[p]))
+            .collect();
+        assert!(failed.contains(&0), "client 0 must clash: {failed:?}");
+        assert!(
+            failed.len() >= 2,
+            "a clash involves two clients: {failed:?}"
+        );
     }
 
     #[test]

@@ -58,6 +58,43 @@ pub fn gated(width: usize, modulus: u64, bad_at: u64) -> Aig {
     aig
 }
 
+/// A modular counter carrying one bad-state property per threshold in
+/// `bad_ats` — the multi-property variant of [`modular`].
+///
+/// Property `i` fails iff `bad_ats[i] < modulus` (with the shortest
+/// counterexample of length `bad_ats[i]`), so mixing in-range and
+/// out-of-range thresholds yields a design whose properties split between
+/// `Falsified` and `Proved` — exactly what `verify_all` needs to exercise
+/// per-property retirement.
+///
+/// # Panics
+///
+/// Panics if `modulus` does not fit in `width` bits, is zero, or
+/// `bad_ats` is empty.
+pub fn modular_multi(width: usize, modulus: u64, bad_ats: &[u64]) -> Aig {
+    assert!(
+        modulus >= 1 && modulus <= 1u64 << width,
+        "modulus must fit the width"
+    );
+    assert!(!bad_ats.is_empty(), "at least one property is required");
+    let mut aig = Aig::new();
+    let tags: Vec<String> = bad_ats.iter().map(u64::to_string).collect();
+    aig.set_name(format!("counter{width}m{modulus}multi{}", tags.join("_")));
+    let (ids, bits) = latch_word(&mut aig, width, 0);
+    let wrap = word_equals_const(&mut aig, &bits, modulus - 1);
+    let inc = word_increment(&mut aig, &bits, Lit::TRUE);
+    let zero = word_const(width, 0);
+    let next = word_mux(&mut aig, wrap, &zero, &inc);
+    for (id, n) in ids.iter().zip(next.iter()) {
+        aig.set_next(*id, *n);
+    }
+    for &bad_at in bad_ats {
+        let bad = word_equals_const(&mut aig, &bits, bad_at);
+        aig.add_bad(bad);
+    }
+    aig
+}
+
 /// Two independent modular counters with different periods; the property
 /// states they are never simultaneously at their respective `sync` values.
 /// Reachability of the synchronisation point follows the Chinese remainder
@@ -109,6 +146,19 @@ mod tests {
         assert_eq!(stalled.first_failure(), None);
         let running = aig::simulate(&aig, &vec![vec![true]; 6]);
         assert_eq!(running.first_failure(), Some(2));
+    }
+
+    #[test]
+    fn multi_counter_fails_per_threshold() {
+        let aig = modular_multi(4, 10, &[3, 12, 7]);
+        assert_eq!(aig.num_bad(), 3);
+        let trace = aig::simulate(&aig, &vec![vec![]; 24]);
+        // Property 0 first fires at cycle 3, property 2 at cycle 7, and
+        // property 1 (threshold 12 ≥ modulus 10) never.
+        assert!(trace.bad[3][0] && !trace.bad[3][1] && !trace.bad[3][2]);
+        assert!(trace.bad[7][2]);
+        assert!(trace.bad.iter().all(|cycle| !cycle[1]));
+        assert_eq!(aig.name(), "counter4m10multi3_12_7");
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod suite;
 pub mod token_ring;
 pub mod traffic;
 
-pub use suite::{Benchmark, BenchmarkClass};
+pub use suite::{Benchmark, BenchmarkClass, MultiBenchmark};
