@@ -13,6 +13,10 @@
 //!   `portfolio`: COI grouping + racing multi-PDR/multi-BMC),
 //! * `--json PATH` — additionally write the machine-readable report
 //!   (schema `itpseq-hwmcc/v1`), the artifact CI uploads,
+//! * `--trace PATH` — record engine telemetry for every design into one
+//!   `itpseq-trace/v1` JSONL stream,
+//! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
+//!   file (load in Perfetto or `chrome://tracing`),
 //! * `--timeout-ms N` / `--max-bound N` — per-design budget (defaults:
 //!   5000 ms, bound 40).
 //!
@@ -21,7 +25,7 @@
 //! ([`aig::Aig::promote_outputs_to_bad`]).  Unparsable files are reported
 //! (and counted as errors in the exit code) but do not abort the run.
 
-use itpseq_bench::{hwmcc_records_to_json, HwmccRecord};
+use itpseq_bench::{hwmcc_records_to_json, with_capture, HwmccRecord, TraceCapture};
 use mc::{Engine, Options};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -29,7 +33,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: hwmcc DIR [--engine bmc|pdr|portfolio] [--json PATH] \
-         [--timeout-ms N] [--max-bound N]"
+         [--trace PATH] [--chrome-trace PATH] [--timeout-ms N] [--max-bound N]"
     );
     std::process::exit(2);
 }
@@ -99,6 +103,8 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut engine = Engine::Portfolio;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
     let mut timeout = Duration::from_secs(5);
     let mut max_bound = 40usize;
     let mut args = std::env::args().skip(1);
@@ -109,6 +115,8 @@ fn main() {
                 engine = engine_by_name(&name).unwrap_or_else(|| usage());
             }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome-trace" => chrome_path = Some(args.next().unwrap_or_else(|| usage())),
             "--timeout-ms" => {
                 let ms: u64 = args
                     .next()
@@ -136,9 +144,13 @@ fn main() {
         std::process::exit(2);
     }
 
-    let options = Options::default()
-        .with_timeout(timeout)
-        .with_max_bound(max_bound);
+    let capture = TraceCapture::new(trace_path, chrome_path);
+    let options = with_capture(
+        Options::default()
+            .with_timeout(timeout)
+            .with_max_bound(max_bound),
+        capture.as_ref(),
+    );
     println!(
         "# hwmcc run — {} designs, engine {}, timeout {} ms, bound {}",
         files.len(),
@@ -189,6 +201,9 @@ fn main() {
         std::fs::write(&path, hwmcc_records_to_json(engine, &records))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {} design records to {path}", records.len());
+    }
+    if let Some(capture) = &capture {
+        capture.write();
     }
     if errors > 0 {
         eprintln!("hwmcc: {errors} file(s) failed to parse");

@@ -9,35 +9,49 @@
 //! * `--suite full|mid|industrial|smoke` — benchmark selection (default
 //!   `full`; `smoke` is the fast subset CI reruns on every push),
 //! * `--json PATH` — additionally write the records as machine-readable
-//!   JSON (schema `itpseq-table1/v3`, which adds the SAT-core counters
-//!   `learned_deleted`, `minimized_literals` and `db_reductions` on top
-//!   of v2's `encode_time_ms`/`clauses_encoded`, so both the
-//!   unrolling-cache and the clause-database effects stay visible in the
-//!   perf-smoke artifacts), the artifact CI uploads.
+//!   JSON (schema `itpseq-table1/v4`, which adds the solver search
+//!   counters `decisions`, `propagations` and `restarts` on top of v3's
+//!   SAT-core counters `learned_deleted`/`minimized_literals`/
+//!   `db_reductions`), the artifact CI uploads,
+//! * `--trace PATH` — record engine telemetry for every run into one
+//!   `itpseq-trace/v1` JSONL stream,
+//! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
+//!   file (load in Perfetto or `chrome://tracing`).
 
-use itpseq_bench::{experiment_options, records_to_json, run_engine, suite_by_name, RunRecord};
+use itpseq_bench::{
+    experiment_options, records_to_json, run_engine, suite_by_name, with_capture, RunRecord,
+    TraceCapture,
+};
 use mc::Engine;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: table1 [--suite full|mid|industrial|smoke] [--json PATH]");
+    eprintln!(
+        "usage: table1 [--suite full|mid|industrial|smoke] [--json PATH] \
+         [--trace PATH] [--chrome-trace PATH]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut suite_name = "full".to_string();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--suite" => suite_name = args.next().unwrap_or_else(|| usage()),
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome-trace" => chrome_path = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let suite = suite_by_name(&suite_name).unwrap_or_else(|| usage());
 
-    let options = experiment_options();
+    let capture = TraceCapture::new(trace_path, chrome_path);
+    let options = with_capture(experiment_options(), capture.as_ref());
     let engines = [
         Engine::Itp,
         Engine::ItpSeq,
@@ -112,5 +126,8 @@ fn main() {
         std::fs::write(&path, records_to_json(&records))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {} records to {path}", records.len());
+    }
+    if let Some(capture) = &capture {
+        capture.write();
     }
 }

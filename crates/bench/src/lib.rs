@@ -8,7 +8,8 @@
 //!   `Time / k_fp / j_fp` per engine (now including the racing
 //!   portfolio); `--suite` selects a benchmark subset and `--json`
 //!   additionally emits the machine-readable records CI archives
-//!   (schema `itpseq-table1/v3`, which carries the SAT-core counters
+//!   (schema `itpseq-table1/v4`, which adds the solver search counters
+//!   `decisions`/`propagations`/`restarts` on top of v3's
 //!   `learned_deleted`/`minimized_literals`/`db_reductions`),
 //! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
 //! * `ablation_alpha` — the `αs` sweep for the serial sequences.
@@ -22,7 +23,9 @@
 //! how `k_fp`/`j_fp` relate) are the reproduction target.
 
 use mc::{Engine, EngineResult, MultiResult, Options, PropertyStatus, Verdict};
+use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{MemorySink, Telemetry};
 use workloads::Benchmark;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -114,7 +117,8 @@ impl RunRecord {
             concat!(
                 r#"{{"benchmark":"{}","engine":"{}","verdict":"{}","time_ms":{:.3},"#,
                 r#""encode_time_ms":{:.3},"k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"#,
-                r#""reason":{},"sat_calls":{},"conflicts":{},"clauses_encoded":{},"#,
+                r#""reason":{},"sat_calls":{},"conflicts":{},"decisions":{},"#,
+                r#""propagations":{},"restarts":{},"clauses_encoded":{},"#,
                 r#""learned_deleted":{},"minimized_literals":{},"db_reductions":{},"winner":{}}}"#
             ),
             json_escape(&self.benchmark),
@@ -129,6 +133,9 @@ impl RunRecord {
             opt_str(reason),
             self.result.stats.sat_calls,
             self.result.stats.conflicts,
+            self.result.stats.decisions,
+            self.result.stats.propagations,
+            self.result.stats.restarts,
             self.result.stats.clauses_encoded,
             self.result.stats.learned_deleted,
             self.result.stats.minimized_literals,
@@ -150,12 +157,27 @@ impl RunRecord {
                 depth.to_string(),
                 "0".to_string(),
             ),
-            Verdict::Inconclusive { bound_reached, .. } => (
-                "ovf".to_string(),
+            Verdict::Inconclusive {
+                bound_reached,
+                reason,
+            } => (
+                short_reason(reason).to_string(),
                 format!("({bound_reached})"),
                 "-".to_string(),
             ),
         }
+    }
+}
+
+/// Table-cell code for an inconclusive run's reason: `t/o` (wall-clock
+/// budget), `ovf` (bound exhausted), `cxl` (cancelled, e.g. a portfolio
+/// loser), `inc` for anything else (e.g. an interpolation failure).
+pub fn short_reason(reason: &str) -> &'static str {
+    match reason {
+        "timeout" => "t/o",
+        "bound exhausted" => "ovf",
+        "cancelled" | "retired" => "cxl",
+        _ => "inc",
     }
 }
 
@@ -279,6 +301,65 @@ pub fn hwmcc_records_to_json(engine: Engine, records: &[HwmccRecord]) -> String 
     )
 }
 
+/// Telemetry capture behind the binaries' `--trace`/`--chrome-trace`
+/// flags: events from every run accumulate in one in-memory sink and are
+/// written out once at exit — as an `itpseq-trace/v1` JSONL stream, a
+/// Chrome trace-event file (loadable in Perfetto / `chrome://tracing`),
+/// or both.
+pub struct TraceCapture {
+    sink: Arc<MemorySink>,
+    jsonl_path: Option<String>,
+    chrome_path: Option<String>,
+}
+
+impl TraceCapture {
+    /// A capture for the requested output paths; `None` when tracing was
+    /// not requested (so the no-op telemetry handle stays in place).
+    pub fn new(jsonl_path: Option<String>, chrome_path: Option<String>) -> Option<TraceCapture> {
+        if jsonl_path.is_none() && chrome_path.is_none() {
+            return None;
+        }
+        Some(TraceCapture {
+            sink: Arc::new(MemorySink::new()),
+            jsonl_path,
+            chrome_path,
+        })
+    }
+
+    /// The recording telemetry handle to install via
+    /// [`Options::with_telemetry`].
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::new(self.sink.clone())
+    }
+
+    /// Writes the requested trace files; panics on IO errors (these are
+    /// CLI exit paths).
+    pub fn write(&self) {
+        let events = self.sink.snapshot();
+        if let Some(path) = &self.jsonl_path {
+            let mut out = Vec::new();
+            telemetry::write_jsonl(&events, &mut out).expect("vec write");
+            std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {} trace events to {path}", events.len());
+        }
+        if let Some(path) = &self.chrome_path {
+            let mut out = Vec::new();
+            telemetry::write_chrome_trace(&events, &mut out).expect("vec write");
+            std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
+        }
+    }
+}
+
+/// Installs a capture's recording handle on `options` (the identity when
+/// tracing was not requested).
+pub fn with_capture(options: Options, capture: Option<&TraceCapture>) -> Options {
+    match capture {
+        Some(capture) => options.with_telemetry(capture.telemetry()),
+        None => options,
+    }
+}
+
 /// Runs one engine on one benchmark with the given per-instance budget.
 pub fn run_engine(benchmark: &Benchmark, engine: Engine, options: &Options) -> RunRecord {
     let result = engine.verify(&benchmark.aig, 0, options);
@@ -306,7 +387,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-table1/v3\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-table1/v4\",\n  \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -374,6 +455,9 @@ mod tests {
                 verdict,
                 stats: mc::EngineStats {
                     sat_calls: 3,
+                    decisions: 11,
+                    propagations: 13,
+                    restarts: 4,
                     learned_deleted: 7,
                     minimized_literals: 9,
                     db_reductions: 2,
@@ -392,6 +476,9 @@ mod tests {
         assert!(proved.contains(r#""learned_deleted":7"#), "{proved}");
         assert!(proved.contains(r#""minimized_literals":9"#), "{proved}");
         assert!(proved.contains(r#""db_reductions":2"#), "{proved}");
+        assert!(proved.contains(r#""decisions":11"#), "{proved}");
+        assert!(proved.contains(r#""propagations":13"#), "{proved}");
+        assert!(proved.contains(r#""restarts":4"#), "{proved}");
         let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
         assert!(falsified.contains(r#""depth":7"#), "{falsified}");
         assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
@@ -413,7 +500,7 @@ mod tests {
             mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
             mk(Verdict::Falsified { depth: 2 }),
         ]);
-        assert!(document.contains("itpseq-table1/v3"));
+        assert!(document.contains("itpseq-table1/v4"));
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());
@@ -468,6 +555,56 @@ mod tests {
         assert!(document.contains(r#""error":"invalid aag header: nope""#));
         assert!(document.contains(r#"broken \"quoted\".aag"#));
         assert_eq!(document.matches('{').count(), document.matches('}').count());
+    }
+
+    #[test]
+    fn inconclusive_cells_surface_the_reason() {
+        let mk = |reason: &str| RunRecord {
+            benchmark: "b".to_string(),
+            engine: Engine::Bmc,
+            result: mc::EngineResult {
+                verdict: Verdict::Inconclusive {
+                    reason: reason.to_string(),
+                    bound_reached: 9,
+                },
+                stats: Default::default(),
+            },
+        };
+        assert_eq!(mk("timeout").cells().0, "t/o");
+        assert_eq!(mk("bound exhausted").cells().0, "ovf");
+        assert_eq!(mk("cancelled").cells().0, "cxl");
+        assert_eq!(mk("interpolation failed").cells().0, "inc");
+        assert_eq!(mk("timeout").cells().1, "(9)");
+    }
+
+    #[test]
+    fn trace_capture_records_and_exports() {
+        assert!(TraceCapture::new(None, None).is_none());
+        let dir = std::env::temp_dir().join("itpseq-bench-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let jsonl = dir.join("t.jsonl").to_string_lossy().into_owned();
+        let chrome = dir.join("t.json").to_string_lossy().into_owned();
+        let capture =
+            TraceCapture::new(Some(jsonl.clone()), Some(chrome.clone())).expect("capture");
+        let suite = workloads::suite::mid_size();
+        let options = with_capture(
+            Options::default()
+                .with_timeout(Duration::from_secs(2))
+                .with_max_bound(20),
+            Some(&capture),
+        );
+        let record = run_engine(&suite[0], Engine::ItpSeq, &options);
+        assert!(record.result.verdict.is_conclusive());
+        capture.write();
+        let trace = std::fs::read_to_string(&jsonl).expect("jsonl written");
+        assert!(
+            trace.starts_with(r#"{"schema":"itpseq-trace/v1"}"#),
+            "{trace}"
+        );
+        assert!(trace.contains(r#""name":"ITPSEQ.run""#), "{trace}");
+        let chrome_doc = std::fs::read_to_string(&chrome).expect("chrome written");
+        assert!(chrome_doc.contains(r#""traceEvents""#), "{chrome_doc}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! per-property assumptions, per-property retirement) instead of running
 //! this engine once per property.
 
-use crate::engines::{CancelToken, RunBudget};
+use crate::engines::{solver_probe, CancelToken, RunBudget};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::{BmcCheck, IncrementalUnroller};
@@ -43,6 +43,7 @@ use sat::{IncrementalSolver, SolveResult, Solver, SolverStats};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::ArgValue;
 
 /// Outcome of the depth-0 check every engine runs before its main loop.
 enum Depth0 {
@@ -119,12 +120,16 @@ pub(crate) fn depth0_verdict(
     stats: &mut EngineStats,
     options: &Options,
 ) -> Option<Verdict> {
+    let span = options
+        .telemetry
+        .span_args("depth0", || vec![("bad", ArgValue::U64(bad_index as u64))]);
     let depth0 = initial_violation(
         aig,
         bad_index,
         Some(budget.flag()),
         options.reduce_interval(),
     );
+    span.end();
     stats.sat_calls += 1;
     stats.add_solver_delta(depth0.solver);
     stats.clauses_encoded += depth0.clauses;
@@ -248,11 +253,18 @@ pub fn verify_with_cancel(
 ) -> EngineResult {
     let start = Instant::now();
     let budget = RunBudget::arm(cancel, start, options.timeout);
+    let telemetry = &options.telemetry;
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
+    let _run = telemetry.span_args("BMC.run", || {
+        vec![("latches", ArgValue::U64(aig.num_latches() as u64))]
+    });
     let finish = |mut stats: EngineStats, verdict: Verdict| {
+        telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
         stats.time = start.elapsed();
         EngineResult { verdict, stats }
     };
@@ -272,6 +284,9 @@ pub fn verify_with_cancel(
         budget.flag(),
         &mut stats,
     );
+    incremental
+        .solver
+        .set_progress_probe(solver_probe(telemetry));
     for k in 1..=options.max_bound {
         if let Some(reason) = budget.stop_reason() {
             return finish(
@@ -282,11 +297,14 @@ pub fn verify_with_cancel(
                 },
             );
         }
+        let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
         let assumptions = incremental.advance(&mut stats);
         stats.sat_calls += 1;
+        let query = telemetry.span_args("sat", || vec![("k", ArgValue::U64(k as u64))]);
         let before = incremental.solver.stats();
         let result = incremental.solver.solve(&assumptions);
         stats.add_solver_delta(incremental.solver.stats() - before);
+        query.end();
         match result {
             SolveResult::Sat => {
                 return finish(stats, Verdict::Falsified { depth: k });

@@ -16,6 +16,7 @@ use itp::InterpolationContext;
 use sat::{Proof, SolveResult, Solver};
 use std::collections::HashMap;
 use std::time::Instant;
+use telemetry::{ArgValue, Telemetry};
 
 struct BoundInstance {
     cnf: cnf::Cnf,
@@ -62,14 +63,20 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
+    telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
+    solver.set_progress_probe(crate::engines::solver_probe(telemetry));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
+    let query = telemetry.span_args("sat", || {
+        vec![("clauses", ArgValue::U64(cnf.clauses.len() as u64))]
+    });
     let result = solver.solve();
+    query.end();
     stats.add_solver_delta(solver.stats());
     let proof = if result == SolveResult::Unsat {
         solver.proof()
@@ -119,25 +126,30 @@ pub fn verify_with_cancel(
 ) -> EngineResult {
     let start = Instant::now();
     let budget = RunBudget::arm(cancel, start, options.timeout);
+    let telemetry = &options.telemetry;
+    let _run = telemetry.span_args("ITP.run", || {
+        vec![("latches", ArgValue::U64(design.num_latches() as u64))]
+    });
     let mut stats = EngineStats {
         visible_latches: design.num_latches(),
         ..EngineStats::default()
     };
+    let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
+        telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
+        stats.time = start.elapsed();
+        EngineResult { verdict, stats }
+    };
     if let Some(verdict) =
         crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
-        stats.time = start.elapsed();
-        return EngineResult { verdict, stats };
+        return finish(stats, verdict, start);
     }
 
     let mut space = StateSpace::new(design.num_latches());
     let s0 = space.initial_states(design);
     let identity: Vec<usize> = (0..design.num_latches()).collect();
-
-    let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
-        stats.time = start.elapsed();
-        EngineResult { verdict, stats }
-    };
 
     for k in 1..=options.max_bound {
         if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
@@ -150,6 +162,7 @@ pub fn verify_with_cancel(
                 start,
             );
         }
+        let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
         // Initial check from the real initial states.
         let encode_start = Instant::now();
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
@@ -159,6 +172,7 @@ pub fn verify_with_cancel(
             &mut stats,
             &budget,
             options.reduce_interval(),
+            telemetry,
         );
         if result == SolveResult::Sat {
             // bound-(k-1) was unsatisfiable, so the counterexample has
@@ -216,6 +230,7 @@ pub fn verify_with_cancel(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
+                telemetry,
             );
             if result == SolveResult::Sat {
                 // Spurious hit from the over-approximated frontier: deepen.

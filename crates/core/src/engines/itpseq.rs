@@ -28,6 +28,7 @@ pub fn verify_with_cancel(
         bad_index,
         options,
         SeqConfig {
+            name: "ITPSEQ",
             alpha_serial: 0.0,
             use_cba: false,
         },

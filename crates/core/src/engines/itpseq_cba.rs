@@ -32,6 +32,7 @@ pub fn verify_with_cancel(
         bad_index,
         options,
         SeqConfig {
+            name: "ITPSEQCBA",
             alpha_serial: options.alpha_serial,
             use_cba: true,
         },

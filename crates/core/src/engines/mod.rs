@@ -19,6 +19,35 @@ pub mod sitpseq;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use telemetry::{ArgValue, Telemetry};
+
+/// A [`sat::ProgressProbe`] republishing solver statistics snapshots as
+/// periodic `"solver"` counter samples on `telemetry`'s track, or `None`
+/// when tracing is disabled (the solver then carries no probe at all —
+/// the hot path stays exactly as before).
+///
+/// Every engine installs this on its long-lived solvers, which is how
+/// restart/decision/propagation progress surfaces in a trace without a
+/// single callback from the propagation inner loop.
+pub(crate) fn solver_probe(telemetry: &Telemetry) -> Option<sat::ProgressProbe> {
+    if !telemetry.is_enabled() {
+        return None;
+    }
+    let telemetry = telemetry.clone();
+    Some(sat::ProgressProbe::new(
+        sat::DEFAULT_PROBE_INTERVAL,
+        move |stats| {
+            telemetry.counter("solver", || {
+                vec![
+                    ("conflicts", ArgValue::U64(stats.conflicts)),
+                    ("decisions", ArgValue::U64(stats.decisions)),
+                    ("propagations", ArgValue::U64(stats.propagations)),
+                    ("restarts", ArgValue::U64(stats.restarts)),
+                ]
+            });
+        },
+    ))
+}
 
 /// Cooperative cancellation token shared between an engine run and its
 /// supervisor.

@@ -61,7 +61,7 @@ mod frames;
 mod generalize;
 mod obligations;
 
-use crate::engines::{pool, CancelToken, RunBudget};
+use crate::engines::{pool, solver_probe, CancelToken, RunBudget};
 use crate::multi::{RetireBoard, StatusSlots};
 use crate::{EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};
 use aig::Aig;
@@ -71,6 +71,7 @@ use obligations::{Obligation, ObligationQueue};
 use sat::{IncrementalSolver, SolveResult};
 use std::collections::HashMap;
 use std::time::Instant;
+use telemetry::ArgValue;
 
 /// Minimum number of per-frame queries before the engine bothers cloning
 /// solvers for a parallel pass.
@@ -92,6 +93,10 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
+    let telemetry = &options.telemetry;
+    let _run = telemetry.span_args("PDR.run", || {
+        vec![("latches", ArgValue::U64(aig.num_latches() as u64))]
+    });
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
@@ -100,6 +105,9 @@ pub fn verify_with_cancel(
     if let Some(verdict) =
         crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats, options)
     {
+        telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
     }
@@ -134,12 +142,19 @@ pub(crate) fn verify_all_with_cancel(
     board: Option<&RetireBoard>,
 ) -> MultiResult {
     let start = Instant::now();
+    let telemetry = &options.telemetry;
+    let _run = telemetry.span_args("PDR.multi", || {
+        vec![
+            ("props", ArgValue::U64(props.len() as u64)),
+            ("latches", ArgValue::U64(aig.num_latches() as u64)),
+        ]
+    });
     let stats = EngineStats {
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
     let budget = RunBudget::arm(cancel, start, options.timeout);
-    let mut statuses = StatusSlots::new(props.len(), board);
+    let mut statuses = StatusSlots::new(props.len(), board, telemetry.clone());
     let mut pdr = Pdr::new(aig, props, options, start, stats, &budget);
 
     let finish = |mut pdr: Pdr<'_>, statuses: StatusSlots<'_>| {
@@ -177,6 +192,7 @@ pub(crate) fn verify_all_with_cancel(
     }
 
     for level in 1..=options.max_bound {
+        let _level = telemetry.span_args("level", || vec![("k", ArgValue::U64(level as u64))]);
         statuses.sync_board(level - 1);
         let live = statuses.live();
         if live.is_empty() {
@@ -323,6 +339,7 @@ impl<'a> Pdr<'a> {
         let mut init_solver = IncrementalSolver::with_base(&template);
         init_solver.set_reduce_interval(options.reduce_interval());
         init_solver.set_interrupt(Some(budget.flag()));
+        init_solver.set_progress_probe(solver_probe(&options.telemetry));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
@@ -330,6 +347,7 @@ impl<'a> Pdr<'a> {
         let mut lift = IncrementalSolver::with_base(&template);
         lift.set_reduce_interval(options.reduce_interval());
         lift.set_interrupt(Some(budget.flag()));
+        lift.set_progress_probe(solver_probe(&options.telemetry));
 
         Pdr {
             options,
@@ -357,6 +375,10 @@ impl<'a> Pdr<'a> {
     /// fixpoint.
     fn run(mut self) -> EngineResult {
         for level in 1..=self.options.max_bound {
+            let _level = self
+                .options
+                .telemetry
+                .span_args("level", || vec![("k", ArgValue::U64(level as u64))]);
             self.extend();
             match self.blocking_phase(0) {
                 Phase::Falsified(depth) => {
@@ -393,6 +415,9 @@ impl<'a> Pdr<'a> {
     }
 
     fn finish(mut self, verdict: Verdict) -> EngineResult {
+        self.options.telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
         self.stats.time = self.start.elapsed();
         EngineResult {
             verdict,
@@ -414,9 +439,13 @@ impl<'a> Pdr<'a> {
     /// Opens frame `k`: a fresh unconstrained frontier with its own solver.
     fn extend(&mut self) {
         self.frames.push_frame();
+        self.options.telemetry.instant_args("extend", || {
+            vec![("frames", ArgValue::U64(self.frames.level() as u64 + 1))]
+        });
         let mut solver = IncrementalSolver::with_base(&self.template);
         solver.set_reduce_interval(self.options.reduce_interval());
         solver.set_interrupt(Some(self.budget.flag()));
+        solver.set_progress_probe(solver_probe(&self.options.telemetry));
         self.solvers.push(solver);
     }
 
@@ -424,13 +453,29 @@ impl<'a> Pdr<'a> {
     /// (or a counterexample or timeout surfaces).
     fn blocking_phase(&mut self, prop: usize) -> Phase {
         let level = self.frames.level();
+        let _blocking = self.options.telemetry.span_args("blocking", || {
+            vec![
+                ("k", ArgValue::U64(level as u64)),
+                ("prop", ArgValue::U64(prop as u64)),
+            ]
+        });
+        let mut obligations_processed = 0u64;
+        let report = |telemetry: &telemetry::Telemetry, processed: u64| {
+            if processed > 0 {
+                telemetry.counter("obligations", || {
+                    vec![("processed", ArgValue::U64(processed))]
+                });
+            }
+        };
         loop {
             if self.stopped() {
+                report(&self.options.telemetry, obligations_processed);
                 return Phase::Stopped;
             }
             let Some(bad) = self.get_bad(prop) else {
                 // `None` also covers an interrupted query: distinguish a
                 // clean "no bad states" from a cancelled probe.
+                report(&self.options.telemetry, obligations_processed);
                 if self.stopped() {
                     return Phase::Stopped;
                 }
@@ -443,7 +488,9 @@ impl<'a> Pdr<'a> {
                 cube: bad,
             });
             while let Some(obligation) = self.obligations.pop() {
+                obligations_processed += 1;
                 if self.stopped() {
+                    report(&self.options.telemetry, obligations_processed);
                     return Phase::Stopped;
                 }
                 if obligation.frame == 0 {
@@ -452,6 +499,7 @@ impl<'a> Pdr<'a> {
                     // reported depths minimal; a forwarded chain reaches
                     // frame 0 with a real but possibly longer depth.
                     debug_assert!(self.options.push_obligations || obligation.depth == level);
+                    report(&self.options.telemetry, obligations_processed);
                     return Phase::Falsified(obligation.depth);
                 }
                 match self.relative_induction(obligation.frame, &obligation.cube) {
@@ -478,7 +526,10 @@ impl<'a> Pdr<'a> {
                         self.obligations.push(obligation);
                         self.obligations.push(child);
                     }
-                    Query::Cancelled => return Phase::Stopped,
+                    Query::Cancelled => {
+                        report(&self.options.telemetry, obligations_processed);
+                        return Phase::Stopped;
+                    }
                 }
             }
             debug_assert!(self.obligations.is_empty());
@@ -604,6 +655,10 @@ impl<'a> Pdr<'a> {
     /// a clone cannot change its Sat/Unsat answer, only its running time.
     fn propagate(&mut self) -> Option<usize> {
         let level = self.frames.level();
+        let _propagate = self
+            .options
+            .telemetry
+            .span_args("propagate", || vec![("k", ArgValue::U64(level as u64))]);
         for frame in 1..level {
             let cubes = self.frames.take_frame(frame);
             let outcomes = self.push_queries(frame, &cubes);

@@ -52,6 +52,7 @@ use aig::Aig;
 use std::cmp::Reverse;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+use telemetry::ArgValue;
 
 /// The racing lineup, in adoption-precedence order: PDR (the strongest
 /// prover), ITPSEQCBA (the paper's best interpolation engine), BMC (the
@@ -73,6 +74,13 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
+    let telemetry = &options.telemetry;
+    let _race = telemetry.span_args("portfolio.race", || {
+        vec![
+            ("entrants", ArgValue::U64(ENTRANTS.len() as u64)),
+            ("bad", ArgValue::U64(bad_index as u64)),
+        ]
+    });
     let budget = options.effective_threads();
     // One racing thread per entrant; what remains feeds PDR's parallel
     // frame phases.
@@ -86,7 +94,12 @@ pub fn verify_with_cancel(
             } else {
                 1
             };
-            options.clone().with_threads(threads)
+            // Each entrant traces onto its own named track, so a Chrome
+            // trace shows the race as parallel per-entrant timelines.
+            options
+                .clone()
+                .with_threads(threads)
+                .with_telemetry(telemetry.scoped(engine.name()))
         })
         .collect();
 
@@ -105,6 +118,9 @@ pub fn verify_with_cancel(
             let tx = tx.clone();
             let token = tokens[slot].clone();
             let config = &configs[slot];
+            telemetry.instant_args("entrant.start", || {
+                vec![("entrant", ArgValue::Str(engine.name().to_string()))]
+            });
             scope.spawn(move || {
                 let result = engine.verify_with_cancel(aig, bad_index, config, &token);
                 let _ = tx.send((slot, result));
@@ -118,8 +134,20 @@ pub fn verify_with_cancel(
             match rx.recv_timeout(Duration::from_millis(20)) {
                 Ok((slot, result)) => {
                     pending -= 1;
+                    telemetry.instant_args("entrant.done", || {
+                        vec![
+                            ("entrant", ArgValue::Str(ENTRANTS[slot].name().to_string())),
+                            ("verdict", ArgValue::Str(result.verdict.to_string())),
+                        ]
+                    });
                     if !decided && result.verdict.is_conclusive() {
                         decided = true;
+                        telemetry.instant_args("entrant.cancel", || {
+                            vec![(
+                                "first_conclusive",
+                                ArgValue::Str(ENTRANTS[slot].name().to_string()),
+                            )]
+                        });
                         for token in &tokens {
                             token.cancel();
                         }
@@ -173,6 +201,12 @@ pub fn verify_with_cancel(
 
     match adopted {
         Some((engine, mut result)) => {
+            telemetry.instant_args("entrant.win", || {
+                vec![
+                    ("entrant", ArgValue::Str(engine.name().to_string())),
+                    ("verdict", ArgValue::Str(result.verdict.to_string())),
+                ]
+            });
             result.stats.winner = Some(engine.name());
             result.stats.time = start.elapsed();
             result

@@ -26,10 +26,13 @@ use itp::InterpolationContext;
 use sat::{Proof, SolveResult, Solver};
 use std::collections::HashMap;
 use std::time::Instant;
+use telemetry::{ArgValue, Telemetry};
 
 /// Static configuration distinguishing the three sequence engines.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct SeqConfig {
+    /// The engine's reporting name (labels its trace spans).
+    pub name: &'static str,
     /// Fraction of the sequence computed serially (Fig. 4's `αs`).
     pub alpha_serial: f64,
     /// Enable counterexample-based abstraction (Fig. 5).
@@ -200,14 +203,20 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
+    telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
+    solver.set_progress_probe(crate::engines::solver_probe(telemetry));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
+    let query = telemetry.span_args("sat", || {
+        vec![("clauses", ArgValue::U64(cnf.clauses.len() as u64))]
+    });
     let result = solver.solve();
+    query.end();
     stats.add_solver_delta(solver.stats());
     let proof = if result == SolveResult::Unsat {
         solver.proof()
@@ -264,6 +273,7 @@ fn compute_sequence(
     full_proof: &Proof,
     stats: &mut EngineStats,
     budget: &RunBudget,
+    telemetry: &Telemetry,
 ) -> Result<Vec<aig::Lit>, String> {
     let n = bound + 1;
     let serial = ((alpha_serial * n as f64).floor() as usize).min(bound);
@@ -292,7 +302,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget, reduce);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, telemetry);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -341,7 +351,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget, reduce);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, telemetry);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -384,7 +394,9 @@ fn extend_or_refine(
     reduce: Option<u64>,
     stats: &mut EngineStats,
     budget: &RunBudget,
+    telemetry: &Telemetry,
 ) -> ExtendOutcome {
+    let _extend = telemetry.span_args("extend", || vec![("k", ArgValue::U64(bound as u64))]);
     let encode_start = Instant::now();
     let mut unroller = Unroller::new(design);
     let mut guards: Vec<Option<cnf::Lit>> = vec![None; design.num_latches()];
@@ -452,6 +464,14 @@ pub(crate) fn run(
     let start = Instant::now();
     let budget = RunBudget::arm(cancel, start, options.timeout);
     let stop_reason = || budget.stop_reason();
+    let telemetry = &options.telemetry;
+    let run_label = format!("{}.run", config.name);
+    let _run = telemetry.span_args(&run_label, || {
+        vec![
+            ("latches", ArgValue::U64(design.num_latches() as u64)),
+            ("cba", ArgValue::U64(u64::from(config.use_cba))),
+        ]
+    });
     let mut stats = EngineStats::default();
     let mut space = StateSpace::new(design.num_latches());
     // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
@@ -460,6 +480,9 @@ pub(crate) fn run(
     if let Some(verdict) =
         crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
+        telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
         stats.time = start.elapsed();
         return EngineResult { verdict, stats };
     }
@@ -476,6 +499,9 @@ pub(crate) fn run(
     let mut cache: Option<CachedUnrolling> = None;
 
     let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
+        telemetry.instant_args("verdict", || {
+            vec![("verdict", ArgValue::Str(verdict.to_string()))]
+        });
         stats.time = start.elapsed();
         EngineResult { verdict, stats }
     };
@@ -491,6 +517,7 @@ pub(crate) fn run(
                 start,
             );
         }
+        let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
 
         // Bounded check at bound k (on the abstract model when CBA is on),
         // interleaved with abstraction refinement.  The reset-state
@@ -509,6 +536,7 @@ pub(crate) fn run(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
+                telemetry,
             );
             match result {
                 SolveResult::Unsat => break (instance, proof.expect("unsat result has a proof")),
@@ -535,6 +563,7 @@ pub(crate) fn run(
                         options.reduce_interval(),
                         &mut stats,
                         &budget,
+                        telemetry,
                     ) {
                         ExtendOutcome::ConcreteCounterexample => {
                             return finish(stats, Verdict::Falsified { depth: k }, start);
@@ -552,6 +581,15 @@ pub(crate) fn run(
                         ExtendOutcome::Refined => {
                             stats.refinements += 1;
                             stats.visible_latches = abstraction.num_visible();
+                            telemetry.instant_args("refine", || {
+                                vec![
+                                    ("k", ArgValue::U64(k as u64)),
+                                    (
+                                        "visible_latches",
+                                        ArgValue::U64(abstraction.num_visible() as u64),
+                                    ),
+                                ]
+                            });
                             current = abstraction.abstract_model(design, bad_index);
                             cache = None;
                         }
@@ -576,6 +614,8 @@ pub(crate) fn run(
         for (model_latch, &concrete) in model_to_concrete.iter().enumerate() {
             concrete_to_model[concrete] = model_latch;
         }
+        let interpolate =
+            telemetry.span_args("interpolate", || vec![("k", ArgValue::U64(k as u64))]);
         let sequence = match compute_sequence(
             model,
             k,
@@ -589,6 +629,7 @@ pub(crate) fn run(
             &proof,
             &mut stats,
             &budget,
+            telemetry,
         ) {
             Ok(sequence) => sequence,
             Err(reason) => {
@@ -602,6 +643,7 @@ pub(crate) fn run(
                 );
             }
         };
+        interpolate.end();
 
         // Column conjunctions and fixed-point checks (Fig. 2's inner loop).
         let initial_lits: Vec<aig::Lit> = (0..model.num_latches())

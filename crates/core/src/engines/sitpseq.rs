@@ -30,6 +30,7 @@ pub fn verify_with_cancel(
         bad_index,
         options,
         SeqConfig {
+            name: "SITPSEQ",
             alpha_serial: options.alpha_serial,
             use_cba: false,
         },

@@ -72,4 +72,5 @@ mod types;
 
 pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, portfolio, sitpseq, CancelToken};
 pub use multi::verify_all;
+pub use telemetry::Telemetry;
 pub use types::{Engine, EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};

@@ -31,13 +31,14 @@
 //! serving the survivors.  Retired properties stop having their bad
 //! cones encoded at later frames.
 
-use crate::engines::{CancelToken, RunBudget};
+use crate::engines::{solver_probe, CancelToken, RunBudget};
 use crate::multi::{RetireBoard, StatusSlots};
 use crate::{EngineStats, MultiResult, Options, PropertyStatus};
 use aig::Aig;
 use cnf::{BmcCheck, IncrementalUnroller, Lit};
 use sat::{IncrementalSolver, SolveResult};
 use std::time::Instant;
+use telemetry::ArgValue;
 
 /// Verifies the bad-state properties `props` of `aig` in one amortized
 /// BMC run; `statuses[i]` reports on property `props[i]`.
@@ -101,7 +102,7 @@ impl<'a> MultiBmc<'a> {
                     bound_target: None,
                 })
                 .collect(),
-            statuses: StatusSlots::new(props.len(), board),
+            statuses: StatusSlots::new(props.len(), board, options.telemetry.clone()),
         }
     }
 
@@ -148,6 +149,13 @@ impl<'a> MultiBmc<'a> {
     }
 
     fn run(mut self, cancel: &CancelToken) -> MultiResult {
+        let telemetry = self.options.telemetry.clone();
+        let _run = telemetry.span_args("BMC.multi", || {
+            vec![
+                ("props", ArgValue::U64(self.slots.len() as u64)),
+                ("latches", ArgValue::U64(self.aig.num_latches() as u64)),
+            ]
+        });
         let budget = RunBudget::arm(cancel, self.start, self.options.timeout);
         if self.slots.is_empty() {
             return self.finish();
@@ -162,6 +170,7 @@ impl<'a> MultiBmc<'a> {
         solver.set_recycle_threshold(0);
         solver.set_reduce_interval(self.options.reduce_interval());
         solver.set_interrupt(Some(budget.flag()));
+        solver.set_progress_probe(solver_probe(&telemetry));
         let frame0 = unroller.bad_lits(0, self.slots.iter().map(|slot| slot.property));
         for (slot, bad) in self.slots.iter_mut().zip(frame0) {
             slot.bads.push(bad);
@@ -200,6 +209,7 @@ impl<'a> MultiBmc<'a> {
         }
 
         for k in 1..=self.options.max_bound {
+            let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
             self.statuses.sync_board(k - 1);
             let live = self.statuses.live();
             if live.is_empty() {

@@ -74,6 +74,7 @@ use aig::Aig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use telemetry::{ArgValue, Telemetry};
 
 /// Verifies every bad-state property of `aig` with the property
 /// scheduler (COI grouping + racing multi-PDR/multi-BMC) — the
@@ -184,14 +185,18 @@ impl RetireBoard {
 pub(crate) struct StatusSlots<'a> {
     board: Option<&'a RetireBoard>,
     slots: Vec<Option<PropertyStatus>>,
+    telemetry: Telemetry,
 }
 
 impl<'a> StatusSlots<'a> {
     /// Bookkeeping for `n` properties, optionally racing over `board`.
-    pub fn new(n: usize, board: Option<&'a RetireBoard>) -> StatusSlots<'a> {
+    /// Retirement-board traffic (decisions, give-ups, yields) is traced
+    /// onto `telemetry`.
+    pub fn new(n: usize, board: Option<&'a RetireBoard>, telemetry: Telemetry) -> StatusSlots<'a> {
         StatusSlots {
             board,
             slots: vec![None; n],
+            telemetry,
         }
     }
 
@@ -211,6 +216,17 @@ impl<'a> StatusSlots<'a> {
     /// board (the race's first publisher wins; a lost race still records
     /// locally — kinds and depths agree by the determinism contract).
     pub fn decide(&mut self, i: usize, status: PropertyStatus) {
+        self.telemetry.instant_args("prop.decide", || {
+            let (kind, depth) = status.kind_and_depth();
+            let mut args = vec![
+                ("prop", ArgValue::U64(i as u64)),
+                ("status", ArgValue::Str(kind.to_string())),
+            ];
+            if let Some(depth) = depth {
+                args.push(("depth", ArgValue::U64(depth as u64)));
+            }
+            args
+        });
         if let Some(board) = self.board {
             board.publish(i, status.clone());
         }
@@ -219,6 +235,16 @@ impl<'a> StatusSlots<'a> {
 
     /// Marks every undecided slot inconclusive (budget exhausted).
     pub fn give_up(&mut self, reason: &str, bound_reached: usize) {
+        let undecided = self.slots.iter().filter(|slot| slot.is_none()).count() as u64;
+        if undecided > 0 {
+            self.telemetry.instant_args("prop.giveup", || {
+                vec![
+                    ("props", ArgValue::U64(undecided)),
+                    ("reason", ArgValue::Str(reason.to_string())),
+                    ("bound", ArgValue::U64(bound_reached as u64)),
+                ]
+            });
+        }
         for slot in &mut self.slots {
             if slot.is_none() {
                 *slot = Some(PropertyStatus::Inconclusive {
@@ -236,6 +262,8 @@ impl<'a> StatusSlots<'a> {
         let Some(board) = self.board else { return };
         for (i, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_none() && board.is_retired(i) {
+                self.telemetry
+                    .instant_args("prop.retired", || vec![("prop", ArgValue::U64(i as u64))]);
                 *slot = Some(PropertyStatus::Inconclusive {
                     reason: "retired".to_string(),
                     bound_reached,
@@ -252,6 +280,8 @@ impl<'a> StatusSlots<'a> {
             return true;
         }
         if self.board.is_some_and(|board| board.is_retired(i)) {
+            self.telemetry
+                .instant_args("prop.retired", || vec![("prop", ArgValue::U64(i as u64))]);
             self.slots[i] = Some(PropertyStatus::Inconclusive {
                 reason: "retired".to_string(),
                 bound_reached,

@@ -30,6 +30,7 @@ use crate::multi::{bmc, RetireBoard};
 use crate::{EngineStats, MultiResult, Options, PropertyStatus};
 use aig::Aig;
 use std::time::Instant;
+use telemetry::ArgValue;
 
 /// Verifies every bad-state property of `aig`: COI grouping, then one
 /// racing multi-PDR/multi-BMC pair per group.
@@ -52,8 +53,21 @@ pub(crate) fn verify_all_with_cancel(
         };
     }
 
+    let telemetry = &options.telemetry;
+    let _sched = telemetry.span_args("scheduler.run", || {
+        vec![("props", ArgValue::U64(num_props as u64))]
+    });
     let groups = aig::coi::group_bads_by_coi(aig);
     debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), num_props);
+    telemetry.instant_args("coi.groups", || {
+        vec![
+            ("groups", ArgValue::U64(groups.len() as u64)),
+            (
+                "largest",
+                ArgValue::U64(groups.iter().map(Vec::len).max().unwrap_or(0) as u64),
+            ),
+        ]
+    });
 
     // Each group races on its own pair of threads, and at most
     // `effective_threads` groups are in flight at once — a design with
@@ -96,22 +110,37 @@ pub(crate) fn verify_all_with_cancel(
 fn race_group(aig: &Aig, props: &[usize], options: &Options, cancel: &CancelToken) -> MultiResult {
     let start = Instant::now();
     let board = RetireBoard::new(props.len());
-    // Each entrant runs its deterministic sequential internals; the
-    // scheduler's parallelism is groups × the two racing threads.
-    let entrant_options = options.clone().with_threads(1);
+    let telemetry = &options.telemetry;
+    let group_id = props[0];
+    telemetry.instant_args("group.dispatch", || {
+        vec![
+            ("group", ArgValue::U64(group_id as u64)),
+            ("props", ArgValue::U64(props.len() as u64)),
+        ]
+    });
+    // Each entrant runs its deterministic sequential internals (on its own
+    // named telemetry track, so concurrent groups never interleave spans);
+    // the scheduler's parallelism is groups × the two racing threads.
+    let scoped = |backend: &str| {
+        options
+            .clone()
+            .with_threads(1)
+            .with_telemetry(telemetry.scoped(&format!("group{group_id}.{backend}")))
+    };
+    let pdr_options = scoped("PDR");
+    let bmc_options = scoped("BMC");
     let (pdr, bmc) = std::thread::scope(|scope| {
         let pdr = scope.spawn(|| {
             crate::engines::pdr::verify_all_with_cancel(
                 aig,
                 props,
-                &entrant_options,
+                &pdr_options,
                 cancel,
                 Some(&board),
             )
         });
-        let bmc = scope.spawn(|| {
-            bmc::verify_all_with_cancel(aig, props, &entrant_options, cancel, Some(&board))
-        });
+        let bmc = scope
+            .spawn(|| bmc::verify_all_with_cancel(aig, props, &bmc_options, cancel, Some(&board)));
         (
             pdr.join().expect("pdr entrant"),
             bmc.join().expect("bmc entrant"),

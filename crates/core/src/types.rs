@@ -4,6 +4,7 @@ use crate::engines::CancelToken;
 use cnf::BmcCheck;
 use std::fmt;
 use std::time::Duration;
+use telemetry::Telemetry;
 
 /// Outcome of a verification run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +71,12 @@ pub struct EngineStats {
     pub sat_calls: u64,
     /// Total conflicts across all SAT queries.
     pub conflicts: u64,
+    /// Total branching decisions across all SAT queries.
+    pub decisions: u64,
+    /// Total literals propagated across all SAT queries.
+    pub propagations: u64,
+    /// Total solver restarts across all SAT queries.
+    pub restarts: u64,
     /// Total clauses handed to SAT solvers (encoding volume).  With the
     /// incremental unrolling cache this grows linearly in the bound for
     /// BMC, where the scratch path grew quadratically.
@@ -104,6 +111,9 @@ impl EngineStats {
     /// engine-level counters.
     pub fn add_solver_delta(&mut self, delta: sat::SolverStats) {
         self.conflicts += delta.conflicts;
+        self.decisions += delta.decisions;
+        self.propagations += delta.propagations;
+        self.restarts += delta.restarts;
         self.learned_deleted += delta.learned_deleted;
         self.minimized_literals += delta.minimized_literals;
         self.db_reductions += delta.db_reductions;
@@ -116,6 +126,9 @@ impl EngineStats {
     pub fn absorb(&mut self, other: &EngineStats) {
         self.sat_calls += other.sat_calls;
         self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
         self.clauses_encoded += other.clauses_encoded;
         self.encode_time += other.encode_time;
         self.learned_deleted += other.learned_deleted;
@@ -124,6 +137,37 @@ impl EngineStats {
         self.interpolants += other.interpolants;
         self.refinements += other.refinements;
         self.visible_latches = self.visible_latches.max(other.visible_latches);
+    }
+}
+
+/// One line summarizing the run: wall/encode time, query volume and the
+/// engine-specific counters that are actually in play (interpolation and
+/// refinement counts only when nonzero, the portfolio winner only when
+/// tagged).
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ms ({:.1} ms encoding), {} SAT calls, {} conflicts, \
+             {} decisions, {} propagations, {} restarts",
+            self.time.as_secs_f64() * 1e3,
+            self.encode_time.as_secs_f64() * 1e3,
+            self.sat_calls,
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts
+        )?;
+        if self.interpolants > 0 {
+            write!(f, ", {} interpolants", self.interpolants)?;
+        }
+        if self.refinements > 0 {
+            write!(f, ", {} refinements", self.refinements)?;
+        }
+        if let Some(winner) = self.winner {
+            write!(f, ", won by {winner}")?;
+        }
+        Ok(())
     }
 }
 
@@ -330,6 +374,12 @@ pub struct Options {
     /// entrant).  `0` means "ask the machine"
     /// (`std::thread::available_parallelism`).
     pub threads: usize,
+    /// Tracing handle the run emits spans, markers and progress samples
+    /// through (see the `telemetry` crate).  Disabled by default
+    /// ([`Telemetry::off`]), which reduces every instrumentation site to
+    /// a single branch.  Tracing never changes verdicts: the determinism
+    /// and A/B regression suites run with a recording sink attached.
+    pub telemetry: Telemetry,
 }
 
 impl Default for Options {
@@ -342,6 +392,7 @@ impl Default for Options {
             reduce_db: true,
             push_obligations: false,
             threads: 1,
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -400,6 +451,13 @@ impl Options {
     /// [`Options::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Options {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy emitting trace events through `telemetry` (see
+    /// [`Options::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Options {
+        self.telemetry = telemetry;
         self
     }
 

@@ -63,7 +63,7 @@
 //! assert_eq!(solver.solve(&[]), SolveResult::Sat);
 //! ```
 
-use crate::solver::{SolveResult, Solver, SolverStats, DEFAULT_REDUCE_FIRST};
+use crate::solver::{ProgressProbe, SolveResult, Solver, SolverStats, DEFAULT_REDUCE_FIRST};
 use cnf::{Cnf, Lit, Var};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -112,6 +112,8 @@ pub struct IncrementalSolver {
     stats_offset: SolverStats,
     /// Interrupt flag re-installed on every rebuilt solver.
     interrupt: Option<Arc<AtomicBool>>,
+    /// Progress probe re-installed on every rebuilt solver.
+    probe: Option<ProgressProbe>,
     /// Conflict budget re-installed on every rebuilt solver.
     conflict_limit: Option<u64>,
     /// Learned-DB reduction trigger re-installed on every rebuilt solver
@@ -141,6 +143,7 @@ impl Default for IncrementalSolver {
             recycled_vars: 0,
             stats_offset: SolverStats::default(),
             interrupt: None,
+            probe: None,
             conflict_limit: None,
             reduce_interval: Some(DEFAULT_REDUCE_FIRST),
             retired_since_sweep: 0,
@@ -227,6 +230,14 @@ impl IncrementalSolver {
     pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
         self.interrupt = flag.clone();
         self.solver.set_interrupt(flag);
+    }
+
+    /// Installs (or clears) a periodic statistics observer; see
+    /// [`Solver::set_progress_probe`].  The probe survives recycling
+    /// rebuilds.
+    pub fn set_progress_probe(&mut self, probe: Option<ProgressProbe>) {
+        self.probe = probe.clone();
+        self.solver.set_progress_probe(probe);
     }
 
     /// Caps the conflicts of each solve call; see
@@ -377,6 +388,7 @@ impl IncrementalSolver {
             fresh.add_clause(clause.iter().copied(), 0);
         }
         fresh.set_interrupt(self.interrupt.clone());
+        fresh.set_progress_probe(self.probe.clone());
         fresh.set_conflict_limit(self.conflict_limit);
         fresh.set_reduce_interval(self.reduce_interval);
         // Warm-start the rebuilt solver: the caller's VSIDS activities and

@@ -57,4 +57,6 @@ mod solver;
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use incremental::{ClauseGuard, IncrementalSolver};
 pub use proof::{Chain, ClauseOrigin, Proof, ProofClause};
-pub use solver::{SolveResult, Solver, SolverStats, DEFAULT_REDUCE_FIRST};
+pub use solver::{
+    ProgressProbe, SolveResult, Solver, SolverStats, DEFAULT_PROBE_INTERVAL, DEFAULT_REDUCE_FIRST,
+};

@@ -17,8 +17,52 @@ use crate::proof::{Chain, ClauseOrigin, Proof, ProofClause};
 use cnf::{Cnf, Lit, Var};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// Default conflict spacing of [`ProgressProbe`] samples.
+pub const DEFAULT_PROBE_INTERVAL: u64 = 2048;
+
+/// A periodic observer of the search: the callback receives a
+/// [`SolverStats`] snapshot every `interval` conflicts.
+///
+/// The probe keeps the solver free of any dependency on the telemetry
+/// layer — the model checker installs a closure that republishes the
+/// snapshots as trace events.  The callback runs on the searching thread
+/// and must be cheap; it fires at conflict granularity, never from the
+/// propagation inner loop.  Clones of a solver share the probe (it is an
+/// `Arc`), mirroring how they share the interrupt flag.
+#[derive(Clone)]
+pub struct ProgressProbe {
+    callback: Arc<dyn Fn(&SolverStats) + Send + Sync>,
+    interval: u64,
+}
+
+impl ProgressProbe {
+    /// Wraps `callback` to fire every `interval` conflicts (an interval
+    /// of 0 is promoted to 1).
+    pub fn new(
+        interval: u64,
+        callback: impl Fn(&SolverStats) + Send + Sync + 'static,
+    ) -> ProgressProbe {
+        ProgressProbe {
+            callback: Arc::new(callback),
+            interval: interval.max(1),
+        }
+    }
+
+    /// The conflict spacing between samples.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+impl fmt::Debug for ProgressProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProgressProbe(every {} conflicts)", self.interval)
+    }
+}
 
 /// Result of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -234,6 +278,11 @@ pub struct Solver {
     interrupt: Option<Arc<AtomicBool>>,
     /// Per-call conflict budget; `None` means unlimited.
     conflict_limit: Option<u64>,
+    /// Periodic statistics observer; clones share it like the interrupt
+    /// flag.
+    probe: Option<ProgressProbe>,
+    /// Conflict count at which the probe fires next.
+    probe_next: u64,
     /// Learned-clause count that triggers the next database reduction;
     /// `None` disables reduction.
     reduce_limit: Option<u64>,
@@ -278,6 +327,8 @@ impl Solver {
             status: None,
             interrupt: None,
             conflict_limit: None,
+            probe: None,
+            probe_next: 0,
             reduce_limit: Some(DEFAULT_REDUCE_FIRST),
         }
     }
@@ -326,6 +377,17 @@ impl Solver {
     /// flag is shared: clones of this solver observe the same cancellation.
     pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
         self.interrupt = flag;
+    }
+
+    /// Installs (or clears) a periodic statistics observer; see
+    /// [`ProgressProbe`].  The first sample fires one interval after
+    /// installation.
+    pub fn set_progress_probe(&mut self, probe: Option<ProgressProbe>) {
+        self.probe_next = match &probe {
+            Some(p) => self.stats.conflicts + p.interval(),
+            None => 0,
+        };
+        self.probe = probe;
     }
 
     /// Caps the number of conflicts a single solve call may spend before
@@ -1353,6 +1415,13 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 conflicts_this_call += 1;
+                if let Some(probe) = &self.probe {
+                    if self.stats.conflicts >= self.probe_next {
+                        let probe = probe.clone();
+                        self.probe_next = self.stats.conflicts + probe.interval();
+                        (probe.callback)(&self.stats);
+                    }
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.record_final_chain(confl);
@@ -1660,6 +1729,32 @@ mod tests {
         flag.store(true, AtomicOrdering::Release);
         assert_eq!(clone.solve(), SolveResult::Interrupted);
         assert_eq!(s.solve(), SolveResult::Interrupted);
+    }
+
+    #[test]
+    fn progress_probe_samples_the_search_periodically() {
+        use std::sync::atomic::AtomicU64;
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        let samples = Arc::new(AtomicU64::new(0));
+        let high_water = Arc::new(AtomicU64::new(0));
+        let (samples_in, high_water_in) = (samples.clone(), high_water.clone());
+        s.set_progress_probe(Some(ProgressProbe::new(4, move |stats| {
+            samples_in.fetch_add(1, AtomicOrdering::Relaxed);
+            high_water_in.store(stats.conflicts, AtomicOrdering::Relaxed);
+        })));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let fired = samples.load(AtomicOrdering::Relaxed);
+        assert!(fired > 0, "probe never fired");
+        // Samples are spaced at least an interval apart.
+        assert!(high_water.load(AtomicOrdering::Relaxed) >= 4 * fired);
+        // Clearing the probe stops the sampling.
+        s.set_progress_probe(None);
+        let before = samples.load(AtomicOrdering::Relaxed);
+        let mut again = Solver::new();
+        pigeonhole(&mut again, 4);
+        again.solve();
+        assert_eq!(samples.load(AtomicOrdering::Relaxed), before);
     }
 
     #[test]

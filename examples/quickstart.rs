@@ -21,11 +21,10 @@ fn main() {
     for engine in Engine::ALL {
         let result = engine.verify(&passing, 0, &options);
         println!(
-            "  {:<9} -> {:<28} [{} SAT calls, {:.1} ms]",
+            "  {:<9} -> {:<28} [{}]",
             engine.name(),
             result.verdict.to_string(),
-            result.stats.sat_calls,
-            result.stats.time.as_secs_f64() * 1e3
+            result.stats
         );
     }
 
@@ -37,11 +36,10 @@ fn main() {
     for engine in Engine::ALL {
         let result = engine.verify(&failing, 0, &options);
         println!(
-            "  {:<9} -> {:<28} [{} SAT calls, {:.1} ms]",
+            "  {:<9} -> {:<28} [{}]",
             engine.name(),
             result.verdict.to_string(),
-            result.stats.sat_calls,
-            result.stats.time.as_secs_f64() * 1e3
+            result.stats
         );
     }
 }

@@ -21,6 +21,7 @@ fn main() {
 
     let result = Engine::SerialItpSeq.verify(&correct, 0, &options);
     println!("SITPSEQ on the correct arbiter: {}", result.verdict);
+    println!("  stats: {}", result.stats);
     assert!(
         result.verdict.is_proved(),
         "mutual exclusion must be proved"
@@ -28,6 +29,7 @@ fn main() {
 
     let result = Engine::ItpSeq.verify(&buggy, 0, &options);
     println!("ITPSEQ on the buggy arbiter:    {}", result.verdict);
+    println!("  stats: {}", result.stats);
     if let Verdict::Falsified { depth } = result.verdict {
         // Replay a violating stimulus to show the double grant: every
         // client requests on every cycle.

@@ -13,6 +13,8 @@
 //! * [`bdd`] — exact reachability and circuit diameters,
 //! * [`mc`] — the verification engines: the paper's ITP, ITPSEQ, SITPSEQ
 //!   and ITPSEQCBA plus an IC3/PDR competitor,
+//! * [`telemetry`] — structured span/event tracing with JSONL and
+//!   Chrome-trace export,
 //! * [`workloads`] — the synthetic benchmark suite.
 //!
 //! # Quick start
@@ -31,4 +33,5 @@ pub use cnf;
 pub use itp;
 pub use mc;
 pub use sat;
+pub use telemetry;
 pub use workloads;
