@@ -18,22 +18,30 @@
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
 //!   file (load in Perfetto or `chrome://tracing`),
 //! * `--timeout-ms N` / `--max-bound N` — per-design budget (defaults:
-//!   5000 ms, bound 40).
+//!   5000 ms, bound 40),
+//! * `--certify` / `--cert-dir DIR` — write per-design certificate
+//!   bundles (schema `itpseq-cert/v1`) for the independent checker; the
+//!   `.aag` written next to each document is the *post-promotion* design,
+//!   so property indices match the certified statuses.
 //!
 //! Files without an AIGER 1.9 `B` section fall back to the pre-1.9 HWMCC
 //! convention: every *output* is a bad-state property
 //! ([`aig::Aig::promote_outputs_to_bad`]).  Unparsable files are reported
 //! (and counted as errors in the exit code) but do not abort the run.
 
-use itpseq_bench::{hwmcc_records_to_json, with_capture, HwmccRecord, TraceCapture};
-use mc::{Engine, Options};
+use itpseq_bench::{
+    cert_file_stem, hwmcc_records_to_json, with_capture, write_cert_bundle, HwmccRecord,
+    TraceCapture,
+};
+use mc::{CertRecord, Engine, Options};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: hwmcc DIR [--engine bmc|pdr|portfolio] [--json PATH] \
-         [--trace PATH] [--chrome-trace PATH] [--timeout-ms N] [--max-bound N]"
+         [--trace PATH] [--chrome-trace PATH] [--timeout-ms N] [--max-bound N] \
+         [--certify] [--cert-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -57,7 +65,9 @@ fn aag_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-fn run_file(path: &Path, engine: Engine, options: &Options) -> HwmccRecord {
+/// Runs one file; the returned design is the parsed, *post-promotion*
+/// AIG (the one the engines actually saw), used for certificate bundles.
+fn run_file(path: &Path, engine: Engine, options: &Options) -> (HwmccRecord, Option<aig::Aig>) {
     let file = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -65,38 +75,45 @@ fn run_file(path: &Path, engine: Engine, options: &Options) -> HwmccRecord {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
-            return HwmccRecord {
-                file,
-                inputs: 0,
-                latches: 0,
-                ands: 0,
-                promoted_outputs: false,
-                result: Err(format!("cannot read: {e}")),
-            }
+            return (
+                HwmccRecord {
+                    file,
+                    inputs: 0,
+                    latches: 0,
+                    ands: 0,
+                    promoted_outputs: false,
+                    result: Err(format!("cannot read: {e}")),
+                },
+                None,
+            )
         }
     };
     let mut aig = match aig::parse_aag(&text) {
         Ok(aig) => aig,
         Err(e) => {
-            return HwmccRecord {
-                file,
-                inputs: 0,
-                latches: 0,
-                ands: 0,
-                promoted_outputs: false,
-                result: Err(e.to_string()),
-            }
+            return (
+                HwmccRecord {
+                    file,
+                    inputs: 0,
+                    latches: 0,
+                    ands: 0,
+                    promoted_outputs: false,
+                    result: Err(e.to_string()),
+                },
+                None,
+            )
         }
     };
     let promoted_outputs = aig.promote_outputs_to_bad() > 0;
-    HwmccRecord {
+    let record = HwmccRecord {
         file,
         inputs: aig.num_inputs(),
         latches: aig.num_latches(),
         ands: aig.num_ands(),
         promoted_outputs,
         result: Ok(engine.verify_all(&aig, options)),
-    }
+    };
+    (record, Some(aig))
 }
 
 fn main() {
@@ -107,9 +124,14 @@ fn main() {
     let mut chrome_path: Option<String> = None;
     let mut timeout = Duration::from_secs(5);
     let mut max_bound = 40usize;
+    let mut cert_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--certify" => {
+                cert_dir.get_or_insert_with(|| PathBuf::from("certs"));
+            }
+            "--cert-dir" => cert_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--engine" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 engine = engine_by_name(&name).unwrap_or_else(|| usage());
@@ -166,7 +188,7 @@ fn main() {
     let mut records = Vec::with_capacity(files.len());
     let mut errors = 0usize;
     for path in &files {
-        let record = run_file(path, engine, &options);
+        let (record, design) = run_file(path, engine, &options);
         match &record.result {
             Ok(result) => {
                 let cells: Vec<String> = result
@@ -193,6 +215,18 @@ fn main() {
                 errors += 1;
                 println!("{:<28} skipped: {message}", record.file);
             }
+        }
+        if let (Some(dir), Ok(result), Some(design)) = (&cert_dir, &record.result, &design) {
+            let _write = options.telemetry.span("certificate.write");
+            let cert_records: Vec<CertRecord> = result
+                .statuses
+                .iter()
+                .enumerate()
+                .map(|(i, status)| CertRecord::from_status(i, Some(engine.name()), status))
+                .collect();
+            let stem = cert_file_stem(record.file.trim_end_matches(".aag"));
+            write_cert_bundle(dir, &stem, design, &cert_records)
+                .unwrap_or_else(|e| panic!("cannot write certificates to {}: {e}", dir.display()));
         }
         records.push(record);
     }

@@ -16,19 +16,25 @@
 //! * `--trace PATH` — record engine telemetry for every run into one
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
-//!   file (load in Perfetto or `chrome://tracing`).
+//!   file (load in Perfetto or `chrome://tracing`),
+//! * `--certify` / `--cert-dir DIR` — write per-benchmark certificate
+//!   bundles (`<name>.aag` + `<name>.certs.json`, schema
+//!   `itpseq-cert/v1`) for the independent checker
+//!   (`cargo run --bin certify`); `--certify` defaults the directory to
+//!   `certs`.
 
 use itpseq_bench::{
-    experiment_options, records_to_json, run_engine, suite_by_name, with_capture, RunRecord,
-    TraceCapture,
+    cert_file_stem, experiment_options, records_to_json, run_engine, suite_by_name, with_capture,
+    write_cert_bundle, RunRecord, TraceCapture,
 };
-use mc::Engine;
+use mc::{CertRecord, Engine};
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: table1 [--suite full|mid|industrial|smoke] [--json PATH] \
-         [--trace PATH] [--chrome-trace PATH]"
+         [--trace PATH] [--chrome-trace PATH] [--certify] [--cert-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -38,6 +44,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
+    let mut cert_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +52,10 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--chrome-trace" => chrome_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--certify" => {
+                cert_dir.get_or_insert_with(|| PathBuf::from("certs"));
+            }
+            "--cert-dir" => cert_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
     }
@@ -102,11 +113,25 @@ fn main() {
         };
 
         let mut engine_cells = Vec::new();
+        let mut cert_records = Vec::new();
         for engine in engines {
             let record = run_engine(benchmark, engine, &options);
             let (time, k, j) = record.cells();
             engine_cells.push(format!("{time:>9} {k:>5} {j:>5}"));
+            if cert_dir.is_some() {
+                cert_records.push(CertRecord::from_result(
+                    0,
+                    Some(engine.name()),
+                    &record.result,
+                ));
+            }
             records.push(record);
+        }
+        if let Some(dir) = &cert_dir {
+            let _write = options.telemetry.span("certificate.write");
+            let stem = cert_file_stem(&benchmark.name);
+            write_cert_bundle(dir, &stem, &benchmark.aig, &cert_records)
+                .unwrap_or_else(|e| panic!("cannot write certificates to {}: {e}", dir.display()));
         }
 
         println!(
@@ -126,6 +151,13 @@ fn main() {
         std::fs::write(&path, records_to_json(&records))
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {} records to {path}", records.len());
+    }
+    if let Some(dir) = &cert_dir {
+        eprintln!(
+            "wrote certificate bundles for {} benchmarks to {}",
+            suite.len(),
+            dir.display()
+        );
     }
     if let Some(capture) = &capture {
         capture.write();

@@ -206,7 +206,7 @@ impl HwmccRecord {
     /// Renders one property's status as a flat JSON object.
     fn property_json(index: usize, status: &PropertyStatus) -> String {
         let (kind, depth, k_fp, j_fp, bound, reason, has_cex) = match status {
-            PropertyStatus::Proved { k_fp, j_fp } => {
+            PropertyStatus::Proved { k_fp, j_fp, .. } => {
                 ("proved", None, Some(*k_fp), Some(*j_fp), None, None, false)
             }
             PropertyStatus::Falsified { depth, cex } => (
@@ -413,6 +413,41 @@ pub fn suite_by_name(name: &str) -> Option<Vec<Benchmark>> {
     }
 }
 
+/// Sanitizes a benchmark name into a file stem for certificate bundles.
+pub fn cert_file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes one design's certificate bundle into `dir`: the design as
+/// `<stem>.aag` next to its `itpseq-cert/v1` document `<stem>.certs.json`.
+/// The independent checker (`cargo run --bin certify`) re-parses the
+/// `.aag` rather than trusting any in-memory state, so the design written
+/// here must be exactly the one the engines ran on (for the hwmcc runner
+/// that means *after* output promotion).
+pub fn write_cert_bundle(
+    dir: &std::path::Path,
+    stem: &str,
+    aig: &aig::Aig,
+    records: &[mc::CertRecord],
+) -> std::io::Result<()> {
+    let design_file = format!("{stem}.aag");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(&design_file), aig::to_aag(aig))?;
+    std::fs::write(
+        dir.join(format!("{stem}.certs.json")),
+        mc::certificate::document_json(&design_file, records),
+    )?;
+    Ok(())
+}
+
 /// Formats a monotone (sorted) run-time curve like Fig. 6: the i-th value
 /// is the i-th smallest solved-instance time; unsolved instances are
 /// reported as the timeout value.
@@ -464,6 +499,7 @@ mod tests {
                     winner: Some("PDR"),
                     ..Default::default()
                 },
+                certificate: None,
             },
         };
         let proved = mk(Verdict::Proved { k_fp: 4, j_fp: 2 }).to_json();
@@ -516,7 +552,11 @@ mod tests {
             promoted_outputs: true,
             result: Ok(MultiResult {
                 statuses: vec![
-                    PropertyStatus::Proved { k_fp: 3, j_fp: 2 },
+                    PropertyStatus::Proved {
+                        k_fp: 3,
+                        j_fp: 2,
+                        cert: None,
+                    },
                     PropertyStatus::Falsified {
                         depth: 5,
                         cex: Some(vec![vec![true]; 6]),
@@ -568,6 +608,7 @@ mod tests {
                     bound_reached: 9,
                 },
                 stats: Default::default(),
+                certificate: None,
             },
         };
         assert_eq!(mk("timeout").cells().0, "t/o");

@@ -1,0 +1,147 @@
+//! `certify` — validate `itpseq-cert/v1` certificate documents.
+//!
+//! ```text
+//! cargo run --bin certify -- [--strict] <path>...
+//! ```
+//!
+//! Each path is a `*.certs.json` document or a directory scanned
+//! (recursively) for them.  The design named by each document's
+//! `"design"` field is re-parsed from the file next to the document; no
+//! engine state is consulted.  Exit status is non-zero when any
+//! certificate is rejected or any document fails to load — and, with
+//! `--strict`, when a conclusive verdict carries no certificate at all.
+
+use certify::{check_entry, parse_document, Outcome};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect_documents(path: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_dir() {
+        let mut children: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        children.sort();
+        for child in children {
+            if child.is_dir() || child.to_string_lossy().ends_with(".certs.json") {
+                collect_documents(&child, into)?;
+            }
+        }
+        Ok(())
+    } else if path.is_file() {
+        into.push(path.to_path_buf());
+        Ok(())
+    } else {
+        Err(format!("{}: no such file or directory", path.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut roots = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!("usage: certify [--strict] <certs.json | directory>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("usage: certify [--strict] <certs.json | directory>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut documents = Vec::new();
+    for root in &roots {
+        if let Err(error) = collect_documents(root, &mut documents) {
+            eprintln!("error: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if documents.is_empty() {
+        eprintln!("error: no *.certs.json documents found");
+        return ExitCode::FAILURE;
+    }
+
+    let (mut accepted, mut skipped, mut rejected) = (0usize, 0usize, 0usize);
+    let mut failures = 0usize;
+    for path in &documents {
+        let name = path.display();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: {name}: {error}");
+                failures += 1;
+                continue;
+            }
+        };
+        let document = match parse_document(&text) {
+            Ok(document) => document,
+            Err(error) => {
+                eprintln!("error: {name}: {error}");
+                failures += 1;
+                continue;
+            }
+        };
+        let design_path = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(&document.design);
+        let design = match std::fs::read_to_string(&design_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| aig::parse_aag(&text).map_err(|e| format!("{e:?}")))
+        {
+            Ok(design) => design,
+            Err(error) => {
+                eprintln!("error: {name}: design {}: {error}", design_path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        for entry in &document.entries {
+            let engine = entry.engine.as_deref().unwrap_or("-");
+            match check_entry(&design, entry) {
+                Outcome::Accepted => {
+                    accepted += 1;
+                    println!("ok   {name} p{} {engine} {}", entry.property, entry.verdict);
+                }
+                Outcome::Skipped(reason) => {
+                    skipped += 1;
+                    let conclusive = entry.verdict == "proved" || entry.verdict == "falsified";
+                    if strict && conclusive {
+                        failures += 1;
+                        eprintln!(
+                            "MISS {name} p{} {engine} {}: {reason}",
+                            entry.property, entry.verdict
+                        );
+                    } else {
+                        println!(
+                            "skip {name} p{} {engine} {}: {reason}",
+                            entry.property, entry.verdict
+                        );
+                    }
+                }
+                Outcome::Rejected(reason) => {
+                    rejected += 1;
+                    eprintln!(
+                        "FAIL {name} p{} {engine} {}: {reason}",
+                        entry.property, entry.verdict
+                    );
+                }
+            }
+        }
+    }
+
+    println!(
+        "certify: {accepted} accepted, {skipped} skipped, {rejected} rejected across {} document(s)",
+        documents.len()
+    );
+    if rejected > 0 || failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,418 @@
+//! Proof certificates: the evidence an engine hands out alongside its
+//! verdict, in a shape an *independent* checker can validate without
+//! trusting any engine code.
+//!
+//! Two kinds exist, mirroring the two conclusive verdicts:
+//!
+//! * [`Certificate::Invariant`] — an inductive invariant `Inv` witnessing
+//!   `Proved`.  The checker (crates/certify) discharges three SAT queries
+//!   against a *re-parsed* copy of the design: `init ⊆ Inv`,
+//!   `Inv ∧ T ⇒ Inv'`, and `Inv ⇒ ¬bad`.  PDR emits its converged frame
+//!   as clauses over latch literals; the interpolation engines emit the
+//!   fixpoint reachability over-approximation as a small combinational
+//!   cone over the latches.
+//! * [`Certificate::Trace`] — a replayable input sequence witnessing
+//!   `Falsified`.  The checker replays it with [`aig::simulate()`] and
+//!   demands the bad output fire at exactly the reported depth.
+//!
+//! Certificates serialize to the `itpseq-cert/v1` JSON format (see
+//! [`document_json`]); the writer here is hand-rolled like the rest of
+//! the workspace's JSON emission (no serde in the dependency closure).
+
+use aig::{Aig, AigNode};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The evidence attached to a conclusive verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// An inductive invariant witnessing a `Proved` verdict.
+    Invariant(InvariantCert),
+    /// A replayable counterexample input trace witnessing `Falsified`:
+    /// one vector of primary-input values per cycle, `depth + 1` cycles.
+    Trace(Vec<Vec<bool>>),
+}
+
+/// An inductive invariant over the design latches: the conjunction of
+/// [`InvariantCert::clauses`] and (when present) the combinational
+/// [`InvariantCert::cone`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantCert {
+    /// Number of latches of the design the invariant talks about.
+    pub num_latches: usize,
+    /// CNF part: each clause is a disjunction of latch literals
+    /// `(latch index, phase)` — `(i, true)` means "latch `i` is 1".
+    /// PDR certificates are pure clause lists (the negations of the
+    /// cubes in the converged frame).
+    pub clauses: Vec<Vec<(usize, bool)>>,
+    /// Circuit part: interpolation engines emit their fixpoint state set
+    /// as an and-inverter cone over the latches.
+    pub cone: Option<InvariantCone>,
+}
+
+/// A combinational and-inverter cone over the latches, encoded with
+/// AIGER-style `u32` literals: `var = lit >> 1`, LSB = complemented.
+/// Var `0` is the constant (lit `0` = false, `1` = true), vars
+/// `1..=num_latches` stand for the latches (latch `i` → var `i + 1`),
+/// and var `num_latches + 1 + j` is defined by `ands[j]` (fan-ins only
+/// reference earlier vars, so the list is in topological order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantCone {
+    /// And-node definitions `(left, right)` in topological order.
+    pub ands: Vec<(u32, u32)>,
+    /// The literal whose value is the invariant.
+    pub root: u32,
+}
+
+impl InvariantCone {
+    /// Exports the cone of `root` from a state-set manager `mgr` (one
+    /// primary input per state dimension, as in `crate::state::StateSpace`).
+    /// `latch_map[d]` names the design latch that dimension `d` stands
+    /// for; pass the identity for unabstracted models.
+    pub fn from_cone(
+        mgr: &Aig,
+        root: aig::Lit,
+        num_latches: usize,
+        latch_map: &[usize],
+    ) -> InvariantCone {
+        let mut ands = Vec::new();
+        let mut var_of: HashMap<aig::NodeId, u32> = HashMap::new();
+        var_of.insert(0, 0);
+        // Iterative post-order over the cone, numbering and-nodes as
+        // their fan-ins complete.
+        let mut stack: Vec<(aig::NodeId, bool)> = vec![(root.node(), false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if var_of.contains_key(&id) {
+                continue;
+            }
+            match mgr.node(id) {
+                AigNode::Const => {
+                    var_of.insert(id, 0);
+                }
+                AigNode::Input { index } => {
+                    let latch = latch_map[index];
+                    debug_assert!(latch < num_latches);
+                    var_of.insert(id, latch as u32 + 1);
+                }
+                AigNode::Latch { .. } => {
+                    unreachable!("state-set managers have no latch nodes")
+                }
+                AigNode::And { left, right } => {
+                    if expanded {
+                        let l = var_of[&left.node()] << 1 | left.is_complemented() as u32;
+                        let r = var_of[&right.node()] << 1 | right.is_complemented() as u32;
+                        let var = num_latches as u32 + 1 + ands.len() as u32;
+                        ands.push((l, r));
+                        var_of.insert(id, var);
+                    } else {
+                        stack.push((id, true));
+                        stack.push((left.node(), false));
+                        stack.push((right.node(), false));
+                    }
+                }
+            }
+        }
+        let root_var = var_of[&root.node()];
+        InvariantCone {
+            ands,
+            root: root_var << 1 | root.is_complemented() as u32,
+        }
+    }
+}
+
+impl InvariantCert {
+    /// Evaluates the invariant on a concrete latch valuation (clauses and
+    /// cone conjoined).  Used by tests; the independent checker in
+    /// crates/certify has its own decoder.
+    pub fn eval(&self, latches: &[bool]) -> bool {
+        assert_eq!(latches.len(), self.num_latches);
+        for clause in &self.clauses {
+            if !clause.iter().any(|&(latch, phase)| latches[latch] == phase) {
+                return false;
+            }
+        }
+        if let Some(cone) = &self.cone {
+            let mut values = vec![false; self.num_latches + 1 + cone.ands.len()];
+            for (i, &v) in latches.iter().enumerate() {
+                values[i + 1] = v;
+            }
+            let lit_value =
+                |values: &[bool], lit: u32| values[(lit >> 1) as usize] ^ (lit & 1 == 1);
+            for (j, &(l, r)) in cone.ands.iter().enumerate() {
+                values[self.num_latches + 1 + j] = lit_value(&values, l) && lit_value(&values, r);
+            }
+            if !lit_value(&values, cone.root) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Certificate {
+    /// The certificate as an `itpseq-cert/v1` JSON object (the value of a
+    /// property record's `"certificate"` key).
+    pub fn to_json(&self) -> String {
+        match self {
+            Certificate::Invariant(inv) => {
+                let clauses = inv
+                    .clauses
+                    .iter()
+                    .map(|clause| {
+                        let lits = clause
+                            .iter()
+                            .map(|(latch, phase)| format!("[{latch},{phase}]"))
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("[{lits}]")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let mut json = format!(
+                    "{{\"kind\":\"invariant\",\"num_latches\":{},\"clauses\":[{}]",
+                    inv.num_latches, clauses
+                );
+                if let Some(cone) = &inv.cone {
+                    let ands = cone
+                        .ands
+                        .iter()
+                        .map(|(l, r)| format!("[{l},{r}]"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = write!(
+                        json,
+                        ",\"cone\":{{\"ands\":[{}],\"root\":{}}}",
+                        ands, cone.root
+                    );
+                }
+                json.push('}');
+                json
+            }
+            Certificate::Trace(inputs) => {
+                let frames = inputs
+                    .iter()
+                    .map(|frame| {
+                        let bits = frame
+                            .iter()
+                            .map(|b| b.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("[{bits}]")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{\"kind\":\"trace\",\"inputs\":[{frames}]}}")
+            }
+        }
+    }
+}
+
+/// One property's entry in an `itpseq-cert/v1` document.
+#[derive(Clone, Debug)]
+pub struct CertRecord {
+    /// Bad-property index within the design.
+    pub property: usize,
+    /// Engine that produced the verdict, when the document mixes engines
+    /// (the `table1` runner records all six per benchmark).
+    pub engine: Option<String>,
+    /// `"proved"`, `"falsified"` or `"inconclusive"`.
+    pub verdict: String,
+    /// Counterexample depth for falsified properties.
+    pub depth: Option<usize>,
+    /// The evidence, when the engine produced any.
+    pub certificate: Option<Certificate>,
+}
+
+impl CertRecord {
+    /// Builds a record from a single-property engine result.
+    pub fn from_result(
+        property: usize,
+        engine: Option<&str>,
+        result: &crate::EngineResult,
+    ) -> CertRecord {
+        let (verdict, depth) = match &result.verdict {
+            crate::Verdict::Proved { .. } => ("proved", None),
+            crate::Verdict::Falsified { depth } => ("falsified", Some(*depth)),
+            crate::Verdict::Inconclusive { .. } => ("inconclusive", None),
+        };
+        CertRecord {
+            property,
+            engine: engine.map(str::to_string),
+            verdict: verdict.to_string(),
+            depth,
+            certificate: result.certificate.clone(),
+        }
+    }
+
+    /// Builds a record from a multi-property status.
+    pub fn from_status(
+        property: usize,
+        engine: Option<&str>,
+        status: &crate::PropertyStatus,
+    ) -> CertRecord {
+        let (verdict, depth, certificate) = match status {
+            crate::PropertyStatus::Proved { cert, .. } => (
+                "proved",
+                None,
+                cert.as_ref()
+                    .map(|inv| Certificate::Invariant(inv.as_ref().clone())),
+            ),
+            crate::PropertyStatus::Falsified { depth, cex } => (
+                "falsified",
+                Some(*depth),
+                cex.as_ref().map(|t| Certificate::Trace(t.clone())),
+            ),
+            crate::PropertyStatus::Inconclusive { .. } => ("inconclusive", None, None),
+        };
+        CertRecord {
+            property,
+            engine: engine.map(str::to_string),
+            verdict: verdict.to_string(),
+            depth,
+            certificate,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut json = format!("{{\"property\":{}", self.property);
+        if let Some(engine) = &self.engine {
+            let _ = write!(json, ",\"engine\":\"{}\"", json_escape(engine));
+        }
+        let _ = write!(json, ",\"verdict\":\"{}\"", json_escape(&self.verdict));
+        if let Some(depth) = self.depth {
+            let _ = write!(json, ",\"depth\":{depth}");
+        }
+        if let Some(cert) = &self.certificate {
+            let _ = write!(json, ",\"certificate\":{}", cert.to_json());
+        }
+        json.push('}');
+        json
+    }
+}
+
+/// Serializes a full `itpseq-cert/v1` document.  `design` names the
+/// `.aag` file (written next to the document) the certificates talk
+/// about; the checker re-parses that file rather than trusting any
+/// in-memory design.
+pub fn document_json(design: &str, records: &[CertRecord]) -> String {
+    let body = records
+        .iter()
+        .map(CertRecord::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n  \"schema\": \"itpseq-cert/v1\",\n  \"design\": \"{}\",\n  \"properties\": [\n    {}\n  ]\n}}\n",
+        json_escape(design),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cone_export_matches_manager_eval() {
+        let mut mgr = Aig::new();
+        let a = aig::Lit::positive(mgr.add_input());
+        let b = aig::Lit::positive(mgr.add_input());
+        let ab = mgr.and(a, !b);
+        let set = mgr.or(ab, !a);
+        let cone = InvariantCone::from_cone(&mgr, set, 2, &[0, 1]);
+        let cert = InvariantCert {
+            num_latches: 2,
+            clauses: Vec::new(),
+            cone: Some(cone),
+        };
+        for latches in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(
+                cert.eval(&latches),
+                mgr.eval(set, &latches, &[]),
+                "latches {latches:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cone_export_handles_constants_and_latch_maps() {
+        let mut mgr = Aig::new();
+        let d = aig::Lit::positive(mgr.add_input());
+        let set = mgr.and(d, aig::Lit::TRUE);
+        // Dimension 0 stands for design latch 2 of a 3-latch design.
+        let cone = InvariantCone::from_cone(&mgr, set, 3, &[2]);
+        let cert = InvariantCert {
+            num_latches: 3,
+            clauses: Vec::new(),
+            cone: Some(cone),
+        };
+        assert!(cert.eval(&[false, false, true]));
+        assert!(!cert.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn clause_eval() {
+        // (l0 ∨ ¬l1) ∧ (l1)
+        let cert = InvariantCert {
+            num_latches: 2,
+            clauses: vec![vec![(0, true), (1, false)], vec![(1, true)]],
+            cone: None,
+        };
+        assert!(cert.eval(&[true, true]));
+        assert!(!cert.eval(&[false, true]));
+        assert!(!cert.eval(&[true, false]));
+    }
+
+    #[test]
+    fn document_shape() {
+        let records = vec![
+            CertRecord {
+                property: 0,
+                engine: Some("PDR".to_string()),
+                verdict: "proved".to_string(),
+                depth: None,
+                certificate: Some(Certificate::Invariant(InvariantCert {
+                    num_latches: 1,
+                    clauses: vec![vec![(0, false)]],
+                    cone: None,
+                })),
+            },
+            CertRecord {
+                property: 1,
+                engine: None,
+                verdict: "falsified".to_string(),
+                depth: Some(2),
+                certificate: Some(Certificate::Trace(vec![
+                    vec![true],
+                    vec![false],
+                    vec![true],
+                ])),
+            },
+        ];
+        let doc = document_json("toggle.aag", &records);
+        assert!(doc.contains("\"schema\": \"itpseq-cert/v1\""));
+        assert!(doc.contains("\"design\": \"toggle.aag\""));
+        assert!(doc.contains("\"kind\":\"invariant\""));
+        assert!(doc.contains("\"clauses\":[[[0,false]]]"));
+        assert!(doc.contains("\"kind\":\"trace\""));
+        assert!(doc.contains("\"inputs\":[[true],[false],[true]]"));
+        assert!(doc.contains("\"depth\":2"));
+    }
+}

@@ -36,7 +36,7 @@
 //! this engine once per property.
 
 use crate::engines::{solver_probe, CancelToken, RunBudget};
-use crate::{EngineResult, EngineStats, Options, Verdict};
+use crate::{Certificate, EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::{BmcCheck, IncrementalUnroller};
 use sat::{IncrementalSolver, SolveResult, Solver, SolverStats};
@@ -66,6 +66,8 @@ struct Depth0Check {
     clauses: u64,
     /// Time spent encoding (not solving) the instance.
     encode_time: Duration,
+    /// The violating cycle-0 input assignment when the check found one.
+    inputs: Option<Vec<bool>>,
 }
 
 /// Checks whether a bad state is already reachable at depth 0, i.e. the
@@ -86,6 +88,13 @@ fn initial_violation(
     unroller.assert_initial(0);
     let bad = unroller.bad_lit(0, bad_index);
     unroller.assert_lit(bad);
+    // Pin down the cycle-0 input variables before the unroller is consumed,
+    // so a violating model can be read back as a replayable trace.  Inputs
+    // outside the bad cone become fresh unconstrained variables; they add
+    // no clauses and cannot change the verdict.
+    let input_lits: Vec<cnf::Lit> = (0..aig.num_inputs())
+        .map(|i| unroller.input_lit(0, i))
+        .collect();
     let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
     solver.set_proof_logging(false);
@@ -93,16 +102,23 @@ fn initial_violation(
     solver.set_interrupt(interrupt);
     solver.add_cnf(&cnf);
     let encode_time = encode_start.elapsed();
-    let outcome = match solver.solve() {
-        SolveResult::Sat => Depth0::Violated,
-        SolveResult::Unsat => Depth0::Safe,
-        SolveResult::Interrupted => Depth0::Interrupted,
+    let (outcome, inputs) = match solver.solve() {
+        SolveResult::Sat => {
+            let model = input_lits
+                .iter()
+                .map(|&lit| solver.lit_value(lit).unwrap_or(false))
+                .collect();
+            (Depth0::Violated, Some(model))
+        }
+        SolveResult::Unsat => (Depth0::Safe, None),
+        SolveResult::Interrupted => (Depth0::Interrupted, None),
     };
     Depth0Check {
         outcome,
         solver: solver.stats(),
         clauses: cnf.clauses.len() as u64,
         encode_time,
+        inputs,
     }
 }
 
@@ -112,14 +128,16 @@ fn initial_violation(
 /// interrupt (whose reason — `"cancelled"` or `"timeout"` — is read off
 /// the budget *after* the solve, so a cancellation arriving mid-check is
 /// reported as such).  `None` means the initial states are safe and the
-/// main loop may start.
+/// main loop may start.  A depth-0 falsification comes with its
+/// single-cycle input trace as a [`Certificate::Trace`] (unless
+/// [`Options::certificates`] is off).
 pub(crate) fn depth0_verdict(
     aig: &Aig,
     bad_index: usize,
     budget: &RunBudget,
     stats: &mut EngineStats,
     options: &Options,
-) -> Option<Verdict> {
+) -> Option<(Verdict, Option<Certificate>)> {
     let span = options
         .telemetry
         .span_args("depth0", || vec![("bad", ArgValue::U64(bad_index as u64))]);
@@ -135,11 +153,20 @@ pub(crate) fn depth0_verdict(
     stats.clauses_encoded += depth0.clauses;
     stats.encode_time += depth0.encode_time;
     match depth0.outcome {
-        Depth0::Violated => Some(Verdict::Falsified { depth: 0 }),
-        Depth0::Interrupted => Some(Verdict::Inconclusive {
-            reason: budget.interrupt_reason().to_string(),
-            bound_reached: 0,
-        }),
+        Depth0::Violated => {
+            let cert = depth0
+                .inputs
+                .filter(|_| options.certificates)
+                .map(|frame| Certificate::Trace(vec![frame]));
+            Some((Verdict::Falsified { depth: 0 }, cert))
+        }
+        Depth0::Interrupted => Some((
+            Verdict::Inconclusive {
+                reason: budget.interrupt_reason().to_string(),
+                bound_reached: 0,
+            },
+            None,
+        )),
         Depth0::Safe => None,
     }
 }
@@ -157,6 +184,13 @@ struct IncrementalBmc {
     bads: Vec<cnf::Lit>,
     /// The live bound-k target group (bound-k formulation only).
     group: Option<sat::ClauseGuard>,
+    /// `frame_inputs[f]` pins frame `f`'s primary-input variables so a
+    /// counterexample model can be read back as a replayable trace.
+    /// Empty when [`Options::certificates`] is off (the variables are
+    /// then never allocated — the seed encoding, bit for bit).
+    frame_inputs: Vec<Vec<cnf::Lit>>,
+    num_inputs: usize,
+    record_inputs: bool,
 }
 
 impl IncrementalBmc {
@@ -166,11 +200,19 @@ impl IncrementalBmc {
         check: BmcCheck,
         reduce: Option<u64>,
         interrupt: Arc<AtomicBool>,
+        record_inputs: bool,
         stats: &mut EngineStats,
     ) -> IncrementalBmc {
         let encode_start = Instant::now();
         let mut unroller = IncrementalUnroller::new(aig);
         unroller.assert_initial(0);
+        let frame_inputs = if record_inputs {
+            vec![(0..aig.num_inputs())
+                .map(|i| unroller.input_lit(0, i))
+                .collect()]
+        } else {
+            Vec::new()
+        };
         let mut solver = IncrementalSolver::new();
         // Recycling could only reclaim solver-allocated activation
         // variables, and this engine allocates all of its (unroller-owned)
@@ -188,6 +230,9 @@ impl IncrementalBmc {
             bound: 0,
             bads: Vec::new(),
             group: None,
+            frame_inputs,
+            num_inputs: aig.num_inputs(),
+            record_inputs,
         }
     }
 
@@ -210,6 +255,14 @@ impl IncrementalBmc {
         self.unroller.add_frame();
         let bad = self.unroller.bad_lit(k, self.bad_index);
         self.bads.push(bad);
+        if self.record_inputs {
+            // Allocate frame k's input variables now, before the solve, so
+            // reading a model back never disturbs variable numbering.
+            let inputs = (0..self.num_inputs)
+                .map(|i| self.unroller.input_lit(k, i))
+                .collect();
+            self.frame_inputs.push(inputs);
+        }
         // Only the delta reaches the solver; everything older is already
         // loaded (and its learned clauses are still alive).
         for clause in self.unroller.pending_clauses() {
@@ -232,6 +285,20 @@ impl IncrementalBmc {
         };
         stats.encode_time += encode_start.elapsed();
         assumptions
+    }
+
+    /// Reads the counterexample input trace (cycles `0..=depth`) off the
+    /// solver's satisfying assignment.
+    fn extract_trace(&self, depth: usize) -> Vec<Vec<bool>> {
+        self.frame_inputs[..=depth]
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|&lit| self.solver.lit_value(lit).unwrap_or(false))
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -261,16 +328,20 @@ pub fn verify_with_cancel(
     let _run = telemetry.span_args("BMC.run", || {
         vec![("latches", ArgValue::U64(aig.num_latches() as u64))]
     });
-    let finish = |mut stats: EngineStats, verdict: Verdict| {
+    let finish = |mut stats: EngineStats, verdict: Verdict, certificate: Option<Certificate>| {
         telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
         stats.time = start.elapsed();
-        EngineResult { verdict, stats }
+        EngineResult {
+            verdict,
+            stats,
+            certificate,
+        }
     };
 
-    if let Some(verdict) = depth0_verdict(aig, bad_index, &budget, &mut stats, options) {
-        return finish(stats, verdict);
+    if let Some((verdict, cert)) = depth0_verdict(aig, bad_index, &budget, &mut stats, options) {
+        return finish(stats, verdict, cert);
     }
 
     // `bound-k` already covers all depths up to k, so for plain BMC the
@@ -282,6 +353,7 @@ pub fn verify_with_cancel(
         options.check,
         options.reduce_interval(),
         budget.flag(),
+        options.certificates,
         &mut stats,
     );
     incremental
@@ -295,6 +367,7 @@ pub fn verify_with_cancel(
                     reason: reason.to_string(),
                     bound_reached: k.saturating_sub(1),
                 },
+                None,
             );
         }
         let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
@@ -307,7 +380,10 @@ pub fn verify_with_cancel(
         query.end();
         match result {
             SolveResult::Sat => {
-                return finish(stats, Verdict::Falsified { depth: k });
+                let cert = options
+                    .certificates
+                    .then(|| Certificate::Trace(incremental.extract_trace(k)));
+                return finish(stats, Verdict::Falsified { depth: k }, cert);
             }
             SolveResult::Unsat => {}
             // Answering "no counterexample at k" without solving would let
@@ -319,6 +395,7 @@ pub fn verify_with_cancel(
                         reason: budget.interrupt_reason().to_string(),
                         bound_reached: k - 1,
                     },
+                    None,
                 );
             }
         }
@@ -329,6 +406,7 @@ pub fn verify_with_cancel(
             reason: "bound exhausted".to_string(),
             bound_reached: options.max_bound,
         },
+        None,
     )
 }
 
@@ -457,6 +535,41 @@ mod tests {
         let result = verify(&aig, 0, &Options::default());
         assert_eq!(result.verdict, Verdict::Falsified { depth: 9 });
         assert!(result.stats.sat_calls >= 9);
+    }
+
+    #[test]
+    fn counterexample_comes_with_a_replayable_trace() {
+        let aig = counter(4, 9);
+        let result = verify(&aig, 0, &Options::default());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 9 });
+        let Some(Certificate::Trace(inputs)) = result.certificate else {
+            panic!("falsified BMC run must carry a trace certificate");
+        };
+        assert_eq!(inputs.len(), 10, "depth 9 needs 10 cycles of inputs");
+        let sim = aig::simulate(&aig, &inputs);
+        assert!(sim.bad[9][0], "replay must hit the bad state at depth 9");
+        // The A/B switch: no certificate, same verdict.
+        let off = verify(&aig, 0, &Options::default().with_certificates(false));
+        assert_eq!(off.verdict, Verdict::Falsified { depth: 9 });
+        assert_eq!(off.certificate, None);
+    }
+
+    #[test]
+    fn input_driven_counterexample_trace_replays() {
+        // Bad fires when the input was high two cycles in a row.
+        let mut aig = Aig::new();
+        let i = aig::Lit::positive(aig.add_input());
+        let l = aig.add_latch(false);
+        aig.set_next(l, i);
+        let seen_two = aig.and(aig.latch_lit(l), i);
+        aig.add_bad(seen_two);
+        let result = verify(&aig, 0, &Options::default());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 1 });
+        let Some(Certificate::Trace(inputs)) = result.certificate else {
+            panic!("missing trace");
+        };
+        let sim = aig::simulate(&aig, &inputs);
+        assert!(sim.bad[1][0], "replay must hit the bad state at depth 1");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! substituted for `S0` and the process repeats until either a fixed point
 //! proves the property or a satisfiable instance forces the bound to grow.
 
+use crate::certificate::{Certificate, InvariantCert, InvariantCone};
 use crate::engines::{CancelToken, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
@@ -21,6 +22,10 @@ use telemetry::{ArgValue, Telemetry};
 struct BoundInstance {
     cnf: cnf::Cnf,
     frame1_latches: Vec<cnf::Lit>,
+    /// Frame-by-frame primary-input variables (cycles `0..=bound`), so a
+    /// satisfiable instance from the real initial states can be read back
+    /// as a replayable counterexample trace.
+    frame_inputs: Vec<Vec<cnf::Lit>>,
 }
 
 /// Builds the bound-k instance with `A` in partition 1 and `B` in
@@ -52,9 +57,19 @@ fn build_bound_instance(
         .collect();
     unroller.builder_mut().add_clause(bads);
     let frame1_latches = unroller.latch_lits(1);
+    // Input variables are clause-free, so pinning them down after the
+    // instance is built never changes its satisfiability or its proofs.
+    let frame_inputs = (0..=bound)
+        .map(|f| {
+            (0..design.num_inputs())
+                .map(|i| unroller.input_lit(f, i))
+                .collect()
+        })
+        .collect();
     BoundInstance {
         cnf: unroller.into_cnf(),
         frame1_latches,
+        frame_inputs,
     }
 }
 
@@ -64,7 +79,7 @@ fn solve(
     budget: &RunBudget,
     reduce: Option<u64>,
     telemetry: &Telemetry,
-) -> (SolveResult, Option<Proof>) {
+) -> (SolveResult, Option<Proof>, Solver) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
@@ -83,7 +98,21 @@ fn solve(
     } else {
         None
     };
-    (result, proof)
+    (result, proof, solver)
+}
+
+/// Reads the counterexample input trace off a satisfiable bound instance.
+fn extract_trace(instance: &BoundInstance, solver: &Solver) -> Vec<Vec<bool>> {
+    instance
+        .frame_inputs
+        .iter()
+        .map(|frame| {
+            frame
+                .iter()
+                .map(|&lit| solver.lit_value(lit).unwrap_or(false))
+                .collect()
+        })
+        .collect()
 }
 
 fn extract_interpolant(
@@ -134,17 +163,24 @@ pub fn verify_with_cancel(
         visible_latches: design.num_latches(),
         ..EngineStats::default()
     };
-    let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
+    let finish = |mut stats: EngineStats,
+                  verdict: Verdict,
+                  certificate: Option<Certificate>,
+                  start: Instant| {
         telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
         stats.time = start.elapsed();
-        EngineResult { verdict, stats }
+        EngineResult {
+            verdict,
+            stats,
+            certificate,
+        }
     };
-    if let Some(verdict) =
+    if let Some((verdict, cert)) =
         crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
-        return finish(stats, verdict, start);
+        return finish(stats, verdict, cert, start);
     }
 
     let mut space = StateSpace::new(design.num_latches());
@@ -159,6 +195,7 @@ pub fn verify_with_cancel(
                     reason: reason.to_string(),
                     bound_reached: k - 1,
                 },
+                None,
                 start,
             );
         }
@@ -167,7 +204,7 @@ pub fn verify_with_cancel(
         let encode_start = Instant::now();
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
         stats.encode_time += encode_start.elapsed();
-        let (result, proof) = solve(
+        let (result, proof, solver) = solve(
             &instance.cnf,
             &mut stats,
             &budget,
@@ -177,8 +214,12 @@ pub fn verify_with_cancel(
         if result == SolveResult::Sat {
             // bound-(k-1) was unsatisfiable, so the counterexample has
             // length exactly k.
-            return finish(stats, Verdict::Falsified { depth: k }, start);
+            let cert = options
+                .certificates
+                .then(|| Certificate::Trace(extract_trace(&instance, &solver)));
+            return finish(stats, Verdict::Falsified { depth: k }, cert, start);
         }
+        drop(solver);
         if result == SolveResult::Interrupted {
             return finish(
                 stats,
@@ -186,6 +227,7 @@ pub fn verify_with_cancel(
                     reason: budget.interrupt_reason().to_string(),
                     bound_reached: k - 1,
                 },
+                None,
                 start,
             );
         }
@@ -204,12 +246,32 @@ pub fn verify_with_cancel(
                             reason,
                             bound_reached: k,
                         },
+                        None,
                         start,
                     );
                 }
             };
             if space.implies(itp, reached) {
-                return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, start);
+                // `reached = S0 ∨ itp_1 ∨ …` is closed under the transition
+                // relation at this point: it contains the initial states,
+                // every disjunct excludes the bad states (each interpolant's
+                // B side includes the frame-1 target), and the new image
+                // over-approximation folds back into it — an inductive
+                // invariant, exported as a cone over the latches.
+                let cert = options.certificates.then(|| {
+                    let _emit = telemetry.span("certificate.emit");
+                    Certificate::Invariant(InvariantCert {
+                        num_latches: design.num_latches(),
+                        clauses: Vec::new(),
+                        cone: Some(InvariantCone::from_cone(
+                            space.manager(),
+                            reached,
+                            design.num_latches(),
+                            &identity,
+                        )),
+                    })
+                });
+                return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, cert, start);
             }
             reached = space.or(reached, itp);
             if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
@@ -219,13 +281,14 @@ pub fn verify_with_cancel(
                         reason: reason.to_string(),
                         bound_reached: k,
                     },
+                    None,
                     start,
                 );
             }
             let encode_start = Instant::now();
             instance = build_bound_instance(design, bad_index, k, Some((&space, itp)), &identity);
             stats.encode_time += encode_start.elapsed();
-            let (result, next_proof) = solve(
+            let (result, next_proof, _) = solve(
                 &instance.cnf,
                 &mut stats,
                 &budget,
@@ -243,6 +306,7 @@ pub fn verify_with_cancel(
                         reason: budget.interrupt_reason().to_string(),
                         bound_reached: k,
                     },
+                    None,
                     start,
                 );
             }
@@ -256,6 +320,7 @@ pub fn verify_with_cancel(
             reason: "bound exhausted".to_string(),
             bound_reached: options.max_bound,
         },
+        None,
         start,
     )
 }

@@ -61,6 +61,7 @@ mod frames;
 mod generalize;
 mod obligations;
 
+use crate::certificate::{Certificate, InvariantCert};
 use crate::engines::{pool, solver_probe, CancelToken, RunBudget};
 use crate::multi::{RetireBoard, StatusSlots};
 use crate::{EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};
@@ -70,6 +71,7 @@ use frames::{Cube, FrameTrace};
 use obligations::{Obligation, ObligationQueue};
 use sat::{IncrementalSolver, SolveResult};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 use telemetry::ArgValue;
 
@@ -102,14 +104,18 @@ pub fn verify_with_cancel(
         ..EngineStats::default()
     };
     let budget = RunBudget::arm(cancel, start, options.timeout);
-    if let Some(verdict) =
+    if let Some((verdict, certificate)) =
         crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats, options)
     {
         telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
         stats.time = start.elapsed();
-        return EngineResult { verdict, stats };
+        return EngineResult {
+            verdict,
+            stats,
+            certificate,
+        };
     }
     Pdr::new(aig, &[bad_index], options, start, stats, &budget).run()
 }
@@ -175,13 +181,13 @@ pub(crate) fn verify_all_with_cancel(
         let result = Pdr::solve_on(&mut pdr.solvers[0], &mut pdr.stats, &[bad0]);
         match result {
             SolveResult::Sat => {
-                statuses.decide(
-                    i,
-                    PropertyStatus::Falsified {
-                        depth: 0,
-                        cex: None,
-                    },
-                );
+                // The init solver's model fixes the frame-0 inputs that
+                // fire the bad cone from the (unique) initial state: a
+                // one-frame replayable trace.
+                let cex = options
+                    .certificates
+                    .then(|| vec![pdr.model_input_values(0)]);
+                statuses.decide(i, PropertyStatus::Falsified { depth: 0, cex });
             }
             SolveResult::Unsat => {}
             SolveResult::Interrupted => {
@@ -207,8 +213,8 @@ pub(crate) fn verify_all_with_cancel(
                 continue;
             }
             match pdr.blocking_phase(i) {
-                Phase::Falsified(depth) => {
-                    statuses.decide(i, PropertyStatus::Falsified { depth, cex: None });
+                Phase::Falsified { depth, trace } => {
+                    statuses.decide(i, PropertyStatus::Falsified { depth, cex: trace });
                 }
                 Phase::Stopped => {
                     statuses.give_up(pdr.stop_reason(), level - 1);
@@ -223,13 +229,19 @@ pub(crate) fn verify_all_with_cancel(
         if let Some(frame) = pdr.propagate() {
             // The converged frame is inductive and clean of every still-
             // undecided property's bad states (their blocking phases all
-            // completed this level): every survivor is proved at once.
+            // completed this level): every survivor is proved at once,
+            // and one shared invariant certificate covers them all.
+            let cert = options.certificates.then(|| {
+                let _emit = telemetry.span("certificate.emit");
+                Arc::new(pdr.invariant(frame))
+            });
             for i in statuses.live() {
                 statuses.decide(
                     i,
                     PropertyStatus::Proved {
                         k_fp: level,
                         j_fp: frame,
+                        cert: cert.clone(),
                     },
                 );
             }
@@ -249,9 +261,11 @@ enum Query {
     /// The cube is unreachable from the previous frame; the payload is the
     /// assumption-core-shrunk (and initiation-repaired) sub-cube.
     Blocked(Cube),
-    /// The cube has a predecessor in the previous frame; the payload is
-    /// the lifted predecessor cube.
-    Predecessor(Cube),
+    /// The cube has a predecessor in the previous frame; the payloads are
+    /// the lifted predecessor cube and the input values under which it
+    /// steps into the blocked cube (one entry of the obligation chain's
+    /// replayable trace).
+    Predecessor(Cube, Vec<bool>),
     /// The query was interrupted by cancellation before an answer.
     Cancelled,
 }
@@ -260,8 +274,13 @@ enum Query {
 enum Phase {
     /// Every bad state at the frontier was blocked.
     Done,
-    /// A proof obligation reached frame 0: counterexample of this depth.
-    Falsified(usize),
+    /// A proof obligation reached frame 0: counterexample of this depth,
+    /// with the obligation chain replayed into an input trace (when
+    /// certificates are enabled).
+    Falsified {
+        depth: usize,
+        trace: Option<Vec<Vec<bool>>>,
+    },
     /// The time budget ran out or the run was cancelled.
     Stopped,
 }
@@ -297,6 +316,12 @@ struct Pdr<'a> {
     lift: IncrementalSolver,
     frames: FrameTrace,
     obligations: ObligationQueue,
+    /// Number of design latches (for invariant certificates).
+    num_latches: usize,
+    /// Path arena for counterexample reconstruction: one
+    /// `(inputs, successor)` entry per discovered predecessor, indexed by
+    /// [`Obligation::path`].  Cleared with each new obligation root.
+    paths: Vec<(Vec<bool>, Option<u32>)>,
 }
 
 impl<'a> Pdr<'a> {
@@ -367,6 +392,8 @@ impl<'a> Pdr<'a> {
             lift,
             frames: FrameTrace::new(),
             obligations: ObligationQueue::new(),
+            num_latches: aig.num_latches(),
+            paths: Vec::new(),
         }
     }
 
@@ -381,40 +408,57 @@ impl<'a> Pdr<'a> {
                 .span_args("level", || vec![("k", ArgValue::U64(level as u64))]);
             self.extend();
             match self.blocking_phase(0) {
-                Phase::Falsified(depth) => {
-                    return self.finish(Verdict::Falsified { depth });
+                Phase::Falsified { depth, trace } => {
+                    return self
+                        .finish(Verdict::Falsified { depth }, trace.map(Certificate::Trace));
                 }
                 Phase::Stopped => {
                     let reason = self.stop_reason().to_string();
-                    return self.finish(Verdict::Inconclusive {
-                        reason,
-                        bound_reached: level - 1,
-                    });
+                    return self.finish(
+                        Verdict::Inconclusive {
+                            reason,
+                            bound_reached: level - 1,
+                        },
+                        None,
+                    );
                 }
                 Phase::Done => {}
             }
             if let Some(frame) = self.propagate() {
-                return self.finish(Verdict::Proved {
-                    k_fp: level,
-                    j_fp: frame,
+                let certificate = self.options.certificates.then(|| {
+                    let _emit = self.options.telemetry.span("certificate.emit");
+                    Certificate::Invariant(self.invariant(frame))
                 });
+                return self.finish(
+                    Verdict::Proved {
+                        k_fp: level,
+                        j_fp: frame,
+                    },
+                    certificate,
+                );
             }
             if self.stopped() {
                 let reason = self.stop_reason().to_string();
-                return self.finish(Verdict::Inconclusive {
-                    reason,
-                    bound_reached: level,
-                });
+                return self.finish(
+                    Verdict::Inconclusive {
+                        reason,
+                        bound_reached: level,
+                    },
+                    None,
+                );
             }
         }
         let bound_reached = self.options.max_bound;
-        self.finish(Verdict::Inconclusive {
-            reason: "bound exhausted".to_string(),
-            bound_reached,
-        })
+        self.finish(
+            Verdict::Inconclusive {
+                reason: "bound exhausted".to_string(),
+                bound_reached,
+            },
+            None,
+        )
     }
 
-    fn finish(mut self, verdict: Verdict) -> EngineResult {
+    fn finish(mut self, verdict: Verdict, certificate: Option<Certificate>) -> EngineResult {
         self.options.telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
@@ -422,6 +466,21 @@ impl<'a> Pdr<'a> {
         EngineResult {
             verdict,
             stats: self.stats,
+            certificate,
+        }
+    }
+
+    /// Exports the converged frame `F_frame` as an inductive-invariant
+    /// certificate: the conjunction of its lemma clauses.  Soundness:
+    /// every lemma excludes the (unique) initial state, so `init ⊆ Inv`;
+    /// at the fixpoint `F_frame = F_{frame+1} ⊇ Image(F_frame)`, so `Inv`
+    /// is inductive; and `frame ≤ level` with every live property's
+    /// frontier cleaned this level makes `Inv ∧ bad` unsatisfiable.
+    fn invariant(&self, frame: usize) -> InvariantCert {
+        InvariantCert {
+            num_latches: self.num_latches,
+            clauses: self.frames.invariant_clauses(frame),
+            cone: None,
         }
     }
 
@@ -472,7 +531,7 @@ impl<'a> Pdr<'a> {
                 report(&self.options.telemetry, obligations_processed);
                 return Phase::Stopped;
             }
-            let Some(bad) = self.get_bad(prop) else {
+            let Some((bad, path)) = self.get_bad(prop) else {
                 // `None` also covers an interrupted query: distinguish a
                 // clean "no bad states" from a cancelled probe.
                 report(&self.options.telemetry, obligations_processed);
@@ -486,6 +545,7 @@ impl<'a> Pdr<'a> {
                 frame: level,
                 depth: 0,
                 cube: bad,
+                path,
             });
             while let Some(obligation) = self.obligations.pop() {
                 obligations_processed += 1;
@@ -500,7 +560,14 @@ impl<'a> Pdr<'a> {
                     // frame 0 with a real but possibly longer depth.
                     debug_assert!(self.options.push_obligations || obligation.depth == level);
                     report(&self.options.telemetry, obligations_processed);
-                    return Phase::Falsified(obligation.depth);
+                    let trace = self
+                        .options
+                        .certificates
+                        .then(|| self.reconstruct_trace(obligation.path));
+                    return Phase::Falsified {
+                        depth: obligation.depth,
+                        trace,
+                    };
                 }
                 match self.relative_induction(obligation.frame, &obligation.cube) {
                     Query::Blocked(core) => {
@@ -514,14 +581,17 @@ impl<'a> Pdr<'a> {
                                 frame: obligation.frame + 1,
                                 depth: obligation.depth,
                                 cube: obligation.cube,
+                                path: obligation.path,
                             });
                         }
                     }
-                    Query::Predecessor(cube) => {
+                    Query::Predecessor(cube, inputs) => {
+                        let path = self.push_path(inputs, Some(obligation.path));
                         let child = Obligation {
                             frame: obligation.frame - 1,
                             depth: obligation.depth + 1,
                             cube,
+                            path,
                         };
                         self.obligations.push(obligation);
                         self.obligations.push(child);
@@ -537,8 +607,9 @@ impl<'a> Pdr<'a> {
     }
 
     /// Returns a (lifted) frontier state that exhibits property `prop`'s
-    /// bad cone, or `None` when `F_k ∧ bad` is unsatisfiable.
-    fn get_bad(&mut self, prop: usize) -> Option<Cube> {
+    /// bad cone together with its path-arena root entry, or `None` when
+    /// `F_k ∧ bad` is unsatisfiable.
+    fn get_bad(&mut self, prop: usize) -> Option<(Cube, u32)> {
         let level = self.frames.level();
         let bad0 = self.bads0[prop];
         let result = Self::solve_on(&mut self.solvers[level], &mut self.stats, &[bad0]);
@@ -548,6 +619,11 @@ impl<'a> Pdr<'a> {
             return None;
         }
         let (state, inputs) = self.model_state_and_inputs(level);
+        // Root of this round's obligation chains: the inputs that fire
+        // the bad cone from the frontier state.  The arena only ever
+        // holds entries of the current root's chains.
+        self.paths.clear();
+        let path = self.push_path(self.input_values_of(&inputs), None);
         // Lift: with the inputs fixed, which part of the state forces bad?
         let mut assumptions = inputs;
         assumptions.push(!bad0);
@@ -572,9 +648,9 @@ impl<'a> Pdr<'a> {
             Cube::new(Vec::new())
         };
         Some(if cube.is_empty() {
-            self.cube_from_state_lits(&state)
+            (self.cube_from_state_lits(&state), path)
         } else {
-            cube
+            (cube, path)
         })
     }
 
@@ -605,7 +681,8 @@ impl<'a> Pdr<'a> {
             SolveResult::Sat => {
                 let (state, inputs) = self.model_state_and_inputs(frame - 1);
                 self.solvers[frame - 1].retire(guard);
-                Query::Predecessor(self.lift_predecessor(state, inputs, cube))
+                let values = self.input_values_of(&inputs);
+                Query::Predecessor(self.lift_predecessor(state, inputs, cube), values)
             }
             SolveResult::Interrupted => {
                 self.solvers[frame - 1].retire(guard);
@@ -871,6 +948,52 @@ impl<'a> Pdr<'a> {
         (state, inputs)
     }
 
+    /// Reads the frame-0 input values of the model of the last satisfiable
+    /// query on `solvers[index]`.
+    fn model_input_values(&self, index: usize) -> Vec<bool> {
+        let solver = &self.solvers[index];
+        self.input0
+            .iter()
+            .map(|&lit| solver.lit_value(lit).unwrap_or(false))
+            .collect()
+    }
+
+    /// Decodes a model's input literals (as produced by
+    /// [`Self::model_state_and_inputs`]) into plain boolean values.
+    fn input_values_of(&self, inputs: &[Lit]) -> Vec<bool> {
+        inputs
+            .iter()
+            .zip(&self.input0)
+            .map(|(&lit, &var)| lit == var)
+            .collect()
+    }
+
+    /// Appends one `(inputs, successor)` entry to the path arena.
+    fn push_path(&mut self, inputs: Vec<bool>, parent: Option<u32>) -> u32 {
+        let id = self.paths.len() as u32;
+        self.paths.push((inputs, parent));
+        id
+    }
+
+    /// Replays an obligation chain into an input trace.  A frame-0
+    /// obligation's entry holds the inputs applied at the initial state
+    /// (the lift guarantees any state in an obligation cube steps into
+    /// the successor cube under the recorded inputs, and `solvers[0]`
+    /// forces the initial state exactly), and each successor link moves
+    /// one transition closer to the frontier — so the child→parent walk
+    /// already yields time order: `depth + 1` input vectors whose replay
+    /// exhibits the bad output at exactly the reported depth.
+    fn reconstruct_trace(&self, path: u32) -> Vec<Vec<bool>> {
+        let mut trace = Vec::new();
+        let mut cursor = Some(path);
+        while let Some(id) = cursor {
+            let (inputs, parent) = &self.paths[id as usize];
+            trace.push(inputs.clone());
+            cursor = *parent;
+        }
+        trace
+    }
+
     /// Converts a full frame-0 state assignment into a cube.
     fn cube_from_state_lits(&self, state: &[Lit]) -> Cube {
         Cube::new(
@@ -1101,6 +1224,109 @@ mod tests {
                 .with_push_obligations(true)
                 .push_obligations
         );
+    }
+
+    #[test]
+    fn proved_runs_carry_a_checkable_invariant() {
+        let aig = modular_counter(3, 6, 7);
+        let result = verify(&aig, 0, &options());
+        assert!(result.verdict.is_proved(), "{}", result.verdict);
+        let Some(Certificate::Invariant(inv)) = &result.certificate else {
+            panic!("proved PDR run must carry an invariant certificate");
+        };
+        assert_eq!(inv.num_latches, 3);
+        let state = |v: u64| -> Vec<bool> { (0..3).map(|i| (v >> i) & 1 == 1).collect() };
+        for v in 0..6 {
+            assert!(inv.eval(&state(v)), "reachable state {v} must satisfy Inv");
+        }
+        assert!(!inv.eval(&state(7)), "the bad state must violate Inv");
+        // The A/B switch: no certificate, same verdict.
+        let off = verify(&aig, 0, &options().with_certificates(false));
+        assert_eq!(off.verdict, result.verdict);
+        assert_eq!(off.certificate, None);
+    }
+
+    #[test]
+    fn counterexample_chains_replay_to_the_bad_state() {
+        for bad_at in [1u64, 3, 5, 9] {
+            let aig = modular_counter(4, 10, bad_at);
+            let result = verify(&aig, 0, &options());
+            let depth = bad_at as usize;
+            assert_eq!(result.verdict, Verdict::Falsified { depth });
+            let Some(Certificate::Trace(inputs)) = &result.certificate else {
+                panic!("falsified PDR run must carry a trace certificate");
+            };
+            assert_eq!(inputs.len(), depth + 1, "bad_at = {bad_at}");
+            let sim = aig::simulate(&aig, inputs);
+            assert!(sim.bad[depth][0], "replay must hit bad at depth {depth}");
+        }
+    }
+
+    #[test]
+    fn obligation_chains_record_the_inputs() {
+        // Bad = input ∧ latch: the replay only works if the chain kept the
+        // model's input values (the trigger must be high in cycle 1).
+        let mut aig = Aig::new();
+        let trigger = aig::Lit::positive(aig.add_input());
+        let armed = aig.add_latch(false);
+        let armed_lit = aig.latch_lit(armed);
+        aig.set_next(armed, aig::Lit::TRUE);
+        let bad = aig.and(trigger, armed_lit);
+        aig.add_bad(bad);
+        let result = verify(&aig, 0, &options());
+        assert_eq!(result.verdict, Verdict::Falsified { depth: 1 });
+        let Some(Certificate::Trace(inputs)) = &result.certificate else {
+            panic!("missing trace");
+        };
+        let sim = aig::simulate(&aig, inputs);
+        assert!(sim.bad[1][0], "replay must hit the bad state at depth 1");
+    }
+
+    #[test]
+    fn multi_pdr_shares_one_invariant_and_replays_every_trace() {
+        // A mod-6 counter with four properties: two falsified (depth 0 and
+        // depth 3) and two proved (values 6 and 7 are unreachable).
+        let mut aig = modular_counter(3, 6, 0);
+        let bits: Vec<aig::Lit> = (0..3).map(|l| aig.latch_lit(l)).collect();
+        for value in [3u64, 6, 7] {
+            let bad = word_equals_const(&mut aig, &bits, value);
+            aig.add_bad(bad);
+        }
+        let result =
+            verify_all_with_cancel(&aig, &[0, 1, 2, 3], &options(), &CancelToken::new(), None);
+        let cert_of = |i: usize| match &result.statuses[i] {
+            PropertyStatus::Proved { cert: Some(c), .. } => c.clone(),
+            other => panic!("property {i} must be proved with a certificate, got {other:?}"),
+        };
+        for (i, depth) in [(0usize, 0usize), (1, 3)] {
+            let PropertyStatus::Falsified {
+                depth: d,
+                cex: Some(inputs),
+            } = &result.statuses[i]
+            else {
+                panic!(
+                    "property {i} must be falsified with a trace, got {:?}",
+                    result.statuses[i]
+                );
+            };
+            assert_eq!(*d, depth);
+            assert_eq!(inputs.len(), depth + 1);
+            let sim = aig::simulate(&aig, inputs);
+            assert!(
+                sim.bad[depth][i],
+                "property {i} must replay to depth {depth}"
+            );
+        }
+        let (six, seven) = (cert_of(2), cert_of(3));
+        assert!(
+            std::sync::Arc::ptr_eq(&six, &seven),
+            "survivors must share one invariant"
+        );
+        let state = |v: u64| -> Vec<bool> { (0..3).map(|i| (v >> i) & 1 == 1).collect() };
+        for v in 0..6 {
+            assert!(six.eval(&state(v)), "reachable state {v} must satisfy Inv");
+        }
+        assert!(!six.eval(&state(6)) && !six.eval(&state(7)));
     }
 
     #[test]

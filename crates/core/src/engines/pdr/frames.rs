@@ -155,6 +155,17 @@ impl FrameTrace {
         self.delta[frame].is_empty()
     }
 
+    /// The lemma clauses of `F_frame` — one clause `¬cube` per cube in
+    /// `delta[frame..]`, as `(latch, phase)` literals — i.e. the converged
+    /// frame as an inductive-invariant certificate.
+    pub fn invariant_clauses(&self, frame: usize) -> Vec<Vec<(usize, bool)>> {
+        self.delta[frame..]
+            .iter()
+            .flat_map(|cubes| cubes.iter())
+            .map(|cube| cube.iter().map(|(latch, value)| (latch, !value)).collect())
+            .collect()
+    }
+
     /// Total number of live lemmas in the trace.
     #[cfg(test)]
     pub fn total_lemmas(&self) -> usize {

@@ -89,7 +89,7 @@ fn try_block(pdr: &mut Pdr<'_>, frame: usize, cube: Cube) -> Option<Cube> {
         match pdr.relative_induction(frame, &cube) {
             Query::Blocked(core) => return Some(core),
             Query::Cancelled => return None,
-            Query::Predecessor(ctg) => {
+            Query::Predecessor(ctg, _) => {
                 // The candidate has a predecessor.  If that predecessor is
                 // itself unreachable one frame down, learn a lemma against
                 // it and retry; otherwise the drop fails.
@@ -102,7 +102,7 @@ fn try_block(pdr: &mut Pdr<'_>, frame: usize, cube: Cube) -> Option<Cube> {
                         let at = push_lemma_up(pdr, frame - 1, &ctg_core);
                         pdr.add_lemma(at, ctg_core);
                     }
-                    Query::Predecessor(_) | Query::Cancelled => return None,
+                    Query::Predecessor(..) | Query::Cancelled => return None,
                 }
             }
         }
@@ -116,7 +116,7 @@ fn push_lemma_up(pdr: &mut Pdr<'_>, from: usize, cube: &Cube) -> usize {
     while at < pdr.frames.level() {
         match pdr.relative_induction(at + 1, cube) {
             Query::Blocked(_) => at += 1,
-            Query::Predecessor(_) | Query::Cancelled => break,
+            Query::Predecessor(..) | Query::Cancelled => break,
         }
     }
     at

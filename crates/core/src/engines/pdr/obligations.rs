@@ -20,17 +20,25 @@ pub(crate) struct Obligation {
     pub depth: usize,
     /// The states to block.
     pub cube: Cube,
+    /// Index into the engine's path arena: the input vector that steps a
+    /// state of this cube towards bad, linked to the successor
+    /// obligation's entry.  Walking the links from a frame-0 obligation
+    /// reconstructs a replayable counterexample input trace.
+    pub path: u32,
 }
 
 impl Ord for Obligation {
     fn cmp(&self, other: &Self) -> Ordering {
         // Lowest frame first (deepest in the trace); break ties towards
         // smaller cubes (more general), then deterministically by content.
+        // The path index (assigned in deterministic discovery order) is
+        // the final tiebreak, keeping Ord consistent with Eq.
         self.frame
             .cmp(&other.frame)
             .then_with(|| self.cube.len().cmp(&other.cube.len()))
             .then_with(|| self.cube.cmp(&other.cube))
             .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| self.path.cmp(&other.path))
     }
 }
 
@@ -83,6 +91,7 @@ mod tests {
             frame,
             depth,
             cube: Cube::new(lits.to_vec()),
+            path: 0,
         }
     }
 

@@ -221,6 +221,7 @@ pub fn verify_with_cancel(
                 visible_latches: aig.num_latches(),
                 ..Default::default()
             },
+            certificate: None,
         },
     }
 }

@@ -17,6 +17,7 @@
 //! columns) and does not depend on this module.
 
 use crate::abstraction::Abstraction;
+use crate::certificate::{Certificate, InvariantCert, InvariantCone};
 use crate::engines::{CancelToken, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
@@ -226,6 +227,68 @@ fn solve(
     (result, proof)
 }
 
+/// Re-derives a replayable input trace for a bound-`bound` falsification
+/// of `model` on a throwaway scratch instance.
+///
+/// The cached unrolling cannot serve the trace directly: pinning input
+/// variables inside the cache would perturb its variable numbering, which
+/// is tested bit-identical against scratch builds (and under the exact-k
+/// formulation the target cone lives on a throwaway clone anyway).  One
+/// extra SAT call on the terminal path — the instance is known
+/// satisfiable — buys the model back without touching the cache.
+#[allow(clippy::too_many_arguments)]
+fn falsification_trace(
+    model: &Aig,
+    bad_index: usize,
+    bound: usize,
+    check: BmcCheck,
+    num_inputs: usize,
+    reduce: Option<u64>,
+    stats: &mut EngineStats,
+    budget: &RunBudget,
+) -> Option<Vec<Vec<bool>>> {
+    let encode_start = Instant::now();
+    let mut unroller = Unroller::new(model);
+    unroller.assert_initial(0);
+    for f in 1..=bound {
+        if check == BmcCheck::ExactAssume && f >= 2 {
+            let bad_prev = unroller.bad_lit(f - 1, bad_index);
+            unroller.assert_lit(!bad_prev);
+        }
+        unroller.add_frame();
+    }
+    let bad = unroller.bad_lit(bound, bad_index);
+    unroller.assert_lit(bad);
+    let frame_inputs: Vec<Vec<cnf::Lit>> = (0..=bound)
+        .map(|f| (0..num_inputs).map(|i| unroller.input_lit(f, i)).collect())
+        .collect();
+    let cnf = unroller.into_cnf();
+    let mut solver = Solver::new();
+    solver.set_proof_logging(false);
+    solver.set_reduce_interval(reduce);
+    solver.set_interrupt(Some(budget.flag()));
+    solver.add_cnf(&cnf);
+    stats.sat_calls += 1;
+    stats.clauses_encoded += cnf.clauses.len() as u64;
+    stats.encode_time += encode_start.elapsed();
+    let result = solver.solve();
+    stats.add_solver_delta(solver.stats());
+    if result != SolveResult::Sat {
+        return None;
+    }
+    Some(
+        frame_inputs
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|&lit| solver.lit_value(lit).unwrap_or(false))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
 /// Extracts the interpolants at the given sub-instance cuts, mapping shared
 /// frame variables to state-space latches.
 fn extract_interpolants(
@@ -373,8 +436,10 @@ fn compute_sequence(
 }
 
 enum ExtendOutcome {
-    /// The abstract counterexample concretises: the property fails.
-    ConcreteCounterexample,
+    /// The abstract counterexample concretises: the property fails.  The
+    /// payload is the concrete input trace read off the satisfying
+    /// assignment (`None` when certificate collection is off).
+    ConcreteCounterexample(Option<Vec<Vec<bool>>>),
     /// The counterexample was spurious; the abstraction has been refined.
     Refined,
     /// The run was cancelled mid-check.
@@ -392,6 +457,7 @@ fn extend_or_refine(
     abstraction: &mut Abstraction,
     check: BmcCheck,
     reduce: Option<u64>,
+    record_trace: bool,
     stats: &mut EngineStats,
     budget: &RunBudget,
     telemetry: &Telemetry,
@@ -418,6 +484,20 @@ fn extend_or_refine(
     }
     let bad = unroller.bad_lit(bound, bad_index);
     unroller.assert_lit(bad);
+    // Pin the concrete input variables of every cycle before the unroller
+    // is consumed, so a concretised counterexample can be read back as a
+    // replayable trace (input variables carry no clauses).
+    let frame_inputs: Vec<Vec<cnf::Lit>> = if record_trace {
+        (0..=bound)
+            .map(|f| {
+                (0..design.num_inputs())
+                    .map(|i| unroller.input_lit(f, i))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let cnf = unroller.into_cnf();
     let mut solver = Solver::new();
@@ -434,7 +514,20 @@ fn extend_or_refine(
     let result = solver.solve_with_assumptions(&assumptions);
     stats.add_solver_delta(solver.stats());
     match result {
-        SolveResult::Sat => ExtendOutcome::ConcreteCounterexample,
+        SolveResult::Sat => {
+            let trace = record_trace.then(|| {
+                frame_inputs
+                    .iter()
+                    .map(|frame| {
+                        frame
+                            .iter()
+                            .map(|&lit| solver.lit_value(lit).unwrap_or(false))
+                            .collect()
+                    })
+                    .collect()
+            });
+            ExtendOutcome::ConcreteCounterexample(trace)
+        }
         SolveResult::Interrupted => ExtendOutcome::Cancelled,
         SolveResult::Unsat => {
             let core = solver.assumption_core();
@@ -477,14 +570,18 @@ pub(crate) fn run(
     // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
     let mut columns: Vec<aig::Lit> = Vec::new();
 
-    if let Some(verdict) =
+    if let Some((verdict, certificate)) =
         crate::engines::bmc::depth0_verdict(design, bad_index, &budget, &mut stats, options)
     {
         telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
         stats.time = start.elapsed();
-        return EngineResult { verdict, stats };
+        return EngineResult {
+            verdict,
+            stats,
+            certificate,
+        };
     }
 
     let mut abstraction = if config.use_cba {
@@ -498,12 +595,19 @@ pub(crate) fn run(
     // (the abstract model — and with it every frame encoding — changes).
     let mut cache: Option<CachedUnrolling> = None;
 
-    let finish = |mut stats: EngineStats, verdict: Verdict, start: Instant| {
+    let finish = |mut stats: EngineStats,
+                  verdict: Verdict,
+                  certificate: Option<Certificate>,
+                  start: Instant| {
         telemetry.instant_args("verdict", || {
             vec![("verdict", ArgValue::Str(verdict.to_string()))]
         });
         stats.time = start.elapsed();
-        EngineResult { verdict, stats }
+        EngineResult {
+            verdict,
+            stats,
+            certificate,
+        }
     };
 
     for k in 1..=options.max_bound {
@@ -514,6 +618,7 @@ pub(crate) fn run(
                     reason: reason.to_string(),
                     bound_reached: k - 1,
                 },
+                None,
                 start,
             );
         }
@@ -547,12 +652,32 @@ pub(crate) fn run(
                             reason: budget.interrupt_reason().to_string(),
                             bound_reached: k - 1,
                         },
+                        None,
                         start,
                     );
                 }
                 SolveResult::Sat => {
                     if !config.use_cba || abstraction.is_complete(design) {
-                        return finish(stats, Verdict::Falsified { depth: k }, start);
+                        // The model is (behaviourally) the design here: CBA
+                        // only falsifies through this path once complete,
+                        // and its inputs then coincide with the design's.
+                        let cert = options
+                            .certificates
+                            .then(|| {
+                                falsification_trace(
+                                    model,
+                                    0,
+                                    k,
+                                    options.check,
+                                    design.num_inputs(),
+                                    options.reduce_interval(),
+                                    &mut stats,
+                                    &budget,
+                                )
+                            })
+                            .flatten()
+                            .map(Certificate::Trace);
+                        return finish(stats, Verdict::Falsified { depth: k }, cert, start);
                     }
                     match extend_or_refine(
                         design,
@@ -561,12 +686,14 @@ pub(crate) fn run(
                         &mut abstraction,
                         options.check,
                         options.reduce_interval(),
+                        options.certificates,
                         &mut stats,
                         &budget,
                         telemetry,
                     ) {
-                        ExtendOutcome::ConcreteCounterexample => {
-                            return finish(stats, Verdict::Falsified { depth: k }, start);
+                        ExtendOutcome::ConcreteCounterexample(trace) => {
+                            let cert = trace.map(Certificate::Trace);
+                            return finish(stats, Verdict::Falsified { depth: k }, cert, start);
                         }
                         ExtendOutcome::Cancelled => {
                             return finish(
@@ -575,6 +702,7 @@ pub(crate) fn run(
                                     reason: budget.interrupt_reason().to_string(),
                                     bound_reached: k - 1,
                                 },
+                                None,
                                 start,
                             );
                         }
@@ -603,6 +731,7 @@ pub(crate) fn run(
                         reason: reason.to_string(),
                         bound_reached: k,
                     },
+                    None,
                     start,
                 );
             }
@@ -639,6 +768,7 @@ pub(crate) fn run(
                         reason,
                         bound_reached: k,
                     },
+                    None,
                     start,
                 );
             }
@@ -661,7 +791,29 @@ pub(crate) fn run(
             }
             columns[j - 1] = space.and(columns[j - 1], sequence[j - 1]);
             if space.implies(columns[j - 1], reached) {
-                return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, start);
+                // `reached = R0 ∨ ℐ_1 ∨ … ∨ ℐ_{j-1}` is an inductive
+                // invariant here: it contains the initial states, every
+                // column excludes the bad states (its bound-j conjunct's B
+                // side is exactly the bad target, and the bad cone's latch
+                // support is visible in every abstraction), R0's visible
+                // reset values are bad-free by the depth-0 check, and the
+                // image of each disjunct lands in the next column — which
+                // the fixpoint folds back into `reached`.
+                let cert = options.certificates.then(|| {
+                    let _emit = telemetry.span("certificate.emit");
+                    let identity: Vec<usize> = (0..design.num_latches()).collect();
+                    Certificate::Invariant(InvariantCert {
+                        num_latches: design.num_latches(),
+                        clauses: Vec::new(),
+                        cone: Some(InvariantCone::from_cone(
+                            space.manager(),
+                            reached,
+                            design.num_latches(),
+                            &identity,
+                        )),
+                    })
+                });
+                return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, cert, start);
             }
             reached = space.or(reached, columns[j - 1]);
         }
@@ -673,6 +825,7 @@ pub(crate) fn run(
             reason: "bound exhausted".to_string(),
             bound_reached: options.max_bound,
         },
+        None,
         start,
     )
 }

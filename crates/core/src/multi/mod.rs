@@ -120,7 +120,7 @@ pub(crate) fn fallback_loop(
     for &prop in props {
         let result = engine.verify_with_cancel(aig, prop, options, cancel);
         stats.absorb(&result.stats);
-        statuses.push(PropertyStatus::from_verdict(result.verdict));
+        statuses.push(PropertyStatus::from_result(&result));
     }
     stats.time = start.elapsed();
     MultiResult { statuses, stats }
@@ -319,10 +319,24 @@ mod tests {
                 cex: None
             }
         ));
-        assert!(!board.publish(0, PropertyStatus::Proved { k_fp: 1, j_fp: 1 }));
+        assert!(!board.publish(
+            0,
+            PropertyStatus::Proved {
+                k_fp: 1,
+                j_fp: 1,
+                cert: None
+            }
+        ));
         assert!(board.is_retired(0));
         assert!(!board.is_retired(1));
-        assert!(board.publish(1, PropertyStatus::Proved { k_fp: 2, j_fp: 1 }));
+        assert!(board.publish(
+            1,
+            PropertyStatus::Proved {
+                k_fp: 2,
+                j_fp: 1,
+                cert: None
+            }
+        ));
         assert_eq!(
             board.take(0),
             Some(PropertyStatus::Falsified {

@@ -78,7 +78,7 @@ mod tests {
             .statuses
             .iter()
             .map(|s| match s {
-                PropertyStatus::Proved { k_fp, j_fp } => (*k_fp, *j_fp),
+                PropertyStatus::Proved { k_fp, j_fp, .. } => (*k_fp, *j_fp),
                 other => panic!("expected proof, got {other}"),
             })
             .collect();

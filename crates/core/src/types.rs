@@ -1,8 +1,10 @@
 //! Common result and configuration types for the verification engines.
 
+use crate::certificate::{Certificate, InvariantCert};
 use crate::engines::CancelToken;
 use cnf::BmcCheck;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 use telemetry::Telemetry;
 
@@ -178,6 +180,10 @@ pub struct EngineResult {
     pub verdict: Verdict,
     /// Aggregate run statistics.
     pub stats: EngineStats,
+    /// Evidence backing a conclusive verdict (an inductive invariant for
+    /// `Proved`, a replayable input trace for `Falsified`), when
+    /// [`Options::certificates`] is on and the engine produced any.
+    pub certificate: Option<Certificate>,
 }
 
 /// Per-property outcome of a multi-property run ([`crate::multi`]).
@@ -194,6 +200,10 @@ pub enum PropertyStatus {
         k_fp: usize,
         /// Frame/cut index of the fixed point.
         j_fp: usize,
+        /// The inductive invariant witnessing the proof, when the
+        /// deciding backend emitted one.  Shared: a multi-PDR run's
+        /// converged frame certifies every surviving property at once.
+        cert: Option<Arc<InvariantCert>>,
     },
     /// The property is violated.
     Falsified {
@@ -215,10 +225,14 @@ pub enum PropertyStatus {
 }
 
 impl PropertyStatus {
-    /// Builds a status from a single-property [`Verdict`] (no trace).
+    /// Builds a status from a single-property [`Verdict`] (no evidence).
     pub fn from_verdict(verdict: Verdict) -> PropertyStatus {
         match verdict {
-            Verdict::Proved { k_fp, j_fp } => PropertyStatus::Proved { k_fp, j_fp },
+            Verdict::Proved { k_fp, j_fp } => PropertyStatus::Proved {
+                k_fp,
+                j_fp,
+                cert: None,
+            },
             Verdict::Falsified { depth } => PropertyStatus::Falsified { depth, cex: None },
             Verdict::Inconclusive {
                 reason,
@@ -230,10 +244,32 @@ impl PropertyStatus {
         }
     }
 
+    /// Builds a status from a full [`EngineResult`], preserving the
+    /// certificate (invariant → [`PropertyStatus::Proved`]'s `cert`,
+    /// trace → [`PropertyStatus::Falsified`]'s `cex`).
+    pub fn from_result(result: &EngineResult) -> PropertyStatus {
+        match (&result.verdict, &result.certificate) {
+            (Verdict::Proved { k_fp, j_fp }, Some(Certificate::Invariant(inv))) => {
+                PropertyStatus::Proved {
+                    k_fp: *k_fp,
+                    j_fp: *j_fp,
+                    cert: Some(Arc::new(inv.clone())),
+                }
+            }
+            (Verdict::Falsified { depth }, Some(Certificate::Trace(inputs))) => {
+                PropertyStatus::Falsified {
+                    depth: *depth,
+                    cex: Some(inputs.clone()),
+                }
+            }
+            _ => PropertyStatus::from_verdict(result.verdict.clone()),
+        }
+    }
+
     /// The status as a plain [`Verdict`] (dropping any counterexample).
     pub fn verdict(&self) -> Verdict {
         match self {
-            PropertyStatus::Proved { k_fp, j_fp } => Verdict::Proved {
+            PropertyStatus::Proved { k_fp, j_fp, .. } => Verdict::Proved {
                 k_fp: *k_fp,
                 j_fp: *j_fp,
             },
@@ -353,6 +389,13 @@ pub struct Options {
     /// reduction-regression tests re-run the suite with it off and assert
     /// bit-identical verdicts and counterexample depths.
     pub reduce_db: bool,
+    /// Whether the engines collect proof certificates — inductive
+    /// invariants for `Proved` verdicts, replayable counterexample input
+    /// traces for `Falsified` ones (`true`, the default).  The switch
+    /// exists for A/B validation: certification must never change a
+    /// verdict, only attach evidence to it, and the regression tests
+    /// re-run the suite with it off and compare.
+    pub certificates: bool,
     /// Whether PDR re-enqueues a blocked proof obligation one frame
     /// forward (`false`, the default).
     ///
@@ -390,6 +433,7 @@ impl Default for Options {
             check: BmcCheck::ExactAssume,
             alpha_serial: 0.5,
             reduce_db: true,
+            certificates: true,
             push_obligations: false,
             threads: 1,
             telemetry: Telemetry::off(),
@@ -438,6 +482,13 @@ impl Options {
         } else {
             None
         }
+    }
+
+    /// Returns a copy with certificate collection switched on or off
+    /// (see [`Options::certificates`]).
+    pub fn with_certificates(mut self, certificates: bool) -> Options {
+        self.certificates = certificates;
+        self
     }
 
     /// Returns a copy with PDR's obligation push-forward switched on or

@@ -635,12 +635,15 @@ impl Solver {
     }
 
     /// Returns the value assigned to `var` by the most recent satisfiable
-    /// call, or `None` when the variable is unassigned.
+    /// call, or `None` when the variable is unassigned.  Variables the
+    /// solver has never seen (allocated by a CNF builder but mentioned in
+    /// no loaded clause — e.g. a pinned input outside every encoded cone)
+    /// are unconstrained, hence unassigned.
     pub fn value(&self, var: Var) -> Option<bool> {
-        match self.value_var(var) {
-            LBool::True => Some(true),
-            LBool::False => Some(false),
-            LBool::Undef => None,
+        match self.assign.get(var.index() as usize) {
+            Some(LBool::True) => Some(true),
+            Some(LBool::False) => Some(false),
+            Some(LBool::Undef) | None => None,
         }
     }
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate the benchmark artifacts CI uploads.
+
+Each ``--kind`` is one checked artifact contract (previously an inline
+script in ``.github/workflows/ci.yml``):
+
+* ``table1-counters FILE`` — ``itpseq-table1/v4`` JSON: every record
+  carries the SAT-core and search counters, and the suite as a whole
+  exercised minimization, clause deletion and database reduction.
+* ``trace-schema TRACE CHROME BASELINE TRACED`` — ``itpseq-trace/v1``
+  JSONL: balanced span tree per track, verdict markers, engine-run
+  spans, non-empty Chrome export, and the no-op-sink baseline run is
+  not suspiciously slower than the recording run.
+* ``hwmcc-schema FILE`` — ``itpseq-hwmcc/v1`` JSON: fixture designs all
+  parsed, every property has a recognised status, at least one verdict
+  is conclusive and the outputs-as-properties fallback was exercised.
+
+Exit status is non-zero (an ``AssertionError`` traceback) on any
+violated contract, which fails the CI step.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_table1_counters(path):
+    doc = json.load(open(path))
+    assert doc["schema"] == "itpseq-table1/v4", doc["schema"]
+    records = doc["records"]
+    assert records, "smoke suite produced no records"
+    counters = [
+        "learned_deleted",
+        "minimized_literals",
+        "db_reductions",
+        "decisions",
+        "propagations",
+        "restarts",
+    ]
+    for record in records:
+        for counter in counters:
+            assert counter in record, f"{counter} missing from {record['benchmark']}"
+    # Restarts can legitimately stay zero on the tiny smoke instances;
+    # search activity itself cannot.
+    for counter in counters[:-1]:
+        total = sum(r[counter] for r in records)
+        assert total > 0, f"{counter} is zero across the whole smoke suite"
+        print(f"total {counter}: {total}")
+
+
+def check_trace_schema(trace_path, chrome_path, baseline_path, traced_path):
+    lines = open(trace_path).read().splitlines()
+    assert lines, "empty trace"
+    header = json.loads(lines[0])
+    assert header["schema"] == "itpseq-trace/v1", header
+    events = [json.loads(line) for line in lines[1:]]
+    assert events, "trace carries no events"
+    depth, spans = {}, 0
+    for e in events:
+        assert {"seq", "ts_us", "track", "ph", "name"} <= e.keys(), e
+        if e["ph"] == "B":
+            depth[e["track"]] = depth.get(e["track"], 0) + 1
+        elif e["ph"] == "E":
+            depth[e["track"]] = depth.get(e["track"], 0) - 1
+            assert depth[e["track"]] >= 0, f"unbalanced span on {e['track']}"
+            spans += 1
+    assert spans > 0, "no complete spans recorded"
+    assert any(
+        e["name"] in ("verdict", "prop.decide") for e in events
+    ), "no verdict / property-decision markers"
+    assert any(
+        e["name"].endswith(".run") or e["name"].endswith(".multi") for e in events
+    ), "no engine run spans"
+    chrome = json.load(open(chrome_path))
+    assert chrome["traceEvents"], "empty chrome trace"
+    base = json.load(open(baseline_path))
+    traced = json.load(open(traced_path))
+    base_ms = sum(d.get("time_ms", 0) for d in base["designs"])
+    traced_ms = sum(d.get("time_ms", 0) for d in traced["designs"])
+    print(
+        f"{len(events)} events, {spans} spans; "
+        f"no-op {base_ms:.0f} ms vs recorded {traced_ms:.0f} ms"
+    )
+    assert (
+        base_ms <= traced_ms * 3 + 1000
+    ), f"no-op-sink run suspiciously slow: {base_ms} vs {traced_ms}"
+
+
+def check_hwmcc_schema(path):
+    doc = json.load(open(path))
+    assert doc["schema"] == "itpseq-hwmcc/v1", doc["schema"]
+    designs = doc["designs"]
+    assert len(designs) >= 4, f"expected the fixture designs, got {len(designs)}"
+    conclusive = 0
+    for design in designs:
+        assert "error" not in design, design
+        assert design["properties"], f"{design['file']} has no properties"
+        for prop in design["properties"]:
+            assert prop["status"] in ("proved", "falsified", "inconclusive"), prop
+            conclusive += prop["status"] != "inconclusive"
+    assert conclusive > 0, "the fixture run decided nothing"
+    assert any(
+        d["promoted_outputs"] for d in designs
+    ), "the outputs-as-properties fallback fixture must be exercised"
+    print(f"{len(designs)} designs, {conclusive} conclusive properties")
+
+
+KINDS = {
+    "table1-counters": (check_table1_counters, 1),
+    "trace-schema": (check_trace_schema, 4),
+    "hwmcc-schema": (check_hwmcc_schema, 1),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", required=True, choices=sorted(KINDS))
+    parser.add_argument("files", nargs="+", help="artifact file(s), see --kind docs")
+    args = parser.parse_args()
+    check, arity = KINDS[args.kind]
+    if len(args.files) != arity:
+        parser.error(f"--kind {args.kind} takes exactly {arity} file argument(s)")
+    check(*args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
