@@ -103,7 +103,15 @@ pub fn bad_cois(aig: &Aig) -> Vec<Coi> {
 /// singleton group.  The result is deterministic: groups are ordered by
 /// their smallest property index and members are ascending.
 pub fn group_bads_by_coi(aig: &Aig) -> Vec<Vec<usize>> {
-    let cois = bad_cois(aig);
+    group_bads_from_cois(&bad_cois(aig))
+}
+
+/// Partitions properties into latch-sharing connected components given
+/// their already-computed sequential COIs (`cois[i]` belongs to property
+/// `i`).  This is [`group_bads_by_coi`] with the COI computation factored
+/// out, so the preprocessing pipeline's per-property COI by-product can
+/// be reused instead of recomputed.
+pub fn group_bads_from_cois(cois: &[Coi]) -> Vec<Vec<usize>> {
     // Union-find over property indices, latches as the joining keys.
     let mut parent: Vec<usize> = (0..cois.len()).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {

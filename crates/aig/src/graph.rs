@@ -268,6 +268,17 @@ impl Aig {
         self.bad.len()
     }
 
+    /// Restricts the bad-state list to the given properties, in the
+    /// given order (used to focus a verification model on one property
+    /// before preprocessing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_bads(&mut self, indices: &[usize]) {
+        self.bad = indices.iter().map(|&i| self.bad[i]).collect();
+    }
+
     /// Returns bad-state literal `index`.
     pub fn bad(&self, index: usize) -> Lit {
         self.bad[index]

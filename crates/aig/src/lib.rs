@@ -21,7 +21,11 @@
 //! * ASCII AIGER (`.aag`) [`reader`] and [`writer`],
 //! * [`simulate()`] — cycle-accurate three-valued-free simulation,
 //! * [`coi`] — sequential cone-of-influence extraction used by the
-//!   localization abstraction of the CBA engine.
+//!   localization abstraction of the CBA engine,
+//! * [`passes`] — the preprocessing pass pipeline (structural hashing,
+//!   constant sweeping, stuck-at latch removal, dead-logic and COI
+//!   reduction) with per-pass statistics and a [`passes::Reconstruction`]
+//!   mapping back to the original design.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod builder;
 pub mod coi;
 mod graph;
 mod literal;
+pub mod passes;
 pub mod reader;
 pub mod simulate;
 pub mod writer;

@@ -1,0 +1,763 @@
+//! Preprocessing pass pipeline: shrink a design before any solver sees it.
+//!
+//! Industrial AIGs carry plenty of logic a safety checker never needs:
+//! duplicated gates, latches stuck at their reset value, primary inputs
+//! nothing reads, and whole latch clusters outside the cone of influence
+//! of the properties.  The pipeline here runs an ordered list of
+//! reduction passes over a design and reports, for every pass, how many
+//! AND gates, latches and inputs it removed:
+//!
+//! * [`PassKind::Strash`] — structural re-hashing: rebuilds every root
+//!   cone through the hash-consing gate constructors, sharing duplicated
+//!   gates and dropping AND nodes reachable from no root,
+//! * [`PassKind::Constants`] — constant propagation and sweeping:
+//!   latches whose next-state literal is the constant equal to their
+//!   reset value hold that value forever; they are replaced by the
+//!   constant and the fan-out is re-folded, to a fixpoint,
+//! * [`PassKind::Stuck`] — stuck-at latch sweep: additionally treats
+//!   positive self-loops (`next(l) = l`) as stuck at the reset value,
+//! * [`PassKind::Dead`] — dead-logic removal: drops primary inputs (and
+//!   AND gates) that appear in no bad-state cone and no next-state cone,
+//! * [`PassKind::Coi`] — cone-of-influence reduction: keeps only the
+//!   latches in the sequential COI of the bad-state properties (see
+//!   [`crate::coi`]) and the inputs they read.
+//!
+//! Every pass is a *rebuild*: the kept cones are replayed through
+//! [`Aig::and`], so constant folding and structural hashing apply
+//! throughout.  Ordinary outputs are dropped — the reduced model is a
+//! verification model, and the engines only ever read bad-state
+//! literals.  Bad-state properties are preserved, same indices, same
+//! order.
+//!
+//! The pipeline's second product is a [`Reconstruction`]: the mapping
+//! from reduced coordinates back to the original design (which original
+//! latch/input each reduced one stands for, plus the latches that were
+//! proven stuck and at which value).  Verdicts transfer unchanged;
+//! counterexample input traces lift through
+//! [`Reconstruction::lift_inputs`]; inductive-invariant certificates
+//! lift by re-indexing latches through [`Reconstruction::latch_map`] and
+//! conjoining one unit clause per stuck latch.  On every reachable state
+//! of the original design the reduced model agrees with the original on
+//! all bad-state literals cycle by cycle, so counterexample depths and
+//! verdict kinds are identical with preprocessing on or off.
+
+use crate::coi::{self, Coi};
+use crate::{Aig, AigNode, LatchId, Lit};
+use std::collections::HashMap;
+
+/// Per-pass enable switches for the preprocessing pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Structural re-hashing ([`PassKind::Strash`]).
+    pub strash: bool,
+    /// Constant propagation and sweeping ([`PassKind::Constants`]).
+    pub constants: bool,
+    /// Stuck-at latch sweep ([`PassKind::Stuck`]).
+    pub stuck: bool,
+    /// Dead-logic removal ([`PassKind::Dead`]).
+    pub dead: bool,
+    /// Cone-of-influence reduction ([`PassKind::Coi`]).
+    pub coi: bool,
+}
+
+impl Default for PassConfig {
+    /// Every pass enabled.
+    fn default() -> PassConfig {
+        PassConfig {
+            strash: true,
+            constants: true,
+            stuck: true,
+            dead: true,
+            coi: true,
+        }
+    }
+}
+
+impl PassConfig {
+    /// A configuration with every pass disabled (preprocessing off).
+    pub fn off() -> PassConfig {
+        PassConfig {
+            strash: false,
+            constants: false,
+            stuck: false,
+            dead: false,
+            coi: false,
+        }
+    }
+
+    /// True when at least one pass is enabled.
+    pub fn enabled(&self) -> bool {
+        self.strash || self.constants || self.stuck || self.dead || self.coi
+    }
+
+    /// The enabled passes in pipeline order.
+    pub fn passes(&self) -> Vec<PassKind> {
+        let mut out = Vec::new();
+        if self.strash {
+            out.push(PassKind::Strash);
+        }
+        if self.constants {
+            out.push(PassKind::Constants);
+        }
+        if self.stuck {
+            out.push(PassKind::Stuck);
+        }
+        if self.dead {
+            out.push(PassKind::Dead);
+        }
+        if self.coi {
+            out.push(PassKind::Coi);
+        }
+        out
+    }
+}
+
+/// One reduction pass of the pipeline, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassKind {
+    /// Structural re-hashing and unreachable-AND removal.
+    Strash,
+    /// Constant propagation: sweep latches whose next-state literal is
+    /// the constant equal to their reset value.
+    Constants,
+    /// Stuck-at sweep: additionally sweep positive self-loop latches.
+    Stuck,
+    /// Dead-logic removal: drop inputs read by no root cone.
+    Dead,
+    /// Sequential cone-of-influence reduction over the bad-state
+    /// properties.
+    Coi,
+}
+
+impl PassKind {
+    /// Stable lower-case pass name used in stats, telemetry and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::Strash => "strash",
+            PassKind::Constants => "constants",
+            PassKind::Stuck => "stuck",
+            PassKind::Dead => "dead",
+            PassKind::Coi => "coi",
+        }
+    }
+}
+
+/// What one pass removed from the design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// Which pass ran.
+    pub pass: PassKind,
+    /// AND gates removed by the pass.
+    pub ands_removed: u64,
+    /// Latches removed by the pass.
+    pub latches_removed: u64,
+    /// Primary inputs removed by the pass.
+    pub inputs_removed: u64,
+}
+
+/// Aggregate statistics for a full pipeline run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-pass removal counts, in execution order.
+    pub passes: Vec<PassStats>,
+    /// Shape of the original design.
+    pub orig_ands: usize,
+    /// Original latch count.
+    pub orig_latches: usize,
+    /// Original primary-input count.
+    pub orig_inputs: usize,
+    /// Shape of the reduced design.
+    pub final_ands: usize,
+    /// Reduced latch count.
+    pub final_latches: usize,
+    /// Reduced primary-input count.
+    pub final_inputs: usize,
+}
+
+impl PipelineStats {
+    /// Total AND gates removed across all passes.
+    pub fn ands_removed(&self) -> u64 {
+        (self.orig_ands.saturating_sub(self.final_ands)) as u64
+    }
+
+    /// Total latches removed across all passes.
+    pub fn latches_removed(&self) -> u64 {
+        (self.orig_latches.saturating_sub(self.final_latches)) as u64
+    }
+
+    /// Total primary inputs removed across all passes.
+    pub fn inputs_removed(&self) -> u64 {
+        (self.orig_inputs.saturating_sub(self.final_inputs)) as u64
+    }
+}
+
+/// The mapping from a reduced design back to the original it came from.
+///
+/// Reduced latch `i` stands for original latch `latch_map[i]`; reduced
+/// input `i` for original input `input_map[i]`.  Original latches in
+/// neither `latch_map` nor `stuck` were outside the properties' cone of
+/// influence — they are unconstrained and need no reconstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reconstruction {
+    /// Number of primary inputs of the original design.
+    pub orig_inputs: usize,
+    /// Number of latches of the original design.
+    pub orig_latches: usize,
+    /// `input_map[reduced_index] = original_index`, strictly ascending.
+    pub input_map: Vec<usize>,
+    /// `latch_map[reduced_index] = original_index`, strictly ascending.
+    pub latch_map: Vec<usize>,
+    /// Latches proven to hold a constant value in every reachable state,
+    /// as `(original latch index, value)`, ascending by index.  The
+    /// value always equals the latch's reset value.
+    pub stuck: Vec<(usize, bool)>,
+}
+
+impl Reconstruction {
+    /// The identity mapping for a design of the given shape.
+    pub fn identity(num_inputs: usize, num_latches: usize) -> Reconstruction {
+        Reconstruction {
+            orig_inputs: num_inputs,
+            orig_latches: num_latches,
+            input_map: (0..num_inputs).collect(),
+            latch_map: (0..num_latches).collect(),
+            stuck: Vec::new(),
+        }
+    }
+
+    /// True when the mapping is the identity (nothing was removed).
+    pub fn is_identity(&self) -> bool {
+        self.stuck.is_empty()
+            && self.input_map.len() == self.orig_inputs
+            && self.latch_map.len() == self.orig_latches
+    }
+
+    /// Lifts a reduced-width input trace to original width.  Original
+    /// inputs without a reduced counterpart were proven irrelevant to
+    /// every property; they are driven to `false`.
+    pub fn lift_inputs(&self, frames: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        frames
+            .iter()
+            .map(|frame| {
+                let mut lifted = vec![false; self.orig_inputs];
+                for (reduced, &orig) in self.input_map.iter().enumerate() {
+                    lifted[orig] = frame[reduced];
+                }
+                lifted
+            })
+            .collect()
+    }
+
+    /// Projects an original-width input trace down to reduced width (the
+    /// inverse direction of [`Reconstruction::lift_inputs`], used by the
+    /// behavioural-equivalence tests).
+    pub fn project_inputs(&self, frames: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        frames
+            .iter()
+            .map(|frame| self.input_map.iter().map(|&orig| frame[orig]).collect())
+            .collect()
+    }
+
+    /// Narrows the mapping after a pass kept only the listed reduced
+    /// indices (ascending) and proved the given reduced latches stuck.
+    fn retain(&mut self, keep_inputs: &[usize], keep_latches: &[usize], stuck: &[(usize, bool)]) {
+        for &(latch, value) in stuck {
+            self.stuck.push((self.latch_map[latch], value));
+        }
+        self.stuck.sort_unstable();
+        self.input_map = keep_inputs.iter().map(|&i| self.input_map[i]).collect();
+        self.latch_map = keep_latches.iter().map(|&l| self.latch_map[l]).collect();
+    }
+}
+
+/// The product of a pipeline run: the reduced design, the way back, and
+/// the per-pass accounting.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The reduced design (same bad-state properties, same order).
+    pub aig: Aig,
+    /// Mapping from reduced coordinates back to the original design.
+    pub recon: Reconstruction,
+    /// Per-pass and aggregate reduction statistics.
+    pub stats: PipelineStats,
+    /// Per-property sequential COIs *in reduced coordinates*, computed
+    /// as a by-product of the [`PassKind::Coi`] pass (None when that
+    /// pass did not run).  The multi-property scheduler reuses these
+    /// instead of recomputing them.
+    pub bad_cois: Option<Vec<Coi>>,
+}
+
+/// A stepwise pipeline driver: callers that want to time or trace each
+/// pass run them one at a time; everyone else uses [`run`].
+pub struct Pipeline {
+    aig: Aig,
+    recon: Reconstruction,
+    stats: PipelineStats,
+    bad_cois: Option<Vec<Coi>>,
+}
+
+impl Pipeline {
+    /// Starts a pipeline over a copy of `aig`.
+    pub fn new(aig: &Aig) -> Pipeline {
+        let recon = Reconstruction::identity(aig.num_inputs(), aig.num_latches());
+        let stats = PipelineStats {
+            passes: Vec::new(),
+            orig_ands: aig.num_ands(),
+            orig_latches: aig.num_latches(),
+            orig_inputs: aig.num_inputs(),
+            final_ands: aig.num_ands(),
+            final_latches: aig.num_latches(),
+            final_inputs: aig.num_inputs(),
+        };
+        Pipeline {
+            aig: aig.clone(),
+            recon,
+            stats,
+            bad_cois: None,
+        }
+    }
+
+    /// The current (possibly partially reduced) design.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Runs one pass and returns what it removed.  Passes are meant to
+    /// run in [`PassConfig::passes`] order.
+    pub fn run_pass(&mut self, kind: PassKind) -> PassStats {
+        let before = (
+            self.aig.num_ands(),
+            self.aig.num_latches(),
+            self.aig.num_inputs(),
+        );
+        match kind {
+            PassKind::Strash => self.pass_strash(),
+            PassKind::Constants => self.pass_constant_sweep(false),
+            PassKind::Stuck => self.pass_constant_sweep(true),
+            PassKind::Dead => self.pass_dead(),
+            PassKind::Coi => self.pass_coi(),
+        }
+        let stats = PassStats {
+            pass: kind,
+            ands_removed: before.0.saturating_sub(self.aig.num_ands()) as u64,
+            latches_removed: before.1.saturating_sub(self.aig.num_latches()) as u64,
+            inputs_removed: before.2.saturating_sub(self.aig.num_inputs()) as u64,
+        };
+        self.stats.passes.push(stats);
+        self.stats.final_ands = self.aig.num_ands();
+        self.stats.final_latches = self.aig.num_latches();
+        self.stats.final_inputs = self.aig.num_inputs();
+        stats
+    }
+
+    /// Finishes the pipeline, handing out the reduced design and the
+    /// reconstruction mapping.
+    pub fn finish(self) -> PipelineResult {
+        PipelineResult {
+            aig: self.aig,
+            recon: self.recon,
+            stats: self.stats,
+            bad_cois: self.bad_cois,
+        }
+    }
+
+    /// Rebuild keeping everything: shares duplicated gates and drops AND
+    /// nodes no root cone reaches.
+    fn pass_strash(&mut self) {
+        let keep_inputs: Vec<usize> = (0..self.aig.num_inputs()).collect();
+        let keep_latches: Vec<usize> = (0..self.aig.num_latches()).collect();
+        self.rebuild(&keep_inputs, &keep_latches, &HashMap::new());
+    }
+
+    /// Sweeps constant-valued latches to a fixpoint.  A latch is stuck
+    /// when its next-state literal is the constant equal to its reset
+    /// value; with `self_loops` also when its next-state literal is the
+    /// latch itself (it then never leaves the reset value either).
+    fn pass_constant_sweep(&mut self, self_loops: bool) {
+        loop {
+            let mut stuck: Vec<(LatchId, bool)> = Vec::new();
+            for (l, next, init) in self.aig.latches() {
+                let const_stuck = next.constant_value() == Some(init);
+                let loop_stuck = self_loops && next == self.aig.latch_lit(l);
+                if const_stuck || loop_stuck {
+                    stuck.push((l, init));
+                }
+            }
+            if stuck.is_empty() {
+                return;
+            }
+            let stuck_map: HashMap<LatchId, bool> = stuck.iter().copied().collect();
+            let keep_inputs: Vec<usize> = (0..self.aig.num_inputs()).collect();
+            let keep_latches: Vec<usize> = (0..self.aig.num_latches())
+                .filter(|l| !stuck_map.contains_key(l))
+                .collect();
+            self.recon.retain(&keep_inputs, &keep_latches, &stuck);
+            self.rebuild(&keep_inputs, &keep_latches, &stuck_map);
+            // Substituting the constants may have folded further
+            // next-state literals down to constants — iterate.
+        }
+    }
+
+    /// Drops primary inputs outside every root cone (bad-state literals
+    /// and next-state functions), plus unreachable ANDs.
+    fn pass_dead(&mut self) {
+        let mut roots: Vec<Lit> = self.aig.bad_lits().collect();
+        roots.extend(self.aig.latches().map(|(_, next, _)| next));
+        let support = coi::combinational_support_many(&self.aig, &roots);
+        let keep_inputs: Vec<usize> = (0..self.aig.num_inputs())
+            .filter(|i| support.inputs.contains(i))
+            .collect();
+        let keep_latches: Vec<usize> = (0..self.aig.num_latches()).collect();
+        self.recon.retain(&keep_inputs, &keep_latches, &[]);
+        self.rebuild(&keep_inputs, &keep_latches, &HashMap::new());
+    }
+
+    /// Keeps only the latches in the sequential COI of the bad-state
+    /// properties and the inputs those cones read; records the per-
+    /// property COIs (remapped to reduced coordinates) for the
+    /// multi-property scheduler.
+    fn pass_coi(&mut self) {
+        let cois = coi::bad_cois(&self.aig);
+        let mut union = Coi::default();
+        for coi in &cois {
+            union.latches.extend(coi.latches.iter().copied());
+            union.inputs.extend(coi.inputs.iter().copied());
+        }
+        let keep_inputs: Vec<usize> = (0..self.aig.num_inputs())
+            .filter(|i| union.inputs.contains(i))
+            .collect();
+        let keep_latches: Vec<usize> = (0..self.aig.num_latches())
+            .filter(|l| union.latches.contains(l))
+            .collect();
+        // Reduced index of each kept original-coordinate latch/input.
+        let latch_index: HashMap<usize, usize> = keep_latches
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let input_index: HashMap<usize, usize> = keep_inputs
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        self.bad_cois = Some(
+            cois.iter()
+                .map(|coi| Coi {
+                    latches: coi.latches.iter().map(|l| latch_index[l]).collect(),
+                    inputs: coi.inputs.iter().map(|i| input_index[i]).collect(),
+                })
+                .collect(),
+        );
+        self.recon.retain(&keep_inputs, &keep_latches, &[]);
+        self.rebuild(&keep_inputs, &keep_latches, &HashMap::new());
+    }
+
+    /// Rebuilds the design keeping the listed inputs and latches
+    /// (ascending current indices); latches in `stuck` are replaced by
+    /// their constant value.  Kept cones are replayed through the
+    /// hash-consing gate constructors, so folding and sharing apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kept cone references a latch or input that is neither
+    /// kept nor stuck — the pass selections above maintain that closure.
+    fn rebuild(
+        &mut self,
+        keep_inputs: &[usize],
+        keep_latches: &[usize],
+        stuck: &HashMap<LatchId, bool>,
+    ) {
+        let old = &self.aig;
+        let mut new = Aig::new();
+        new.set_name(old.name());
+        let mut map: Vec<Option<Lit>> = vec![None; old.num_nodes()];
+        map[0] = Some(Lit::FALSE);
+        for &i in keep_inputs {
+            let id = new.add_input();
+            map[old.input_node(i) as usize] = Some(Lit::positive(id));
+        }
+        for &l in keep_latches {
+            let lid = new.add_latch(old.init(l));
+            map[old.latch_node(l) as usize] = Some(new.latch_lit(lid));
+        }
+        for (&l, &value) in stuck {
+            map[old.latch_node(l) as usize] = Some(if value { Lit::TRUE } else { Lit::FALSE });
+        }
+        for (new_idx, &l) in keep_latches.iter().enumerate() {
+            let next = translate(old, old.next(l), &mut new, &mut map);
+            new.set_next(new_idx, next);
+        }
+        for bad in old.bad_lits().collect::<Vec<_>>() {
+            let lit = translate(old, bad, &mut new, &mut map);
+            new.add_bad(lit);
+        }
+        self.aig = new;
+    }
+}
+
+/// Translates `root` from `old` into `new` through the mapping table,
+/// building (or reusing) the cone bottom-up.
+fn translate(old: &Aig, root: Lit, new: &mut Aig, map: &mut [Option<Lit>]) -> Lit {
+    let mut stack: Vec<(crate::NodeId, bool)> = vec![(root.node(), false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if map[id as usize].is_some() {
+            continue;
+        }
+        match old.node(id) {
+            AigNode::And { left, right } => {
+                if expanded {
+                    let l = map[left.node() as usize]
+                        .expect("fan-in translated first")
+                        .xor_complement(left.is_complemented());
+                    let r = map[right.node() as usize]
+                        .expect("fan-in translated first")
+                        .xor_complement(right.is_complemented());
+                    map[id as usize] = Some(new.and(l, r));
+                } else {
+                    stack.push((id, true));
+                    stack.push((left.node(), false));
+                    stack.push((right.node(), false));
+                }
+            }
+            node => panic!("cone escapes the kept support: {node:?}"),
+        }
+    }
+    map[root.node() as usize]
+        .expect("root translated")
+        .xor_complement(root.is_complemented())
+}
+
+/// Runs every enabled pass in order and returns the reduced design, the
+/// reconstruction mapping and the per-pass statistics.
+pub fn run(aig: &Aig, config: &PassConfig) -> PipelineResult {
+    let mut pipeline = Pipeline::new(aig);
+    for kind in config.passes() {
+        pipeline.run_pass(kind);
+    }
+    pipeline.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    /// chain A feeds the property; latch `s` is stuck at reset; chain B
+    /// and input `dead` are irrelevant.
+    fn mixed_design() -> Aig {
+        let mut aig = Aig::new();
+        // chain A: a0 <- a1 <- in0
+        let a0 = aig.add_latch(false);
+        let a1 = aig.add_latch(false);
+        let i0 = Lit::positive(aig.add_input());
+        aig.set_next(a1, i0);
+        let a1lit = aig.latch_lit(a1);
+        aig.set_next(a0, a1lit);
+        // stuck latch: next is the constant equal to init.
+        let s = aig.add_latch(false);
+        aig.set_next(s, Lit::FALSE);
+        // chain B: latch fed by input 1, read by nothing.
+        let b0 = aig.add_latch(false);
+        let i1 = Lit::positive(aig.add_input());
+        let b0lit = aig.latch_lit(b0);
+        let g = aig.and(b0lit, i1);
+        aig.set_next(b0, g);
+        // a dead input: referenced by no cone at all.
+        let _dead = aig.add_input();
+        // property reads chain A and the stuck latch.
+        let slit = aig.latch_lit(s);
+        let a0lit = aig.latch_lit(a0);
+        let bad = aig.and(a0lit, !slit);
+        aig.add_bad(bad);
+        aig
+    }
+
+    #[test]
+    fn full_pipeline_reduces_mixed_design() {
+        let aig = mixed_design();
+        let result = run(&aig, &PassConfig::default());
+        // Kept: a0, a1.  Removed: stuck s, out-of-COI b0.
+        assert_eq!(result.aig.num_latches(), 2);
+        assert_eq!(result.recon.latch_map, vec![0, 1]);
+        assert_eq!(result.recon.stuck, vec![(2, false)]);
+        // Kept: input 0.  Removed: chain-B input and the dead input.
+        assert_eq!(result.aig.num_inputs(), 1);
+        assert_eq!(result.recon.input_map, vec![0]);
+        assert_eq!(result.aig.num_bad(), 1);
+        assert_eq!(result.stats.latches_removed(), 2);
+        assert_eq!(result.stats.inputs_removed(), 2);
+    }
+
+    #[test]
+    fn stuck_substitution_simplifies_property() {
+        let aig = mixed_design();
+        let result = run(&aig, &PassConfig::default());
+        // bad = a0 ∧ ¬s with s stuck at 0 folds to just a0.
+        assert_eq!(result.aig.bad(0), result.aig.latch_lit(0));
+    }
+
+    #[test]
+    fn self_loop_latch_swept_only_with_stuck_pass() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(true); // defaults to a self-loop
+        let llit = aig.latch_lit(l);
+        aig.add_bad(!llit);
+        let without = run(
+            &aig,
+            &PassConfig {
+                stuck: false,
+                ..PassConfig::default()
+            },
+        );
+        assert_eq!(without.aig.num_latches(), 1);
+        let with = run(&aig, &PassConfig::default());
+        assert_eq!(with.aig.num_latches(), 0);
+        assert_eq!(with.recon.stuck, vec![(0, true)]);
+        // bad = ¬l with l stuck at 1 folds to constant false.
+        assert_eq!(with.aig.bad(0), Lit::FALSE);
+    }
+
+    #[test]
+    fn negative_self_loop_is_not_stuck() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        let llit = aig.latch_lit(l);
+        aig.set_next(l, !llit); // oscillates 0,1,0,1,...
+        aig.add_bad(llit);
+        let result = run(&aig, &PassConfig::default());
+        assert_eq!(result.aig.num_latches(), 1);
+        assert!(result.recon.stuck.is_empty());
+    }
+
+    #[test]
+    fn constant_next_differing_from_init_is_not_stuck() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, Lit::TRUE); // 0 at cycle 0, then 1 forever
+        aig.add_bad(aig.latch_lit(l));
+        let result = run(&aig, &PassConfig::default());
+        assert_eq!(result.aig.num_latches(), 1);
+        assert!(result.recon.stuck.is_empty());
+    }
+
+    #[test]
+    fn constant_sweep_iterates_to_fixpoint() {
+        let mut aig = Aig::new();
+        // l0 stuck at 0; l1's next = l0 ∧ input folds to 0 = init(l1)
+        // only after l0 is substituted.
+        let l0 = aig.add_latch(false);
+        aig.set_next(l0, Lit::FALSE);
+        let l1 = aig.add_latch(false);
+        let i = Lit::positive(aig.add_input());
+        let l0lit = aig.latch_lit(l0);
+        let g = aig.and(l0lit, i);
+        aig.set_next(l1, g);
+        let l1lit = aig.latch_lit(l1);
+        aig.add_bad(l1lit);
+        let result = run(&aig, &PassConfig::default());
+        assert_eq!(result.aig.num_latches(), 0);
+        assert_eq!(result.recon.stuck, vec![(0, false), (1, false)]);
+        assert_eq!(result.aig.bad(0), Lit::FALSE);
+    }
+
+    #[test]
+    fn disabled_pipeline_is_identity() {
+        let aig = mixed_design();
+        let config = PassConfig::off();
+        assert!(!config.enabled());
+        assert!(config.passes().is_empty());
+        let result = run(&aig, &config);
+        assert!(result.recon.is_identity());
+        assert_eq!(result.aig.num_latches(), aig.num_latches());
+        assert_eq!(result.aig.num_inputs(), aig.num_inputs());
+        assert!(result.stats.passes.is_empty());
+    }
+
+    #[test]
+    fn lift_and_project_inputs_roundtrip() {
+        let aig = mixed_design();
+        let result = run(&aig, &PassConfig::default());
+        let reduced_frames = vec![vec![true], vec![false]];
+        let lifted = result.recon.lift_inputs(&reduced_frames);
+        assert_eq!(lifted, vec![vec![true, false, false], vec![false; 3]]);
+        assert_eq!(result.recon.project_inputs(&lifted), reduced_frames);
+    }
+
+    #[test]
+    fn reduced_model_agrees_on_bad_values() {
+        let aig = mixed_design();
+        let result = run(&aig, &PassConfig::default());
+        // Drive every original input with a varied pattern; the reduced
+        // model sees the projection and must report identical bad values
+        // in every cycle.
+        let frames: Vec<Vec<bool>> = (0..8)
+            .map(|t| (0..3).map(|i| (t + i) % (i + 2) == 0).collect())
+            .collect();
+        let orig = simulate(&aig, &frames);
+        let reduced = simulate(&result.aig, &result.recon.project_inputs(&frames));
+        assert_eq!(orig.bad, reduced.bad);
+    }
+
+    #[test]
+    fn per_pass_stats_sum_to_totals() {
+        let aig = mixed_design();
+        let result = run(&aig, &PassConfig::default());
+        let latches: u64 = result.stats.passes.iter().map(|p| p.latches_removed).sum();
+        let inputs: u64 = result.stats.passes.iter().map(|p| p.inputs_removed).sum();
+        assert_eq!(latches, result.stats.latches_removed());
+        assert_eq!(inputs, result.stats.inputs_removed());
+        assert_eq!(result.stats.orig_latches, 4);
+        assert_eq!(result.stats.final_latches, 2);
+    }
+
+    #[test]
+    fn coi_pass_reports_reduced_coordinate_cois() {
+        let mut aig = Aig::new();
+        // Two independent chains, each with its own property.
+        let a = aig.add_latch(false);
+        let ia = Lit::positive(aig.add_input());
+        aig.set_next(a, ia);
+        let b = aig.add_latch(false);
+        let ib = Lit::positive(aig.add_input());
+        aig.set_next(b, ib);
+        let alit = aig.latch_lit(a);
+        let blit = aig.latch_lit(b);
+        aig.add_bad(alit);
+        aig.add_bad(blit);
+        let result = run(&aig, &PassConfig::default());
+        let cois = result.bad_cois.expect("coi pass ran");
+        assert_eq!(cois.len(), 2);
+        assert!(cois[0].latches.contains(&0) && !cois[0].latches.contains(&1));
+        assert!(cois[1].latches.contains(&1) && !cois[1].latches.contains(&0));
+        assert_eq!(coi::group_bads_from_cois(&cois), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn strash_shares_duplicated_gates_across_roots() {
+        // Build two structurally identical cones the hard way: the
+        // constructors already share, so duplicate via separate designs
+        // merged by hand is not possible — instead check that a rebuild
+        // drops an AND no root reaches.
+        let mut aig = Aig::new();
+        let i0 = Lit::positive(aig.add_input());
+        let i1 = Lit::positive(aig.add_input());
+        let used = aig.and(i0, i1);
+        let _orphan = aig.and(i0, !i1);
+        aig.add_bad(used);
+        assert_eq!(aig.num_ands(), 2);
+        let result = run(
+            &aig,
+            &PassConfig {
+                strash: true,
+                constants: false,
+                stuck: false,
+                dead: false,
+                coi: false,
+            },
+        );
+        assert_eq!(result.aig.num_ands(), 1);
+        assert_eq!(result.stats.passes[0].ands_removed, 1);
+        // Strash alone keeps every input and latch.
+        assert_eq!(result.aig.num_inputs(), 2);
+    }
+}

@@ -3,7 +3,9 @@
 //! The subset of the AIGER 1.9 format understood here covers what hardware
 //! model-checking benchmarks use: the `aag M I L O A` header with the
 //! optional `B` (bad state) count, latch reset values, outputs, bad-state
-//! literals and AND gates.  Symbol table and comment sections are skipped.
+//! literals and AND gates.  Symbol table and comment (`c`) sections are
+//! skipped, and CRLF line endings — common in files that passed through
+//! Windows tooling — are accepted everywhere.
 
 use crate::{Aig, Lit};
 use std::collections::HashMap;
@@ -298,6 +300,42 @@ mod tests {
             crate::simulate(&aig, &stim).bad,
             crate::simulate(&back, &stim).bad
         );
+    }
+
+    #[test]
+    fn tolerates_comment_and_symbol_trailer() {
+        // Real HWMCC files carry a symbol table and a `c` comment
+        // section after the counted body lines; both are ignored.
+        let text = "aag 3 1 1 0 1 1\n2\n4 6 0\n6\n6 2 4\ni0 req\nl0 state\nc\ngenerated by a synthesis tool\nsecond comment line\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!(aig.num_inputs(), 1);
+        assert_eq!(aig.num_latches(), 1);
+        assert_eq!(aig.num_bad(), 1);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn tolerates_crlf_line_endings() {
+        let unix = "aag 3 1 1 0 1 1\n2\n4 6 0\n6\n6 2 4\n";
+        let crlf = unix.replace('\n', "\r\n");
+        let aig = parse_aag(&crlf).expect("parse CRLF");
+        let reference = parse_aag(unix).expect("parse LF");
+        assert_eq!(aig.num_inputs(), reference.num_inputs());
+        assert_eq!(aig.num_latches(), reference.num_latches());
+        assert_eq!(aig.num_bad(), reference.num_bad());
+        let stim = vec![vec![true], vec![false], vec![true]];
+        assert_eq!(
+            crate::simulate(&aig, &stim).bad,
+            crate::simulate(&reference, &stim).bad
+        );
+    }
+
+    #[test]
+    fn tolerates_crlf_with_comment_trailer() {
+        let text =
+            "aag 3 1 1 0 1 1\r\n2\r\n4 6 0\r\n6\r\n6 2 4\r\nc\r\nCRLF file with comments\r\n";
+        let aig = parse_aag(text).expect("parse");
+        assert_eq!((aig.num_latches(), aig.num_bad()), (1, 1));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! * `--engine bmc|pdr|portfolio` — the `verify_all` backend (default
 //!   `portfolio`: COI grouping + racing multi-PDR/multi-BMC),
 //! * `--json PATH` — additionally write the machine-readable report
-//!   (schema `itpseq-hwmcc/v1`), the artifact CI uploads,
+//!   (schema `itpseq-hwmcc/v2`, with a per-design `preprocess` reduction
+//!   report), the artifact CI uploads,
 //! * `--trace PATH` — record engine telemetry for every design into one
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
@@ -21,7 +22,8 @@
 //!   5000 ms, bound 40),
 //! * `--certify` / `--cert-dir DIR` — write per-design certificate
 //!   bundles (schema `itpseq-cert/v1`) for the independent checker; the
-//!   `.aag` written next to each document is the *post-promotion* design,
+//!   `.aag` written next to each document is the *post-promotion* design
+//!   (before preprocessing — certificates are reconstructed back to it),
 //!   so property indices match the certified statuses.
 //!
 //! Files without an AIGER 1.9 `B` section fall back to the pre-1.9 HWMCC
@@ -83,6 +85,7 @@ fn run_file(path: &Path, engine: Engine, options: &Options) -> (HwmccRecord, Opt
                     ands: 0,
                     promoted_outputs: false,
                     result: Err(format!("cannot read: {e}")),
+                    preprocess: None,
                 },
                 None,
             )
@@ -99,19 +102,32 @@ fn run_file(path: &Path, engine: Engine, options: &Options) -> (HwmccRecord, Opt
                     ands: 0,
                     promoted_outputs: false,
                     result: Err(e.to_string()),
+                    preprocess: None,
                 },
                 None,
             )
         }
     };
     let promoted_outputs = aig.promote_outputs_to_bad() > 0;
+    // The staged pipeline, spelled out so the report can carry the
+    // per-pass reduction statistics: preprocess once, solve every
+    // property on the reduced model, reconstruct statuses/certificates
+    // back to the post-promotion design the bundle ships.
+    let (result, preprocess) = if options.preprocess.enabled() {
+        let prepared = mc::prepare(&aig, options);
+        let stats = prepared.stats.clone();
+        (prepared.verify_all(engine, options), Some(stats))
+    } else {
+        (engine.verify_all(&aig, options), None)
+    };
     let record = HwmccRecord {
         file,
         inputs: aig.num_inputs(),
         latches: aig.num_latches(),
         ands: aig.num_ands(),
         promoted_outputs,
-        result: Ok(engine.verify_all(&aig, options)),
+        result: Ok(result),
+        preprocess,
     };
     (record, Some(aig))
 }

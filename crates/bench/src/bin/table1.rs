@@ -9,10 +9,10 @@
 //! * `--suite full|mid|industrial|smoke` — benchmark selection (default
 //!   `full`; `smoke` is the fast subset CI reruns on every push),
 //! * `--json PATH` — additionally write the records as machine-readable
-//!   JSON (schema `itpseq-table1/v4`, which adds the solver search
-//!   counters `decisions`, `propagations` and `restarts` on top of v3's
-//!   SAT-core counters `learned_deleted`/`minimized_literals`/
-//!   `db_reductions`), the artifact CI uploads,
+//!   JSON (schema `itpseq-table1/v5`, which adds the preprocessing
+//!   reduction counters `preprocess_time_ms`, `ands_removed`,
+//!   `latches_removed`, `inputs_removed` and `cert_clauses_subsumed` on
+//!   top of v4's solver search counters), the artifact CI uploads,
 //! * `--trace PATH` — record engine telemetry for every run into one
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event

@@ -8,9 +8,10 @@
 //!   `Time / k_fp / j_fp` per engine (now including the racing
 //!   portfolio); `--suite` selects a benchmark subset and `--json`
 //!   additionally emits the machine-readable records CI archives
-//!   (schema `itpseq-table1/v4`, which adds the solver search counters
-//!   `decisions`/`propagations`/`restarts` on top of v3's
-//!   `learned_deleted`/`minimized_literals`/`db_reductions`),
+//!   (schema `itpseq-table1/v5`, which adds the preprocessing reduction
+//!   counters `preprocess_time_ms`/`ands_removed`/`latches_removed`/
+//!   `inputs_removed`/`cert_clauses_subsumed` on top of v4's solver
+//!   search counters),
 //! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
 //! * `ablation_alpha` — the `αs` sweep for the serial sequences.
 //!
@@ -119,7 +120,9 @@ impl RunRecord {
                 r#""encode_time_ms":{:.3},"k_fp":{},"j_fp":{},"depth":{},"bound_reached":{},"#,
                 r#""reason":{},"sat_calls":{},"conflicts":{},"decisions":{},"#,
                 r#""propagations":{},"restarts":{},"clauses_encoded":{},"#,
-                r#""learned_deleted":{},"minimized_literals":{},"db_reductions":{},"winner":{}}}"#
+                r#""learned_deleted":{},"minimized_literals":{},"db_reductions":{},"#,
+                r#""preprocess_time_ms":{:.3},"ands_removed":{},"latches_removed":{},"#,
+                r#""inputs_removed":{},"cert_clauses_subsumed":{},"winner":{}}}"#
             ),
             json_escape(&self.benchmark),
             self.engine.name(),
@@ -140,6 +143,11 @@ impl RunRecord {
             self.result.stats.learned_deleted,
             self.result.stats.minimized_literals,
             self.result.stats.db_reductions,
+            self.result.stats.preprocess_time.as_secs_f64() * 1e3,
+            self.result.stats.ands_removed,
+            self.result.stats.latches_removed,
+            self.result.stats.inputs_removed,
+            self.result.stats.cert_clauses_subsumed,
             opt_str(self.result.stats.winner),
         )
     }
@@ -200,9 +208,50 @@ pub struct HwmccRecord {
     /// The multi-property result, or `Err(message)` when the file did not
     /// parse.
     pub result: Result<MultiResult, String>,
+    /// Per-pass preprocessing reduction statistics, when the runner's
+    /// staged pipeline preprocessed the design (`None` with preprocessing
+    /// off or on a parse error).
+    pub preprocess: Option<aig::passes::PipelineStats>,
 }
 
 impl HwmccRecord {
+    /// Renders the preprocessing pipeline statistics as a JSON object
+    /// (`null` when the design was not preprocessed).
+    fn preprocess_json(&self) -> String {
+        let Some(stats) = &self.preprocess else {
+            return "null".to_string();
+        };
+        let passes: Vec<String> = stats
+            .passes
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        r#"{{"pass":"{}","ands_removed":{},"latches_removed":{},"#,
+                        r#""inputs_removed":{}}}"#
+                    ),
+                    p.pass.name(),
+                    p.ands_removed,
+                    p.latches_removed,
+                    p.inputs_removed,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                r#"{{"ands_removed":{},"latches_removed":{},"inputs_removed":{},"#,
+                r#""final_ands":{},"final_latches":{},"final_inputs":{},"passes":[{}]}}"#
+            ),
+            stats.ands_removed(),
+            stats.latches_removed(),
+            stats.inputs_removed(),
+            stats.final_ands,
+            stats.final_latches,
+            stats.final_inputs,
+            passes.join(","),
+        )
+    }
+
     /// Renders one property's status as a flat JSON object.
     fn property_json(index: usize, status: &PropertyStatus) -> String {
         let (kind, depth, k_fp, j_fp, bound, reason, has_cex) = match status {
@@ -264,7 +313,8 @@ impl HwmccRecord {
                     concat!(
                         r#"{{"file":"{}","inputs":{},"latches":{},"ands":{},"#,
                         r#""promoted_outputs":{},"time_ms":{:.3},"sat_calls":{},"#,
-                        r#""conflicts":{},"clauses_encoded":{},"properties":[{}]}}"#
+                        r#""conflicts":{},"clauses_encoded":{},"preprocess":{},"#,
+                        r#""properties":[{}]}}"#
                     ),
                     json_escape(&self.file),
                     self.inputs,
@@ -275,6 +325,7 @@ impl HwmccRecord {
                     result.stats.sat_calls,
                     result.stats.conflicts,
                     result.stats.clauses_encoded,
+                    self.preprocess_json(),
                     properties.join(","),
                 )
             }
@@ -288,14 +339,15 @@ impl HwmccRecord {
 }
 
 /// Renders an HWMCC directory run as the machine-readable JSON document
-/// (schema `itpseq-hwmcc/v1`) the `hwmcc` binary writes and CI archives.
+/// (schema `itpseq-hwmcc/v2`, which adds the per-design `preprocess`
+/// reduction report to v1) the `hwmcc` binary writes and CI archives.
 pub fn hwmcc_records_to_json(engine: Engine, records: &[HwmccRecord]) -> String {
     let body: Vec<String> = records
         .iter()
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-hwmcc/v1\",\n  \"engine\": \"{}\",\n  \"designs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-hwmcc/v2\",\n  \"engine\": \"{}\",\n  \"designs\": [\n{}\n  ]\n}}\n",
         engine.name(),
         body.join(",\n")
     )
@@ -360,9 +412,16 @@ pub fn with_capture(options: Options, capture: Option<&TraceCapture>) -> Options
     }
 }
 
-/// Runs one engine on one benchmark with the given per-instance budget.
+/// Runs one engine on one benchmark with the given per-instance budget,
+/// through the staged pipeline: preprocess the design, solve on the
+/// reduced model, reconstruct verdict/certificate back to the original
+/// (equivalent to [`Engine::verify`], spelled out stage by stage).
 pub fn run_engine(benchmark: &Benchmark, engine: Engine, options: &Options) -> RunRecord {
-    let result = engine.verify(&benchmark.aig, 0, options);
+    let result = if options.preprocess.enabled() {
+        mc::prepare_property(&benchmark.aig, 0, options).verify(engine, 0, options)
+    } else {
+        engine.verify(&benchmark.aig, 0, options)
+    };
     RunRecord {
         benchmark: benchmark.name.clone(),
         engine,
@@ -387,7 +446,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-table1/v4\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-table1/v5\",\n  \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -497,6 +556,10 @@ mod tests {
                     minimized_literals: 9,
                     db_reductions: 2,
                     winner: Some("PDR"),
+                    ands_removed: 5,
+                    latches_removed: 2,
+                    inputs_removed: 1,
+                    cert_clauses_subsumed: 1,
                     ..Default::default()
                 },
                 certificate: None,
@@ -515,6 +578,11 @@ mod tests {
         assert!(proved.contains(r#""decisions":11"#), "{proved}");
         assert!(proved.contains(r#""propagations":13"#), "{proved}");
         assert!(proved.contains(r#""restarts":4"#), "{proved}");
+        assert!(proved.contains(r#""preprocess_time_ms":"#), "{proved}");
+        assert!(proved.contains(r#""ands_removed":5"#), "{proved}");
+        assert!(proved.contains(r#""latches_removed":2"#), "{proved}");
+        assert!(proved.contains(r#""inputs_removed":1"#), "{proved}");
+        assert!(proved.contains(r#""cert_clauses_subsumed":1"#), "{proved}");
         let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
         assert!(falsified.contains(r#""depth":7"#), "{falsified}");
         assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
@@ -536,7 +604,7 @@ mod tests {
             mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
             mk(Verdict::Falsified { depth: 2 }),
         ]);
-        assert!(document.contains("itpseq-table1/v4"));
+        assert!(document.contains("itpseq-table1/v5"));
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());
@@ -571,6 +639,20 @@ mod tests {
                     ..Default::default()
                 },
             }),
+            preprocess: Some(aig::passes::PipelineStats {
+                passes: vec![aig::passes::PassStats {
+                    pass: aig::passes::PassKind::Coi,
+                    ands_removed: 3,
+                    latches_removed: 2,
+                    inputs_removed: 0,
+                }],
+                orig_ands: 12,
+                orig_latches: 6,
+                orig_inputs: 1,
+                final_ands: 9,
+                final_latches: 4,
+                final_inputs: 1,
+            }),
         };
         let broken = HwmccRecord {
             file: "broken \"quoted\".aag".to_string(),
@@ -579,12 +661,18 @@ mod tests {
             ands: 0,
             promoted_outputs: false,
             result: Err("invalid aag header: nope".to_string()),
+            preprocess: None,
         };
         let document = hwmcc_records_to_json(Engine::Portfolio, &[ok, broken]);
         assert!(
-            document.contains(r#""schema": "itpseq-hwmcc/v1""#),
+            document.contains(r#""schema": "itpseq-hwmcc/v2""#),
             "{document}"
         );
+        assert!(
+            document.contains(r#""preprocess":{"ands_removed":3,"latches_removed":2"#),
+            "{document}"
+        );
+        assert!(document.contains(r#""pass":"coi""#), "{document}");
         assert!(document.contains(r#""engine": "PORTFOLIO""#));
         assert!(document.contains(r#""status":"proved""#));
         assert!(document.contains(r#""status":"falsified""#));

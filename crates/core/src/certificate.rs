@@ -147,6 +147,61 @@ impl InvariantCert {
         }
         true
     }
+
+    /// Compresses the clause list by subsumption: a clause whose literals
+    /// are a subset of another's implies it, so the superset clause adds
+    /// nothing to the conjunction and is dropped (duplicates count as
+    /// mutually subsuming — one copy survives).  Returns the number of
+    /// clauses removed.
+    ///
+    /// PDR invariants profit directly: the converged frame trace is
+    /// subsumption-reduced *per insertion frame*, but a strong lemma
+    /// learned at a low frame never evicts a weaker one parked at a
+    /// higher frame, so the union that forms the invariant can carry
+    /// redundant clauses.  Dropping implied clauses preserves the
+    /// invariant as a state set exactly, so initiation, consecution and
+    /// safety are untouched — certificates stay checkable, just smaller.
+    pub fn compress(&mut self) -> usize {
+        let before = self.clauses.len();
+        if before < 2 {
+            return 0;
+        }
+        // Sort each clause's literals, then order clauses by length so a
+        // clause can only be subsumed by an earlier (or equal-length) one.
+        let mut sorted: Vec<(usize, Vec<(usize, bool)>)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .map(|(i, clause)| {
+                let mut lits = clause.clone();
+                lits.sort_unstable();
+                lits.dedup();
+                (i, lits)
+            })
+            .collect();
+        sorted.sort_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ia.cmp(ib)));
+        let subset = |small: &[(usize, bool)], big: &[(usize, bool)]| {
+            let mut it = big.iter();
+            small.iter().all(|lit| it.any(|other| other == lit))
+        };
+        let mut kept: Vec<(usize, Vec<(usize, bool)>)> = Vec::with_capacity(before);
+        for (index, lits) in sorted {
+            if !kept.iter().any(|(_, keeper)| subset(keeper, &lits)) {
+                kept.push((index, lits));
+            }
+        }
+        // Restore the original emission order of the survivors.
+        kept.sort_by_key(|&(index, _)| index);
+        let survivors: std::collections::HashSet<usize> =
+            kept.iter().map(|&(index, _)| index).collect();
+        let mut index = 0;
+        self.clauses.retain(|_| {
+            let keep = survivors.contains(&index);
+            index += 1;
+            keep
+        });
+        before - self.clauses.len()
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -378,6 +433,59 @@ mod tests {
         assert!(cert.eval(&[true, true]));
         assert!(!cert.eval(&[false, true]));
         assert!(!cert.eval(&[true, false]));
+    }
+
+    #[test]
+    fn compression_drops_subsumed_and_duplicate_clauses() {
+        let mut cert = InvariantCert {
+            num_latches: 3,
+            clauses: vec![
+                // Superset of the unit (l1) below: implied, dropped.
+                vec![(0, true), (1, true)],
+                vec![(1, true)],
+                // Untouched: no other clause's literals are a subset.
+                vec![(0, false), (2, true)],
+                // Duplicate of the unit (modulo literal order): dropped.
+                vec![(1, true)],
+                // Subsumed by (¬l0 ∨ l2) above despite being listed later.
+                vec![(2, true), (0, false), (1, false)],
+            ],
+            cone: None,
+        };
+        let reference = cert.clone();
+        assert_eq!(cert.compress(), 3);
+        assert_eq!(
+            cert.clauses,
+            vec![vec![(1, true)], vec![(0, false), (2, true)]]
+        );
+        assert_eq!(cert.compress(), 0, "compression is idempotent");
+        // Same state set: every valuation agrees with the uncompressed form.
+        for v in 0..8u32 {
+            let latches: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(
+                cert.eval(&latches),
+                reference.eval(&latches),
+                "valuation {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_leaves_irredundant_certificates_alone() {
+        let mut cert = InvariantCert {
+            num_latches: 2,
+            clauses: vec![vec![(0, true), (1, false)], vec![(0, false), (1, true)]],
+            cone: None,
+        };
+        let reference = cert.clauses.clone();
+        assert_eq!(cert.compress(), 0);
+        assert_eq!(cert.clauses, reference);
+        let mut empty = InvariantCert {
+            num_latches: 1,
+            clauses: Vec::new(),
+            cone: None,
+        };
+        assert_eq!(empty.compress(), 0);
     }
 
     #[test]

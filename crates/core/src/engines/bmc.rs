@@ -358,7 +358,7 @@ pub fn verify_with_cancel(
     );
     incremental
         .solver
-        .set_progress_probe(solver_probe(telemetry));
+        .set_progress_probe(solver_probe(telemetry, options.probe_interval));
     for k in 1..=options.max_bound {
         if let Some(reason) = budget.stop_reason() {
             return finish(

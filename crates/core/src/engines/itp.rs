@@ -78,12 +78,13 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
+    probe: u64,
     telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>, Solver) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
-    solver.set_progress_probe(crate::engines::solver_probe(telemetry));
+    solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -209,6 +210,7 @@ pub fn verify_with_cancel(
             &mut stats,
             &budget,
             options.reduce_interval(),
+            options.probe_interval,
             telemetry,
         );
         if result == SolveResult::Sat {
@@ -293,6 +295,7 @@ pub fn verify_with_cancel(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
+                options.probe_interval,
                 telemetry,
             );
             if result == SolveResult::Sat {

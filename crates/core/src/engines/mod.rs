@@ -28,25 +28,24 @@ use telemetry::{ArgValue, Telemetry};
 ///
 /// Every engine installs this on its long-lived solvers, which is how
 /// restart/decision/propagation progress surfaces in a trace without a
-/// single callback from the propagation inner loop.
-pub(crate) fn solver_probe(telemetry: &Telemetry) -> Option<sat::ProgressProbe> {
+/// single callback from the propagation inner loop.  `interval` is the
+/// sample cadence in conflicts
+/// ([`Options::probe_interval`](crate::Options::probe_interval)).
+pub(crate) fn solver_probe(telemetry: &Telemetry, interval: u64) -> Option<sat::ProgressProbe> {
     if !telemetry.is_enabled() {
         return None;
     }
     let telemetry = telemetry.clone();
-    Some(sat::ProgressProbe::new(
-        sat::DEFAULT_PROBE_INTERVAL,
-        move |stats| {
-            telemetry.counter("solver", || {
-                vec![
-                    ("conflicts", ArgValue::U64(stats.conflicts)),
-                    ("decisions", ArgValue::U64(stats.decisions)),
-                    ("propagations", ArgValue::U64(stats.propagations)),
-                    ("restarts", ArgValue::U64(stats.restarts)),
-                ]
-            });
-        },
-    ))
+    Some(sat::ProgressProbe::new(interval, move |stats| {
+        telemetry.counter("solver", || {
+            vec![
+                ("conflicts", ArgValue::U64(stats.conflicts)),
+                ("decisions", ArgValue::U64(stats.decisions)),
+                ("propagations", ArgValue::U64(stats.propagations)),
+                ("restarts", ArgValue::U64(stats.restarts)),
+            ]
+        });
+    }))
 }
 
 /// Cooperative cancellation token shared between an engine run and its

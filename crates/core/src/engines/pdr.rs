@@ -233,7 +233,11 @@ pub(crate) fn verify_all_with_cancel(
             // and one shared invariant certificate covers them all.
             let cert = options.certificates.then(|| {
                 let _emit = telemetry.span("certificate.emit");
-                Arc::new(pdr.invariant(frame))
+                pdr.invariant(frame)
+            });
+            let cert = cert.map(|mut inv| {
+                pdr.stats.cert_clauses_subsumed += inv.compress() as u64;
+                Arc::new(inv)
             });
             for i in statuses.live() {
                 statuses.decide(
@@ -364,7 +368,7 @@ impl<'a> Pdr<'a> {
         let mut init_solver = IncrementalSolver::with_base(&template);
         init_solver.set_reduce_interval(options.reduce_interval());
         init_solver.set_interrupt(Some(budget.flag()));
-        init_solver.set_progress_probe(solver_probe(&options.telemetry));
+        init_solver.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
@@ -372,7 +376,7 @@ impl<'a> Pdr<'a> {
         let mut lift = IncrementalSolver::with_base(&template);
         lift.set_reduce_interval(options.reduce_interval());
         lift.set_interrupt(Some(budget.flag()));
-        lift.set_progress_probe(solver_probe(&options.telemetry));
+        lift.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
 
         Pdr {
             options,
@@ -427,7 +431,11 @@ impl<'a> Pdr<'a> {
             if let Some(frame) = self.propagate() {
                 let certificate = self.options.certificates.then(|| {
                     let _emit = self.options.telemetry.span("certificate.emit");
-                    Certificate::Invariant(self.invariant(frame))
+                    self.invariant(frame)
+                });
+                let certificate = certificate.map(|mut inv| {
+                    self.stats.cert_clauses_subsumed += inv.compress() as u64;
+                    Certificate::Invariant(inv)
                 });
                 return self.finish(
                     Verdict::Proved {
@@ -504,7 +512,10 @@ impl<'a> Pdr<'a> {
         let mut solver = IncrementalSolver::with_base(&self.template);
         solver.set_reduce_interval(self.options.reduce_interval());
         solver.set_interrupt(Some(self.budget.flag()));
-        solver.set_progress_probe(solver_probe(&self.options.telemetry));
+        solver.set_progress_probe(solver_probe(
+            &self.options.telemetry,
+            self.options.probe_interval,
+        ));
         self.solvers.push(solver);
     }
 
@@ -1340,5 +1351,36 @@ mod tests {
             Verdict::Inconclusive { ref reason, .. } => assert_eq!(reason, "cancelled"),
             ref other => panic!("cancelled run must be inconclusive, got {other}"),
         }
+    }
+
+    #[test]
+    fn certificate_compression_shrinks_a_suite_invariant() {
+        // The 5-bit mod-20 counter is the smallest suite design whose
+        // converged PDR trace parks a weaker lemma above a stronger one,
+        // so its invariant certificate genuinely loses clauses to the
+        // subsumption pass before emission.
+        let bench = workloads::counter::modular(5, 20, 31);
+        let result = verify(
+            &bench,
+            0,
+            &options()
+                .with_timeout(std::time::Duration::from_secs(30))
+                .with_max_bound(60),
+        );
+        assert!(result.verdict.is_proved(), "{}", result.verdict);
+        assert!(
+            result.stats.cert_clauses_subsumed > 0,
+            "compression must drop at least one subsumed clause here"
+        );
+        let Some(Certificate::Invariant(inv)) = &result.certificate else {
+            panic!("proved PDR run must carry an invariant certificate");
+        };
+        // The emitted certificate is fully compressed and still correct.
+        assert_eq!(inv.clone().compress(), 0, "emission already compressed");
+        let state = |v: u64| -> Vec<bool> { (0..5).map(|i| (v >> i) & 1 == 1).collect() };
+        for v in 0..20 {
+            assert!(inv.eval(&state(v)), "reachable state {v} must satisfy Inv");
+        }
+        assert!(!inv.eval(&state(31)), "the bad state must violate Inv");
     }
 }

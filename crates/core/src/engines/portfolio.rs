@@ -122,7 +122,10 @@ pub fn verify_with_cancel(
                 vec![("entrant", ArgValue::Str(engine.name().to_string()))]
             });
             scope.spawn(move || {
-                let result = engine.verify_with_cancel(aig, bad_index, config, &token);
+                // Entrants run directly on `aig`: the staged pipeline
+                // entry already preprocessed the model once for the
+                // whole race.
+                let result = engine.dispatch(aig, bad_index, config, &token);
                 let _ = tx.send((slot, result));
             });
         }

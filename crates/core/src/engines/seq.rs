@@ -204,12 +204,13 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
+    probe: u64,
     telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     solver.set_interrupt(Some(budget.flag()));
-    solver.set_progress_probe(crate::engines::solver_probe(telemetry));
+    solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -329,6 +330,7 @@ fn compute_sequence(
     check: BmcCheck,
     alpha_serial: f64,
     reduce: Option<u64>,
+    probe: u64,
     space: &mut StateSpace,
     model_to_concrete: &[usize],
     concrete_to_model: &[usize],
@@ -365,7 +367,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, telemetry);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, probe, telemetry);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -414,7 +416,7 @@ fn compute_sequence(
                 },
             );
             stats.encode_time += encode_start.elapsed();
-            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, telemetry);
+            let (result, proof) = solve(&inst.cnf, stats, budget, reduce, probe, telemetry);
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
@@ -641,6 +643,7 @@ pub(crate) fn run(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
+                options.probe_interval,
                 telemetry,
             );
             match result {
@@ -751,6 +754,7 @@ pub(crate) fn run(
             options.check,
             config.alpha_serial,
             options.reduce_interval(),
+            options.probe_interval,
             &mut space,
             model_to_concrete,
             &concrete_to_model,

@@ -68,11 +68,13 @@ pub mod abstraction;
 pub mod certificate;
 pub mod engines;
 pub mod multi;
+pub mod pipeline;
 pub mod state;
 mod types;
 
 pub use certificate::{CertRecord, Certificate, InvariantCert, InvariantCone};
 pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, portfolio, sitpseq, CancelToken};
 pub use multi::verify_all;
+pub use pipeline::{prepare, prepare_property, Prepared};
 pub use telemetry::Telemetry;
 pub use types::{Engine, EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};

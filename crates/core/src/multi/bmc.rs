@@ -170,7 +170,7 @@ impl<'a> MultiBmc<'a> {
         solver.set_recycle_threshold(0);
         solver.set_reduce_interval(self.options.reduce_interval());
         solver.set_interrupt(Some(budget.flag()));
-        solver.set_progress_probe(solver_probe(&telemetry));
+        solver.set_progress_probe(solver_probe(&telemetry, self.options.probe_interval));
         let frame0 = unroller.bad_lits(0, self.slots.iter().map(|slot| slot.property));
         for (slot, bad) in self.slots.iter_mut().zip(frame0) {
             slot.bads.push(bad);

@@ -83,12 +83,34 @@ pub fn verify_all(aig: &Aig, options: &Options) -> MultiResult {
     Engine::Portfolio.verify_all(aig, options)
 }
 
-/// The dispatch behind [`Engine::verify_all_with_cancel`].
+/// The dispatch behind [`Engine::verify_all_with_cancel`]: the staged
+/// pipeline entry.  The design is reduced once by the preprocessing
+/// passes, the backends run on the reduced model (the scheduler reusing
+/// the pipeline's per-property COIs), and statuses are reconstructed to
+/// original-design coordinates.
 pub(crate) fn verify_all_with_engine(
     aig: &Aig,
     engine: Engine,
     options: &Options,
     cancel: &CancelToken,
+) -> MultiResult {
+    if !options.preprocess.enabled() {
+        return verify_all_inner(aig, engine, options, cancel, None);
+    }
+    let prepared = crate::pipeline::prepare(aig, options);
+    prepared.verify_all_with_cancel(engine, options, cancel)
+}
+
+/// Runs a multi-property backend directly on `aig`, with no
+/// preprocessing stage.  `cois`, when given, are the per-property
+/// sequential COIs of `aig` (the preprocessing pipeline's by-product)
+/// for the scheduler's property grouping.
+pub(crate) fn verify_all_inner(
+    aig: &Aig,
+    engine: Engine,
+    options: &Options,
+    cancel: &CancelToken,
+    cois: Option<&[aig::coi::Coi]>,
 ) -> MultiResult {
     let props: Vec<usize> = (0..aig.num_bad()).collect();
     match engine {
@@ -96,14 +118,15 @@ pub(crate) fn verify_all_with_engine(
         Engine::Pdr => {
             crate::engines::pdr::verify_all_with_cancel(aig, &props, options, cancel, None)
         }
-        Engine::Portfolio => scheduler::verify_all_with_cancel(aig, options, cancel),
+        Engine::Portfolio => scheduler::verify_all_with_cancel(aig, options, cancel, cois),
         other => fallback_loop(aig, &props, other, options, cancel),
     }
 }
 
-/// The non-amortized reference: one [`Engine::verify`] run per property.
-/// Used for the engines without a multi backend (the interpolation
-/// family) and by the agreement tests as the ground truth.
+/// The non-amortized reference: one engine run per property (directly on
+/// `aig` — the caller has already preprocessed when asked to).  Used for
+/// the engines without a multi backend (the interpolation family) and by
+/// the agreement tests as the ground truth.
 pub(crate) fn fallback_loop(
     aig: &Aig,
     props: &[usize],
@@ -118,7 +141,7 @@ pub(crate) fn fallback_loop(
     };
     let mut statuses = Vec::with_capacity(props.len());
     for &prop in props {
-        let result = engine.verify_with_cancel(aig, prop, options, cancel);
+        let result = engine.dispatch(aig, prop, options, cancel);
         stats.absorb(&result.stats);
         statuses.push(PropertyStatus::from_result(&result));
     }

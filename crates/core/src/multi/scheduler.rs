@@ -33,11 +33,15 @@ use std::time::Instant;
 use telemetry::ArgValue;
 
 /// Verifies every bad-state property of `aig`: COI grouping, then one
-/// racing multi-PDR/multi-BMC pair per group.
+/// racing multi-PDR/multi-BMC pair per group.  `cois`, when given, are
+/// the per-property sequential COIs of `aig` — the preprocessing
+/// pipeline hands its COI-pass by-product over so the grouping does not
+/// recompute them.
 pub(crate) fn verify_all_with_cancel(
     aig: &Aig,
     options: &Options,
     cancel: &CancelToken,
+    cois: Option<&[aig::coi::Coi]>,
 ) -> MultiResult {
     let start = Instant::now();
     let mut stats = EngineStats {
@@ -57,7 +61,13 @@ pub(crate) fn verify_all_with_cancel(
     let _sched = telemetry.span_args("scheduler.run", || {
         vec![("props", ArgValue::U64(num_props as u64))]
     });
-    let groups = aig::coi::group_bads_by_coi(aig);
+    let groups = match cois {
+        Some(cois) => {
+            debug_assert_eq!(cois.len(), num_props);
+            aig::coi::group_bads_from_cois(cois)
+        }
+        None => aig::coi::group_bads_by_coi(aig),
+    };
     debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), num_props);
     telemetry.instant_args("coi.groups", || {
         vec![

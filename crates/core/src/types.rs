@@ -105,6 +105,20 @@ pub struct EngineStats {
     /// Name of the entrant whose verdict a portfolio run adopted
     /// ([`Engine::Portfolio`] only; `None` for direct engine runs).
     pub winner: Option<&'static str>,
+    /// Time spent in the preprocessing pass pipeline before the solver
+    /// saw the design (zero when preprocessing is off).
+    pub preprocess_time: Duration,
+    /// AND gates the preprocessing pipeline removed from the design.
+    pub ands_removed: u64,
+    /// Latches the preprocessing pipeline removed (stuck-at sweeps plus
+    /// cone-of-influence reduction).
+    pub latches_removed: u64,
+    /// Primary inputs the preprocessing pipeline removed.
+    pub inputs_removed: u64,
+    /// Invariant-certificate clauses dropped by the subsumption
+    /// compression pass before emission
+    /// ([`InvariantCert::compress`](crate::InvariantCert::compress)).
+    pub cert_clauses_subsumed: u64,
 }
 
 impl EngineStats {
@@ -139,6 +153,11 @@ impl EngineStats {
         self.interpolants += other.interpolants;
         self.refinements += other.refinements;
         self.visible_latches = self.visible_latches.max(other.visible_latches);
+        self.preprocess_time += other.preprocess_time;
+        self.ands_removed += other.ands_removed;
+        self.latches_removed += other.latches_removed;
+        self.inputs_removed += other.inputs_removed;
+        self.cert_clauses_subsumed += other.cert_clauses_subsumed;
     }
 }
 
@@ -160,6 +179,23 @@ impl fmt::Display for EngineStats {
             self.propagations,
             self.restarts
         )?;
+        if self.ands_removed > 0 || self.latches_removed > 0 || self.inputs_removed > 0 {
+            write!(
+                f,
+                ", preprocessed -{} ands -{} latches -{} inputs in {:.1} ms",
+                self.ands_removed,
+                self.latches_removed,
+                self.inputs_removed,
+                self.preprocess_time.as_secs_f64() * 1e3
+            )?;
+        }
+        if self.cert_clauses_subsumed > 0 {
+            write!(
+                f,
+                ", {} certificate clauses subsumed",
+                self.cert_clauses_subsumed
+            )?;
+        }
         if self.interpolants > 0 {
             write!(f, ", {} interpolants", self.interpolants)?;
         }
@@ -423,6 +459,19 @@ pub struct Options {
     /// a single branch.  Tracing never changes verdicts: the determinism
     /// and A/B regression suites run with a recording sink attached.
     pub telemetry: Telemetry,
+    /// Preprocessing pass pipeline configuration (every pass on by
+    /// default; see [`aig::passes`]).  The engines then run on the
+    /// reduced model and every counterexample trace and inductive-
+    /// invariant certificate is mapped back to original-design
+    /// coordinates before it leaves the run, so preprocessing never
+    /// changes verdict kinds or counterexample depths — the A/B
+    /// regression suite re-runs with it off and compares.
+    pub preprocess: aig::passes::PassConfig,
+    /// Conflicts between two telemetry progress-counter samples inside
+    /// the SAT cores (see [`sat::ProgressProbe`]).  Only read when
+    /// [`Options::telemetry`] is enabled; defaults to
+    /// [`sat::DEFAULT_PROBE_INTERVAL`].
+    pub probe_interval: u64,
 }
 
 impl Default for Options {
@@ -437,6 +486,8 @@ impl Default for Options {
             push_obligations: false,
             threads: 1,
             telemetry: Telemetry::off(),
+            preprocess: aig::passes::PassConfig::default(),
+            probe_interval: sat::DEFAULT_PROBE_INTERVAL,
         }
     }
 }
@@ -512,6 +563,21 @@ impl Options {
         self
     }
 
+    /// Returns a copy with the given preprocessing configuration (see
+    /// [`Options::preprocess`]); pass [`aig::passes::PassConfig::off()`]
+    /// to run engines on the raw design.
+    pub fn with_preprocess(mut self, preprocess: aig::passes::PassConfig) -> Options {
+        self.preprocess = preprocess;
+        self
+    }
+
+    /// Returns a copy with the given telemetry counter-sample interval
+    /// in conflicts (see [`Options::probe_interval`]).
+    pub fn with_probe_interval(mut self, probe_interval: u64) -> Options {
+        self.probe_interval = probe_interval;
+        self
+    }
+
     /// The worker-thread count with the `0 = auto` convention resolved.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
@@ -580,7 +646,30 @@ impl Engine {
     /// Runs this engine under a cancellation token: the run stops with
     /// [`Verdict::Inconclusive`] (reason `"cancelled"`) soon after
     /// [`CancelToken::cancel`] is called from any thread.
+    ///
+    /// This is the staged pipeline entry: the design is first reduced by
+    /// the preprocessing passes ([`Options::preprocess`]), the engine
+    /// runs on the reduced model, and the verdict, counterexample trace
+    /// and certificate are reconstructed back to original-design
+    /// coordinates (see [`crate::pipeline`]).
     pub fn verify_with_cancel(
+        self,
+        aig: &aig::Aig,
+        bad_index: usize,
+        options: &Options,
+        cancel: &CancelToken,
+    ) -> EngineResult {
+        if !options.preprocess.enabled() {
+            return self.dispatch(aig, bad_index, options, cancel);
+        }
+        let prepared = crate::pipeline::prepare_property(aig, bad_index, options);
+        prepared.verify_with_cancel(self, 0, options, cancel)
+    }
+
+    /// Runs the engine directly on `aig`, with no preprocessing stage.
+    /// Inner entry used by the staged pipeline (which already reduced
+    /// the model) and the multi-property fallback loop.
+    pub(crate) fn dispatch(
         self,
         aig: &aig::Aig,
         bad_index: usize,

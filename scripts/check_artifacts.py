@@ -4,16 +4,20 @@
 Each ``--kind`` is one checked artifact contract (previously an inline
 script in ``.github/workflows/ci.yml``):
 
-* ``table1-counters FILE`` — ``itpseq-table1/v4`` JSON: every record
-  carries the SAT-core and search counters, and the suite as a whole
-  exercised minimization, clause deletion and database reduction.
+* ``table1-counters FILE`` — ``itpseq-table1/v5`` JSON: every record
+  carries the SAT-core and search counters plus the preprocessing
+  reduction counters, and the suite as a whole exercised minimization,
+  clause deletion and database reduction.
 * ``trace-schema TRACE CHROME BASELINE TRACED`` — ``itpseq-trace/v1``
   JSONL: balanced span tree per track, verdict markers, engine-run
   spans, non-empty Chrome export, and the no-op-sink baseline run is
   not suspiciously slower than the recording run.
-* ``hwmcc-schema FILE`` — ``itpseq-hwmcc/v1`` JSON: fixture designs all
+* ``hwmcc-schema FILE`` — ``itpseq-hwmcc/v2`` JSON: fixture designs all
   parsed, every property has a recognised status, at least one verdict
-  is conclusive and the outputs-as-properties fallback was exercised.
+  is conclusive, the outputs-as-properties fallback was exercised, and
+  the preprocessing pipeline reports per-pass reduction statistics with
+  nonzero AND-gate and latch removal somewhere in the fixture set (the
+  industrial-shaped fixture guarantees both).
 
 Exit status is non-zero (an ``AssertionError`` traceback) on any
 violated contract, which fails the CI step.
@@ -26,7 +30,7 @@ import sys
 
 def check_table1_counters(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "itpseq-table1/v4", doc["schema"]
+    assert doc["schema"] == "itpseq-table1/v5", doc["schema"]
     records = doc["records"]
     assert records, "smoke suite produced no records"
     counters = [
@@ -37,6 +41,17 @@ def check_table1_counters(path):
         "propagations",
         "restarts",
     ]
+    reduction = [
+        "preprocess_time_ms",
+        "ands_removed",
+        "latches_removed",
+        "inputs_removed",
+        "cert_clauses_subsumed",
+    ]
+    for record in records:
+        for field in reduction:
+            assert field in record, f"{field} missing from {record['benchmark']}"
+
     for record in records:
         for counter in counters:
             assert counter in record, f"{counter} missing from {record['benchmark']}"
@@ -88,21 +103,36 @@ def check_trace_schema(trace_path, chrome_path, baseline_path, traced_path):
 
 def check_hwmcc_schema(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "itpseq-hwmcc/v1", doc["schema"]
+    assert doc["schema"] == "itpseq-hwmcc/v2", doc["schema"]
     designs = doc["designs"]
     assert len(designs) >= 4, f"expected the fixture designs, got {len(designs)}"
     conclusive = 0
+    pass_names = {"strash", "constants", "stuck", "dead", "coi"}
     for design in designs:
         assert "error" not in design, design
         assert design["properties"], f"{design['file']} has no properties"
         for prop in design["properties"]:
             assert prop["status"] in ("proved", "falsified", "inconclusive"), prop
             conclusive += prop["status"] != "inconclusive"
+        pre = design.get("preprocess")
+        assert pre is not None, f"{design['file']} carries no preprocess report"
+        assert pre["passes"], f"{design['file']} ran no preprocessing passes"
+        for stage in pre["passes"]:
+            assert stage["pass"] in pass_names, stage
+            for field in ("ands_removed", "latches_removed", "inputs_removed"):
+                assert field in stage, stage
     assert conclusive > 0, "the fixture run decided nothing"
     assert any(
         d["promoted_outputs"] for d in designs
     ), "the outputs-as-properties fallback fixture must be exercised"
-    print(f"{len(designs)} designs, {conclusive} conclusive properties")
+    reduced_ands = sum(d["preprocess"]["ands_removed"] for d in designs)
+    reduced_latches = sum(d["preprocess"]["latches_removed"] for d in designs)
+    assert reduced_ands > 0, "no fixture design lost an AND gate to preprocessing"
+    assert reduced_latches > 0, "no fixture design lost a latch to preprocessing"
+    print(
+        f"{len(designs)} designs, {conclusive} conclusive properties, "
+        f"preprocessing removed {reduced_ands} ands / {reduced_latches} latches"
+    )
 
 
 KINDS = {

@@ -1,0 +1,206 @@
+//! Behavioural-equivalence contract of the preprocessing pass pipeline.
+//!
+//! Preprocessing must be *pure speed*: on every reachable state the
+//! reduced model agrees with the original design on all bad-state
+//! literals cycle by cycle, and every engine returns the same verdict
+//! kind (and bit-identical counterexample depth) whether the pipeline
+//! ran or not.
+//!
+//! Three layers of evidence:
+//!
+//! * property-based: random sequential AIGs, simulated raw and reduced
+//!   (under the [`aig::passes::Reconstruction`] input projection) for
+//!   random stimulus — the bad-value traces must be identical;
+//! * the engine A/B: every engine (and `verify_all`) on padded designs
+//!   and the HWMCC-style fixture directory, preprocessing on vs off;
+//! * the full-suite A/B (`#[ignore]`d, exercised by CI's thread-sanity
+//!   job in release mode) over every suite benchmark.
+
+use itpseq::aig::passes::{self, PassConfig};
+use itpseq::aig::{self, Aig, Lit};
+use itpseq::mc::{Engine, Options, Verdict};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn options() -> Options {
+    Options::default()
+        .with_timeout(Duration::from_secs(20))
+        .with_max_bound(40)
+}
+
+fn options_off() -> Options {
+    options().with_preprocess(PassConfig::off())
+}
+
+/// A free-form sequential AIG built from a flat op list: every entry
+/// indexes into the growing literal pool (constants, inputs, latches,
+/// then one AND per gate op), so arbitrary `u8` data decodes into a
+/// well-formed design — including constant cones, dangling inputs and
+/// latches the passes are supposed to sweep.
+fn build_random_aig(
+    num_inputs: usize,
+    inits: &[bool],
+    gates: &[(u8, bool, u8, bool)],
+    nexts: &[(u8, bool)],
+    bad: (u8, bool),
+) -> Aig {
+    let mut aig = Aig::new();
+    let mut pool = vec![Lit::FALSE, Lit::TRUE];
+    for i in 0..num_inputs {
+        aig.add_input();
+        pool.push(aig.input_lit(i));
+    }
+    let latches: Vec<usize> = inits.iter().map(|&init| aig.add_latch(init)).collect();
+    for &latch in &latches {
+        pool.push(aig.latch_lit(latch));
+    }
+    let pick = |pool: &[Lit], index: u8, negate: bool| {
+        pool[index as usize % pool.len()].xor_complement(negate)
+    };
+    for &(a, an, b, bn) in gates {
+        let left = pick(&pool, a, an);
+        let right = pick(&pool, b, bn);
+        let lit = aig.and(left, right);
+        pool.push(lit);
+    }
+    for (&latch, &(n, nn)) in latches.iter().zip(nexts.iter()) {
+        let next = pick(&pool, n, nn);
+        aig.set_next(latch, next);
+    }
+    let bad_lit = pick(&pool, bad.0, bad.1);
+    aig.add_bad(bad_lit);
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw and preprocessed models agree on every bad-state literal in
+    /// every cycle, for random designs under random stimulus.
+    #[test]
+    fn reduced_model_simulates_identically(
+        num_inputs in 0usize..3,
+        inits in proptest::collection::vec(proptest::bool::ANY, 1..5),
+        gates in proptest::collection::vec(
+            (0u8..255, proptest::bool::ANY, 0u8..255, proptest::bool::ANY),
+            0..12,
+        ),
+        next_specs in proptest::collection::vec((0u8..255, proptest::bool::ANY), 4..5),
+        bad in (0u8..255, proptest::bool::ANY),
+        stimulus in proptest::collection::vec(
+            proptest::collection::vec(proptest::bool::ANY, 3..4), 1..8),
+    ) {
+        let nexts = &next_specs[..inits.len().min(next_specs.len())];
+        let inits = &inits[..nexts.len()];
+        let aig = build_random_aig(num_inputs, inits, &gates, nexts, bad);
+        let frames: Vec<Vec<bool>> = stimulus
+            .iter()
+            .map(|frame| frame[..num_inputs].to_vec())
+            .collect();
+        let raw = aig::simulate(&aig, &frames);
+
+        let result = passes::run(&aig, &PassConfig::default());
+        let reduced_frames = result.recon.project_inputs(&frames);
+        let reduced = aig::simulate(&result.aig, &reduced_frames);
+
+        prop_assert_eq!(&raw.bad, &reduced.bad);
+        // Lifting the projected trace back restores the kept columns.
+        let lifted = result.recon.lift_inputs(&reduced_frames);
+        prop_assert_eq!(result.recon.project_inputs(&lifted), reduced_frames);
+    }
+}
+
+/// Asserts kind + depth agreement between a preprocessing-on and a
+/// preprocessing-off run of one engine on one property.
+fn assert_ab(aig: &Aig, name: &str, engine: Engine, prop: usize) {
+    let on = engine.verify(aig, prop, &options()).verdict;
+    let off = engine.verify(aig, prop, &options_off()).verdict;
+    assert_eq!(
+        std::mem::discriminant(&on),
+        std::mem::discriminant(&off),
+        "{} on {name} p{prop}: preprocessed said {on}, raw said {off}",
+        engine.name()
+    );
+    if let (Verdict::Falsified { depth: a }, Verdict::Falsified { depth: b }) = (&on, &off) {
+        assert_eq!(a, b, "{} on {name} p{prop}: depth", engine.name());
+    }
+}
+
+/// A design with reduction headroom: a live counter core plus a stuck
+/// latch, an out-of-COI chain and a dead input.
+fn padded(failing: bool) -> Aig {
+    let mut aig = Aig::new();
+    let (ids, bits) = aig::builder::latch_word(&mut aig, 3, 0);
+    let wrap = aig::builder::word_equals_const(&mut aig, &bits, 5);
+    let inc = aig::builder::word_increment(&mut aig, &bits, Lit::TRUE);
+    let zero = aig::builder::word_const(3, 0);
+    let next = aig::builder::word_mux(&mut aig, wrap, &zero, &inc);
+    for (id, n) in ids.iter().zip(next.iter()) {
+        aig.set_next(*id, *n);
+    }
+    let stuck = aig.add_latch(true);
+    aig.set_next(stuck, Lit::TRUE);
+    let free = aig.add_latch(false);
+    aig.add_input();
+    aig.add_input(); // dead: feeds nothing
+    let pad = aig.input_lit(0);
+    aig.set_next(free, pad);
+    let target = if failing { 4 } else { 7 };
+    let hit = aig::builder::word_equals_const(&mut aig, &bits, target);
+    let stuck_lit = aig.latch_lit(stuck);
+    let bad = aig.and(hit, stuck_lit);
+    aig.add_bad(bad);
+    aig
+}
+
+#[test]
+fn every_engine_agrees_on_padded_designs() {
+    for failing in [false, true] {
+        let aig = padded(failing);
+        for engine in Engine::ALL {
+            assert_ab(&aig, "padded", engine, 0);
+        }
+    }
+}
+
+#[test]
+fn verify_all_agrees_on_the_fixture_directory() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("tests/data").expect("fixture dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|ext| ext != "aag") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("fixture read");
+        let mut aig = aig::parse_aag(&text).expect("fixture parses");
+        aig.promote_outputs_to_bad();
+        let name = path.display().to_string();
+        for engine in [Engine::Bmc, Engine::Pdr, Engine::Portfolio] {
+            let on = engine.verify_all(&aig, &options());
+            let off = engine.verify_all(&aig, &options_off());
+            assert_eq!(on.statuses.len(), off.statuses.len(), "{name}");
+            for (a, b) in on.statuses.iter().zip(off.statuses.iter()) {
+                assert_eq!(
+                    a.kind_and_depth(),
+                    b.kind_and_depth(),
+                    "{} on {name}",
+                    engine.name()
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected the fixture designs, saw {checked}");
+}
+
+/// The full-suite A/B: every engine, every suite benchmark.  Release-mode
+/// CI material (`#[ignore]`d in the default run).
+#[test]
+#[ignore]
+fn full_suite_ab_identical_kinds_and_depths() {
+    for bench in itpseq::workloads::suite::full() {
+        for engine in Engine::ALL {
+            assert_ab(&bench.aig, &bench.name, engine, 0);
+        }
+    }
+}

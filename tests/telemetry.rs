@@ -62,11 +62,19 @@ fn engine_runs_emit_well_formed_streams() {
         for pair in events.windows(2) {
             assert!(pair[0].seq < pair[1].seq, "{engine:?}: seq must increase");
         }
-        // The stream opens with the engine's run span and reports a verdict.
+        // The stream opens with the preprocessing span (the staged
+        // pipeline shrinks the design before the engine starts), and the
+        // engine's run span follows once the reduced model is handed over.
         assert!(
-            events[0].kind == EventKind::Begin && events[0].name.ends_with(".run"),
-            "{engine:?}: first event is the run span, got {:?}",
+            events[0].kind == EventKind::Begin && events[0].name == "preprocess",
+            "{engine:?}: first event is the preprocess span, got {:?}",
             events[0].name
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Begin && e.name.ends_with(".run")),
+            "{engine:?}: the engine run span must be emitted"
         );
         assert!(
             events.iter().any(|e| e.name == "verdict"),
