@@ -29,13 +29,17 @@
 //! Files without an AIGER 1.9 `B` section fall back to the pre-1.9 HWMCC
 //! convention: every *output* is a bad-state property
 //! ([`aig::Aig::promote_outputs_to_bad`]).  Unparsable files are reported
-//! (and counted as errors in the exit code) but do not abort the run.
+//! (and counted as errors in the exit code) but do not abort the run, and
+//! each design runs inside its own panic-containment domain: a fault in
+//! one design is reported as its error while the rest of the directory
+//! still completes.
 
 use itpseq_bench::{
     cert_file_stem, hwmcc_records_to_json, with_capture, write_cert_bundle, HwmccRecord,
     TraceCapture,
 };
 use mc::{CertRecord, Engine, Options};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -67,13 +71,27 @@ fn aag_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// The panic payload's message, for the per-design fault report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
 /// Runs one file; the returned design is the parsed, *post-promotion*
 /// AIG (the one the engines actually saw), used for certificate bundles.
 fn run_file(path: &Path, engine: Engine, options: &Options) -> (HwmccRecord, Option<aig::Aig>) {
-    let file = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.display().to_string());
+    let file = file_name(path);
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
@@ -204,7 +222,24 @@ fn main() {
     let mut records = Vec::with_capacity(files.len());
     let mut errors = 0usize;
     for path in &files {
-        let (record, design) = run_file(path, engine, &options);
+        // One design is one containment domain: a panic that escapes the
+        // engines' own containment becomes this design's error record and
+        // the remaining designs still run.
+        let (record, design) = catch_unwind(AssertUnwindSafe(|| run_file(path, engine, &options)))
+            .unwrap_or_else(|payload| {
+                (
+                    HwmccRecord {
+                        file: file_name(path),
+                        inputs: 0,
+                        latches: 0,
+                        ands: 0,
+                        promoted_outputs: false,
+                        result: Err(format!("panic: {}", panic_message(payload.as_ref()))),
+                        preprocess: None,
+                    },
+                    None,
+                )
+            });
         match &record.result {
             Ok(result) => {
                 let cells: Vec<String> = result
@@ -241,19 +276,26 @@ fn main() {
                 .map(|(i, status)| CertRecord::from_status(i, Some(engine.name()), status))
                 .collect();
             let stem = cert_file_stem(record.file.trim_end_matches(".aag"));
-            write_cert_bundle(dir, &stem, design, &cert_records)
-                .unwrap_or_else(|e| panic!("cannot write certificates to {}: {e}", dir.display()));
+            write_cert_bundle(dir, &stem, design, &cert_records).unwrap_or_else(|e| {
+                eprintln!("hwmcc: cannot write certificates to {}: {e}", dir.display());
+                std::process::exit(1);
+            });
         }
         records.push(record);
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, hwmcc_records_to_json(engine, &records))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        std::fs::write(&path, hwmcc_records_to_json(engine, &records)).unwrap_or_else(|e| {
+            eprintln!("hwmcc: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("wrote {} design records to {path}", records.len());
     }
     if let Some(capture) = &capture {
-        capture.write();
+        if let Err(message) = capture.write() {
+            eprintln!("hwmcc: {message}");
+            std::process::exit(1);
+        }
     }
     if errors > 0 {
         eprintln!("hwmcc: {errors} file(s) failed to parse");

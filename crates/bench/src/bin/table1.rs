@@ -9,10 +9,17 @@
 //! * `--suite full|mid|industrial|smoke` — benchmark selection (default
 //!   `full`; `smoke` is the fast subset CI reruns on every push),
 //! * `--json PATH` — additionally write the records as machine-readable
-//!   JSON (schema `itpseq-table1/v5`, which adds the preprocessing
-//!   reduction counters `preprocess_time_ms`, `ands_removed`,
-//!   `latches_removed`, `inputs_removed` and `cert_clauses_subsumed` on
-//!   top of v4's solver search counters), the artifact CI uploads,
+//!   JSON (schema `itpseq-table1/v6`, which adds the fault-isolation
+//!   counters `panics_contained`, `memlimit_hits`, `faults_injected` and
+//!   `pool_seq_reruns` on top of v5's preprocessing reduction counters),
+//!   the artifact CI uploads,
+//! * `--chaos SEED` — arm a deterministic fault plan per run, derived
+//!   from `SEED` and the run index ([`mc::FaultPlan::seeded`]): each run
+//!   gets one pseudo-random injected fault, which may cost its verdict
+//!   (reported `inconclusive` with a machine-readable reason) but must
+//!   never crash the process or flip a conclusive answer,
+//! * `--mem-mb N` — per-run memory budget in MiB; a run over budget
+//!   stops with reason `memlimit`, surfaced exactly like a timeout,
 //! * `--trace PATH` — record engine telemetry for every run into one
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
@@ -34,7 +41,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: table1 [--suite full|mid|industrial|smoke] [--json PATH] \
-         [--trace PATH] [--chrome-trace PATH] [--certify] [--cert-dir DIR]"
+         [--trace PATH] [--chrome-trace PATH] [--certify] [--cert-dir DIR] \
+         [--chaos SEED] [--mem-mb N]"
     );
     std::process::exit(2);
 }
@@ -45,6 +53,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut cert_dir: Option<PathBuf> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut mem_mb: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,13 +66,33 @@ fn main() {
                 cert_dir.get_or_insert_with(|| PathBuf::from("certs"));
             }
             "--cert-dir" => cert_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--chaos" => {
+                chaos_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--mem-mb" => {
+                mem_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
     let suite = suite_by_name(&suite_name).unwrap_or_else(|| usage());
 
     let capture = TraceCapture::new(trace_path, chrome_path);
-    let options = with_capture(experiment_options(), capture.as_ref());
+    let mut options = with_capture(experiment_options(), capture.as_ref());
+    if let Some(seed) = chaos_seed {
+        eprintln!("table1: chaos mode, fault plan seed {seed}");
+    }
+    if let Some(mb) = mem_mb {
+        options = options.with_memory_limit(mb << 20);
+    }
     let engines = [
         Engine::Itp,
         Engine::ItpSeq,
@@ -115,7 +145,16 @@ fn main() {
         let mut engine_cells = Vec::new();
         let mut cert_records = Vec::new();
         for engine in engines {
-            let record = run_engine(benchmark, engine, &options);
+            // A fault plan fires exactly once across all its clones, so
+            // chaos mode derives a fresh plan per run from the seed and
+            // the run index — deterministic, and every run gets a fault.
+            let run_options = match chaos_seed {
+                Some(seed) => options
+                    .clone()
+                    .with_faults(mc::FaultPlan::seeded(seed ^ records.len() as u64)),
+                None => options.clone(),
+            };
+            let record = run_engine(benchmark, engine, &run_options);
             let (time, k, j) = record.cells();
             engine_cells.push(format!("{time:>9} {k:>5} {j:>5}"));
             if cert_dir.is_some() {
@@ -130,8 +169,13 @@ fn main() {
         if let Some(dir) = &cert_dir {
             let _write = options.telemetry.span("certificate.write");
             let stem = cert_file_stem(&benchmark.name);
-            write_cert_bundle(dir, &stem, &benchmark.aig, &cert_records)
-                .unwrap_or_else(|e| panic!("cannot write certificates to {}: {e}", dir.display()));
+            write_cert_bundle(dir, &stem, &benchmark.aig, &cert_records).unwrap_or_else(|e| {
+                eprintln!(
+                    "table1: cannot write certificates to {}: {e}",
+                    dir.display()
+                );
+                std::process::exit(1);
+            });
         }
 
         println!(
@@ -148,8 +192,10 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, records_to_json(&records))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        std::fs::write(&path, records_to_json(&records)).unwrap_or_else(|e| {
+            eprintln!("table1: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
         eprintln!("wrote {} records to {path}", records.len());
     }
     if let Some(dir) = &cert_dir {
@@ -160,6 +206,9 @@ fn main() {
         );
     }
     if let Some(capture) = &capture {
-        capture.write();
+        if let Err(message) = capture.write() {
+            eprintln!("table1: {message}");
+            std::process::exit(1);
+        }
     }
 }

@@ -8,10 +8,10 @@
 //!   `Time / k_fp / j_fp` per engine (now including the racing
 //!   portfolio); `--suite` selects a benchmark subset and `--json`
 //!   additionally emits the machine-readable records CI archives
-//!   (schema `itpseq-table1/v5`, which adds the preprocessing reduction
-//!   counters `preprocess_time_ms`/`ands_removed`/`latches_removed`/
-//!   `inputs_removed`/`cert_clauses_subsumed` on top of v4's solver
-//!   search counters),
+//!   (schema `itpseq-table1/v6`, which adds the fault-isolation counters
+//!   `panics_contained`/`memlimit_hits`/`faults_injected`/
+//!   `pool_seq_reruns` on top of v5's preprocessing reduction
+//!   counters),
 //! * `fig7` — the exact-k versus assume-k scatter for ITPSEQ,
 //! * `ablation_alpha` — the `αs` sweep for the serial sequences.
 //!
@@ -23,7 +23,7 @@
 //! benchmark set; the *shapes* (which engine wins, where overflows appear,
 //! how `k_fp`/`j_fp` relate) are the reproduction target.
 
-use mc::{Engine, EngineResult, MultiResult, Options, PropertyStatus, Verdict};
+use mc::{Engine, EngineResult, MultiResult, Options, PropertyStatus, StopReason, Verdict};
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::{MemorySink, Telemetry};
@@ -108,7 +108,7 @@ impl RunRecord {
                 None,
                 None,
                 Some(*bound_reached),
-                Some(reason.as_str()),
+                Some(reason.to_string()),
             ),
         };
         let opt = |v: Option<usize>| v.map_or("null".to_string(), |v| v.to_string());
@@ -122,7 +122,9 @@ impl RunRecord {
                 r#""propagations":{},"restarts":{},"clauses_encoded":{},"#,
                 r#""learned_deleted":{},"minimized_literals":{},"db_reductions":{},"#,
                 r#""preprocess_time_ms":{:.3},"ands_removed":{},"latches_removed":{},"#,
-                r#""inputs_removed":{},"cert_clauses_subsumed":{},"winner":{}}}"#
+                r#""inputs_removed":{},"cert_clauses_subsumed":{},"#,
+                r#""panics_contained":{},"memlimit_hits":{},"faults_injected":{},"#,
+                r#""pool_seq_reruns":{},"winner":{}}}"#
             ),
             json_escape(&self.benchmark),
             self.engine.name(),
@@ -133,7 +135,7 @@ impl RunRecord {
             opt(j_fp),
             opt(depth),
             opt(bound),
-            opt_str(reason),
+            opt_str(reason.as_deref()),
             self.result.stats.sat_calls,
             self.result.stats.conflicts,
             self.result.stats.decisions,
@@ -148,6 +150,10 @@ impl RunRecord {
             self.result.stats.latches_removed,
             self.result.stats.inputs_removed,
             self.result.stats.cert_clauses_subsumed,
+            self.result.stats.panics_contained,
+            self.result.stats.memlimit_hits,
+            self.result.stats.faults_injected,
+            self.result.stats.pool_seq_reruns,
             opt_str(self.result.stats.winner),
         )
     }
@@ -178,14 +184,17 @@ impl RunRecord {
 }
 
 /// Table-cell code for an inconclusive run's reason: `t/o` (wall-clock
-/// budget), `ovf` (bound exhausted), `cxl` (cancelled, e.g. a portfolio
-/// loser), `inc` for anything else (e.g. an interpolation failure).
-pub fn short_reason(reason: &str) -> &'static str {
+/// budget), `ovf` (bound exhausted), `cxl` (cancelled or retired, e.g. a
+/// portfolio loser), `mem` (memory budget), `pnc` (a contained panic),
+/// `inc` for anything else (e.g. an interpolation failure).
+pub fn short_reason(reason: &StopReason) -> &'static str {
     match reason {
-        "timeout" => "t/o",
-        "bound exhausted" => "ovf",
-        "cancelled" | "retired" => "cxl",
-        _ => "inc",
+        StopReason::Timeout => "t/o",
+        StopReason::BoundExhausted => "ovf",
+        StopReason::Cancelled | StopReason::Retired => "cxl",
+        StopReason::MemLimit => "mem",
+        StopReason::Panic(_) => "pnc",
+        StopReason::Other(_) => "inc",
     }
 }
 
@@ -276,7 +285,7 @@ impl HwmccRecord {
                 None,
                 None,
                 Some(*bound_reached),
-                Some(reason.as_str()),
+                Some(reason.to_string()),
                 false,
             ),
         };
@@ -294,7 +303,7 @@ impl HwmccRecord {
             opt(k_fp),
             opt(j_fp),
             opt(bound),
-            opt_str(reason),
+            opt_str(reason.as_deref()),
             has_cex,
         )
     }
@@ -384,22 +393,26 @@ impl TraceCapture {
         Telemetry::new(self.sink.clone())
     }
 
-    /// Writes the requested trace files; panics on IO errors (these are
-    /// CLI exit paths).
-    pub fn write(&self) {
+    /// Writes the requested trace files.  On failure the returned message
+    /// names the path that could not be written — the binaries report it
+    /// to stderr and exit nonzero instead of panicking.
+    pub fn write(&self) -> Result<(), String> {
         let events = self.sink.snapshot();
         if let Some(path) = &self.jsonl_path {
             let mut out = Vec::new();
-            telemetry::write_jsonl(&events, &mut out).expect("vec write");
-            std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            telemetry::write_jsonl(&events, &mut out)
+                .map_err(|e| format!("cannot encode trace for {path}: {e}"))?;
+            std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote {} trace events to {path}", events.len());
         }
         if let Some(path) = &self.chrome_path {
             let mut out = Vec::new();
-            telemetry::write_chrome_trace(&events, &mut out).expect("vec write");
-            std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            telemetry::write_chrome_trace(&events, &mut out)
+                .map_err(|e| format!("cannot encode trace for {path}: {e}"))?;
+            std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
         }
+        Ok(())
     }
 }
 
@@ -446,7 +459,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         .map(|record| format!("    {}", record.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema\": \"itpseq-table1/v5\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"itpseq-table1/v6\",\n  \"records\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     )
 }
@@ -560,6 +573,10 @@ mod tests {
                     latches_removed: 2,
                     inputs_removed: 1,
                     cert_clauses_subsumed: 1,
+                    panics_contained: 1,
+                    memlimit_hits: 2,
+                    faults_injected: 3,
+                    pool_seq_reruns: 4,
                     ..Default::default()
                 },
                 certificate: None,
@@ -583,11 +600,15 @@ mod tests {
         assert!(proved.contains(r#""latches_removed":2"#), "{proved}");
         assert!(proved.contains(r#""inputs_removed":1"#), "{proved}");
         assert!(proved.contains(r#""cert_clauses_subsumed":1"#), "{proved}");
+        assert!(proved.contains(r#""panics_contained":1"#), "{proved}");
+        assert!(proved.contains(r#""memlimit_hits":2"#), "{proved}");
+        assert!(proved.contains(r#""faults_injected":3"#), "{proved}");
+        assert!(proved.contains(r#""pool_seq_reruns":4"#), "{proved}");
         let falsified = mk(Verdict::Falsified { depth: 7 }).to_json();
         assert!(falsified.contains(r#""depth":7"#), "{falsified}");
         assert!(falsified.contains(r#""k_fp":null"#), "{falsified}");
         let inconclusive = mk(Verdict::Inconclusive {
-            reason: "timeout".to_string(),
+            reason: StopReason::Timeout,
             bound_reached: 9,
         })
         .to_json();
@@ -599,12 +620,21 @@ mod tests {
             inconclusive.contains(r#""reason":"timeout""#),
             "{inconclusive}"
         );
+        let panicked = mk(Verdict::Inconclusive {
+            reason: StopReason::Panic("index out of \"bounds\"".to_string()),
+            bound_reached: 0,
+        })
+        .to_json();
+        assert!(
+            panicked.contains(r#""reason":"panic:index out of \"bounds\"""#),
+            "{panicked}"
+        );
         assert!(proved.contains(r#""reason":null"#), "{proved}");
         let document = records_to_json(&[
             mk(Verdict::Proved { k_fp: 1, j_fp: 1 }),
             mk(Verdict::Falsified { depth: 2 }),
         ]);
-        assert!(document.contains("itpseq-table1/v5"));
+        assert!(document.contains("itpseq-table1/v6"));
         assert_eq!(document.matches("\"benchmark\"").count(), 2);
         let opens = document.matches('{').count();
         assert_eq!(opens, document.matches('}').count());
@@ -630,7 +660,7 @@ mod tests {
                         cex: Some(vec![vec![true]; 6]),
                     },
                     PropertyStatus::Inconclusive {
-                        reason: "bound exhausted".to_string(),
+                        reason: StopReason::BoundExhausted,
                         bound_reached: 40,
                     },
                 ],
@@ -687,23 +717,29 @@ mod tests {
 
     #[test]
     fn inconclusive_cells_surface_the_reason() {
-        let mk = |reason: &str| RunRecord {
+        let mk = |reason: StopReason| RunRecord {
             benchmark: "b".to_string(),
             engine: Engine::Bmc,
             result: mc::EngineResult {
                 verdict: Verdict::Inconclusive {
-                    reason: reason.to_string(),
+                    reason,
                     bound_reached: 9,
                 },
                 stats: Default::default(),
                 certificate: None,
             },
         };
-        assert_eq!(mk("timeout").cells().0, "t/o");
-        assert_eq!(mk("bound exhausted").cells().0, "ovf");
-        assert_eq!(mk("cancelled").cells().0, "cxl");
-        assert_eq!(mk("interpolation failed").cells().0, "inc");
-        assert_eq!(mk("timeout").cells().1, "(9)");
+        assert_eq!(mk(StopReason::Timeout).cells().0, "t/o");
+        assert_eq!(mk(StopReason::BoundExhausted).cells().0, "ovf");
+        assert_eq!(mk(StopReason::Cancelled).cells().0, "cxl");
+        assert_eq!(mk(StopReason::Retired).cells().0, "cxl");
+        assert_eq!(mk(StopReason::MemLimit).cells().0, "mem");
+        assert_eq!(mk(StopReason::panic("boom")).cells().0, "pnc");
+        assert_eq!(
+            mk(StopReason::other("interpolation failed")).cells().0,
+            "inc"
+        );
+        assert_eq!(mk(StopReason::Timeout).cells().1, "(9)");
     }
 
     #[test]
@@ -724,7 +760,7 @@ mod tests {
         );
         let record = run_engine(&suite[0], Engine::ItpSeq, &options);
         assert!(record.result.verdict.is_conclusive());
-        capture.write();
+        capture.write().expect("trace written");
         let trace = std::fs::read_to_string(&jsonl).expect("jsonl written");
         assert!(
             trace.starts_with(r#"{"schema":"itpseq-trace/v1"}"#),

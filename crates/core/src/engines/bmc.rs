@@ -36,12 +36,11 @@
 //! this engine once per property.
 
 use crate::engines::{solver_probe, CancelToken, RunBudget};
+use crate::types::StopReason;
 use crate::{Certificate, EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
 use cnf::{BmcCheck, IncrementalUnroller};
 use sat::{IncrementalSolver, SolveResult, Solver, SolverStats};
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 use telemetry::ArgValue;
 
@@ -74,13 +73,12 @@ struct Depth0Check {
 /// initial states themselves violate the property.  All engines run this
 /// check before their main loops, which start at bound 1.
 ///
-/// The `interrupt` flag (a [`CancelToken`] flag or a `RunBudget` flag)
-/// reaches the solver, so even a hostile depth-0 instance stays
-/// cancellable.
+/// The run's `budget` (interrupt flag, memory budget, fault plan) governs
+/// the solver, so even a hostile depth-0 instance stays cancellable.
 fn initial_violation(
     aig: &Aig,
     bad_index: usize,
-    interrupt: Option<Arc<AtomicBool>>,
+    budget: Option<&RunBudget>,
     reduce: Option<u64>,
 ) -> Depth0Check {
     let encode_start = Instant::now();
@@ -99,7 +97,9 @@ fn initial_violation(
     let mut solver = Solver::new();
     solver.set_proof_logging(false);
     solver.set_reduce_interval(reduce);
-    solver.set_interrupt(interrupt);
+    if let Some(budget) = budget {
+        budget.govern(&mut solver);
+    }
     solver.add_cnf(&cnf);
     let encode_time = encode_start.elapsed();
     let (outcome, inputs) = match solver.solve() {
@@ -141,12 +141,7 @@ pub(crate) fn depth0_verdict(
     let span = options
         .telemetry
         .span_args("depth0", || vec![("bad", ArgValue::U64(bad_index as u64))]);
-    let depth0 = initial_violation(
-        aig,
-        bad_index,
-        Some(budget.flag()),
-        options.reduce_interval(),
-    );
+    let depth0 = initial_violation(aig, bad_index, Some(budget), options.reduce_interval());
     span.end();
     stats.sat_calls += 1;
     stats.add_solver_delta(depth0.solver);
@@ -162,7 +157,7 @@ pub(crate) fn depth0_verdict(
         }
         Depth0::Interrupted => Some((
             Verdict::Inconclusive {
-                reason: budget.interrupt_reason().to_string(),
+                reason: budget.interrupt_reason(),
                 bound_reached: 0,
             },
             None,
@@ -199,7 +194,7 @@ impl IncrementalBmc {
         bad_index: usize,
         check: BmcCheck,
         reduce: Option<u64>,
-        interrupt: Arc<AtomicBool>,
+        budget: &RunBudget,
         record_inputs: bool,
         stats: &mut EngineStats,
     ) -> IncrementalBmc {
@@ -220,7 +215,7 @@ impl IncrementalBmc {
         // replay copy of the whole unrolling.
         solver.set_recycle_threshold(0);
         solver.set_reduce_interval(reduce);
-        solver.set_interrupt(Some(interrupt));
+        budget.govern_incremental(&mut solver);
         stats.encode_time += encode_start.elapsed();
         IncrementalBmc {
             unroller,
@@ -319,7 +314,7 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
-    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options);
     let telemetry = &options.telemetry;
     let mut stats = EngineStats {
         visible_latches: aig.num_latches(),
@@ -352,7 +347,7 @@ pub fn verify_with_cancel(
         bad_index,
         options.check,
         options.reduce_interval(),
-        budget.flag(),
+        &budget,
         options.certificates,
         &mut stats,
     );
@@ -364,7 +359,7 @@ pub fn verify_with_cancel(
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: reason.to_string(),
+                    reason,
                     bound_reached: k.saturating_sub(1),
                 },
                 None,
@@ -392,7 +387,7 @@ pub fn verify_with_cancel(
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: budget.interrupt_reason().to_string(),
+                        reason: budget.interrupt_reason(),
                         bound_reached: k - 1,
                     },
                     None,
@@ -403,7 +398,7 @@ pub fn verify_with_cancel(
     finish(
         stats,
         Verdict::Inconclusive {
-            reason: "bound exhausted".to_string(),
+            reason: StopReason::BoundExhausted,
             bound_reached: options.max_bound,
         },
         None,
@@ -522,7 +517,7 @@ mod tests {
         }
         (
             Verdict::Inconclusive {
-                reason: "bound exhausted".to_string(),
+                reason: StopReason::BoundExhausted,
                 bound_reached: options.max_bound,
             },
             sat_calls,
@@ -682,7 +677,7 @@ mod tests {
         assert_eq!(
             result.verdict,
             Verdict::Inconclusive {
-                reason: "cancelled".to_string(),
+                reason: StopReason::Cancelled,
                 bound_reached: 0,
             }
         );
@@ -703,7 +698,7 @@ mod tests {
         assert_eq!(
             result.verdict,
             Verdict::Inconclusive {
-                reason: "timeout".to_string(),
+                reason: StopReason::Timeout,
                 bound_reached: 0,
             }
         );

@@ -83,7 +83,7 @@ fn solve(
 ) -> (SolveResult, Option<Proof>, Solver) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
-    solver.set_interrupt(Some(budget.flag()));
+    budget.govern(&mut solver);
     solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
@@ -155,7 +155,7 @@ pub fn verify_with_cancel(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
-    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options);
     let telemetry = &options.telemetry;
     let _run = telemetry.span_args("ITP.run", || {
         vec![("latches", ArgValue::U64(design.num_latches() as u64))]
@@ -189,11 +189,11 @@ pub fn verify_with_cancel(
     let identity: Vec<usize> = (0..design.num_latches()).collect();
 
     for k in 1..=options.max_bound {
-        if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
+        if let Some(reason) = budget.stop_reason() {
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: reason.to_string(),
+                    reason,
                     bound_reached: k - 1,
                 },
                 None,
@@ -226,7 +226,7 @@ pub fn verify_with_cancel(
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: budget.interrupt_reason().to_string(),
+                    reason: budget.interrupt_reason(),
                     bound_reached: k - 1,
                 },
                 None,
@@ -245,7 +245,7 @@ pub fn verify_with_cancel(
                     return finish(
                         stats,
                         Verdict::Inconclusive {
-                            reason,
+                            reason: crate::types::StopReason::other(reason),
                             bound_reached: k,
                         },
                         None,
@@ -276,11 +276,11 @@ pub fn verify_with_cancel(
                 return finish(stats, Verdict::Proved { k_fp: k, j_fp: j }, cert, start);
             }
             reached = space.or(reached, itp);
-            if let Some(reason) = crate::engines::stop_reason(cancel, start, options.timeout) {
+            if let Some(reason) = budget.stop_reason() {
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: reason.to_string(),
+                        reason,
                         bound_reached: k,
                     },
                     None,
@@ -306,7 +306,7 @@ pub fn verify_with_cancel(
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: budget.interrupt_reason().to_string(),
+                        reason: budget.interrupt_reason(),
                         bound_reached: k,
                     },
                     None,
@@ -320,7 +320,7 @@ pub fn verify_with_cancel(
     finish(
         stats,
         Verdict::Inconclusive {
-            reason: "bound exhausted".to_string(),
+            reason: crate::types::StopReason::BoundExhausted,
             bound_reached: options.max_bound,
         },
         None,

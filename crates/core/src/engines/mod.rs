@@ -17,6 +17,7 @@ pub mod portfolio;
 pub(crate) mod seq;
 pub mod sitpseq;
 
+use crate::types::StopReason;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use telemetry::{ArgValue, Telemetry};
@@ -108,17 +109,17 @@ impl CancelToken {
 }
 
 /// The stop decision shared by the engine main loops: cancellation takes
-/// precedence over the wall-clock budget, and the returned string is the
+/// precedence over the wall-clock budget, and the returned reason is the
 /// `Verdict::Inconclusive` reason.
 pub(crate) fn stop_reason(
     cancel: &CancelToken,
     start: std::time::Instant,
     timeout: std::time::Duration,
-) -> Option<&'static str> {
+) -> Option<StopReason> {
     if cancel.is_cancelled() {
-        Some("cancelled")
+        Some(StopReason::Cancelled)
     } else if start.elapsed() > timeout {
-        Some("timeout")
+        Some(StopReason::Timeout)
     } else {
         None
     }
@@ -142,23 +143,37 @@ const BUDGET_POLL: std::time::Duration = std::time::Duration::from_millis(5);
 ///
 /// The watchdog exits when the budget is dropped (the run finished) and
 /// is joined there, so no thread outlives its engine run.
+///
+/// Beyond cancellation and the deadline, the budget carries the run's
+/// resource-governance handles: the shared memory budget
+/// ([`Options::memory_limit`](crate::Options::memory_limit)), whose hit
+/// counter is snapshotted at arm time so a memory stop is attributable
+/// even after the tripping solver was dropped, and the fault-injection
+/// plan, whose `Phase` site ticks at every between-bounds stop check.
 pub(crate) struct RunBudget {
     cancel: CancelToken,
     start: std::time::Instant,
     timeout: std::time::Duration,
     flag: Arc<AtomicBool>,
+    memory: Option<sat::MemoryBudget>,
+    /// Memory-budget hits at arm time; more hits than this means *this*
+    /// run (or a concurrent sibling sharing the budget) stopped on memory.
+    mem_hits_at_arm: u64,
+    faults: sat::FaultPlan,
     stop: Option<std::sync::mpsc::Sender<()>>,
     watchdog: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RunBudget {
-    /// Arms a watchdog for a run that started at `start` with wall-clock
-    /// budget `timeout`, observing `cancel`.
+    /// Arms a watchdog for a run that started at `start`, governed by
+    /// `options` (wall-clock budget, memory budget, fault plan) and
+    /// observing `cancel`.
     pub fn arm(
         cancel: &CancelToken,
         start: std::time::Instant,
-        timeout: std::time::Duration,
+        options: &crate::Options,
     ) -> RunBudget {
+        let timeout = options.timeout;
         let flag = Arc::new(AtomicBool::new(cancel.is_cancelled()));
         let deadline = start.checked_add(timeout);
         let (stop, wake) = std::sync::mpsc::channel::<()>();
@@ -185,6 +200,12 @@ impl RunBudget {
             start,
             timeout,
             flag,
+            memory: options.memory_limit.clone(),
+            mem_hits_at_arm: options
+                .memory_limit
+                .as_ref()
+                .map_or(0, sat::MemoryBudget::hits),
+            faults: options.faults.clone(),
             stop: Some(stop),
             watchdog: Some(watchdog),
         }
@@ -195,18 +216,66 @@ impl RunBudget {
         Arc::clone(&self.flag)
     }
 
-    /// The between-bounds stop decision (see [`stop_reason`]).
-    pub fn stop_reason(&self) -> Option<&'static str> {
+    /// Installs the run's full governance on a solver: the interrupt
+    /// flag, the shared memory budget and the fault-injection plan.
+    pub fn govern(&self, solver: &mut sat::Solver) {
+        solver.set_interrupt(Some(self.flag()));
+        solver.set_memory_budget(self.memory.clone());
+        solver.set_faults(self.faults.clone());
+    }
+
+    /// [`govern`](Self::govern) for an [`sat::IncrementalSolver`] (the
+    /// settings additionally survive its recycling rebuilds).
+    pub fn govern_incremental(&self, solver: &mut sat::IncrementalSolver) {
+        solver.set_interrupt(Some(self.flag()));
+        solver.set_memory_budget(self.memory.clone());
+        solver.set_faults(self.faults.clone());
+    }
+
+    /// `true` when the shared memory budget recorded a hit since this
+    /// budget was armed.
+    fn memory_hit(&self) -> bool {
+        self.memory
+            .as_ref()
+            .is_some_and(|m| m.hits() > self.mem_hits_at_arm)
+    }
+
+    /// The between-bounds stop decision (see [`stop_reason`]), extended
+    /// with the memory budget — and the `Phase` fault-injection site: an
+    /// injected phase fault panics here (to be contained at the dispatch
+    /// boundary) or stops the run with a spurious-interrupt reason.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if let Some(kind) = self.faults.tick(sat::FaultSite::Phase) {
+            match kind {
+                sat::FaultKind::Panic => panic!("injected fault: panic at engine phase"),
+                sat::FaultKind::AllocFail => {
+                    panic!("injected fault: allocation failure at engine phase")
+                }
+                sat::FaultKind::Interrupt => {
+                    // Stop the solvers too: the run is over.
+                    self.flag.store(true, Ordering::Release);
+                    return Some(StopReason::other("fault:interrupt"));
+                }
+            }
+        }
+        if self.memory_hit() && !self.cancel.is_cancelled() {
+            return Some(StopReason::MemLimit);
+        }
         stop_reason(&self.cancel, self.start, self.timeout)
     }
 
     /// The reason behind a [`sat::SolveResult::Interrupted`] answer:
-    /// cancellation takes precedence, anything else was the deadline.
-    pub fn interrupt_reason(&self) -> &'static str {
+    /// cancellation takes precedence, then a memory-budget hit, then an
+    /// injected spurious interrupt; anything else was the deadline.
+    pub fn interrupt_reason(&self) -> StopReason {
         if self.cancel.is_cancelled() {
-            "cancelled"
+            StopReason::Cancelled
+        } else if self.memory_hit() {
+            StopReason::MemLimit
+        } else if self.faults.fired() && self.faults.kind() == Some(sat::FaultKind::Interrupt) {
+            StopReason::other("fault:interrupt")
         } else {
-            "timeout"
+            StopReason::Timeout
         }
     }
 }
@@ -246,23 +315,17 @@ mod tests {
     fn run_budget_starts_raised_for_a_cancelled_token() {
         let token = CancelToken::new();
         token.cancel();
-        let budget = RunBudget::arm(
-            &token,
-            std::time::Instant::now(),
-            std::time::Duration::from_secs(600),
-        );
+        let options = crate::Options::default().with_timeout(std::time::Duration::from_secs(600));
+        let budget = RunBudget::arm(&token, std::time::Instant::now(), &options);
         assert!(budget.flag().load(Ordering::Acquire));
         assert_eq!(budget.interrupt_reason(), "cancelled");
-        assert_eq!(budget.stop_reason(), Some("cancelled"));
+        assert_eq!(budget.stop_reason(), Some(StopReason::Cancelled));
     }
 
     #[test]
     fn run_budget_raises_the_flag_at_the_deadline() {
-        let budget = RunBudget::arm(
-            &CancelToken::new(),
-            std::time::Instant::now(),
-            std::time::Duration::from_millis(1),
-        );
+        let options = crate::Options::default().with_timeout(std::time::Duration::from_millis(1));
+        let budget = RunBudget::arm(&CancelToken::new(), std::time::Instant::now(), &options);
         let flag = budget.flag();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while !flag.load(Ordering::Acquire) {
@@ -278,13 +341,68 @@ mod tests {
     #[test]
     fn run_budget_watchdog_exits_on_drop() {
         // Arming and dropping immediately must not dead-lock the join.
+        let options = crate::Options::default().with_timeout(std::time::Duration::from_secs(600));
         for _ in 0..8 {
-            let budget = RunBudget::arm(
-                &CancelToken::new(),
-                std::time::Instant::now(),
-                std::time::Duration::from_secs(600),
-            );
+            let budget = RunBudget::arm(&CancelToken::new(), std::time::Instant::now(), &options);
             drop(budget);
         }
+    }
+
+    #[test]
+    fn run_budget_attributes_memory_hits() {
+        let options = crate::Options::default()
+            .with_timeout(std::time::Duration::from_secs(600))
+            .with_memory_limit(1 << 20);
+        let budget = RunBudget::arm(&CancelToken::new(), std::time::Instant::now(), &options);
+        assert_eq!(budget.stop_reason(), None);
+        // A hit on the shared budget — e.g. from a solver that has since
+        // been dropped — re-attributes the stop to the memory limit.
+        options
+            .memory_limit
+            .as_ref()
+            .expect("limit set")
+            .record_hit();
+        assert_eq!(budget.interrupt_reason(), "memlimit");
+        assert_eq!(budget.stop_reason(), Some(StopReason::MemLimit));
+        // Cancellation still takes precedence.
+        let token = CancelToken::new();
+        let budget = RunBudget::arm(&token, std::time::Instant::now(), &options);
+        token.cancel();
+        assert_eq!(budget.interrupt_reason(), "cancelled");
+    }
+
+    #[test]
+    fn run_budget_hits_before_arming_do_not_count() {
+        let options = crate::Options::default()
+            .with_timeout(std::time::Duration::from_secs(600))
+            .with_memory_limit(1 << 20);
+        options
+            .memory_limit
+            .as_ref()
+            .expect("limit set")
+            .record_hit();
+        // The hit predates this run: a fresh budget must not blame memory.
+        let budget = RunBudget::arm(&CancelToken::new(), std::time::Instant::now(), &options);
+        assert_eq!(budget.stop_reason(), None);
+        assert_eq!(budget.interrupt_reason(), "timeout");
+    }
+
+    #[test]
+    fn run_budget_phase_fault_stops_the_run_once() {
+        let options = crate::Options::default()
+            .with_timeout(std::time::Duration::from_secs(600))
+            .with_faults(sat::FaultPlan::inject(
+                sat::FaultSite::Phase,
+                sat::FaultKind::Interrupt,
+                2,
+            ));
+        let budget = RunBudget::arm(&CancelToken::new(), std::time::Instant::now(), &options);
+        assert_eq!(budget.stop_reason(), None, "first phase tick does not fire");
+        let reason = budget.stop_reason().expect("second phase tick fires");
+        assert_eq!(reason, "fault:interrupt");
+        assert!(
+            budget.flag().load(Ordering::Acquire),
+            "the injected stop also interrupts the solvers"
+        );
     }
 }

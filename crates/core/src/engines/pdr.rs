@@ -103,7 +103,7 @@ pub fn verify_with_cancel(
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
-    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options);
     if let Some((verdict, certificate)) =
         crate::engines::bmc::depth0_verdict(aig, bad_index, &budget, &mut stats, options)
     {
@@ -159,7 +159,7 @@ pub(crate) fn verify_all_with_cancel(
         visible_latches: aig.num_latches(),
         ..EngineStats::default()
     };
-    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options);
     let mut statuses = StatusSlots::new(props.len(), board, telemetry.clone());
     let mut pdr = Pdr::new(aig, props, options, start, stats, &budget);
 
@@ -256,7 +256,7 @@ pub(crate) fn verify_all_with_cancel(
             return finish(pdr, statuses);
         }
     }
-    statuses.give_up("bound exhausted", options.max_bound);
+    statuses.give_up(crate::types::StopReason::BoundExhausted, options.max_bound);
     finish(pdr, statuses)
 }
 
@@ -367,7 +367,7 @@ impl<'a> Pdr<'a> {
         let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
         let mut init_solver = IncrementalSolver::with_base(&template);
         init_solver.set_reduce_interval(options.reduce_interval());
-        init_solver.set_interrupt(Some(budget.flag()));
+        budget.govern_incremental(&mut init_solver);
         init_solver.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
@@ -375,7 +375,7 @@ impl<'a> Pdr<'a> {
         }
         let mut lift = IncrementalSolver::with_base(&template);
         lift.set_reduce_interval(options.reduce_interval());
-        lift.set_interrupt(Some(budget.flag()));
+        budget.govern_incremental(&mut lift);
         lift.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
 
         Pdr {
@@ -417,7 +417,7 @@ impl<'a> Pdr<'a> {
                         .finish(Verdict::Falsified { depth }, trace.map(Certificate::Trace));
                 }
                 Phase::Stopped => {
-                    let reason = self.stop_reason().to_string();
+                    let reason = self.stop_reason();
                     return self.finish(
                         Verdict::Inconclusive {
                             reason,
@@ -446,7 +446,7 @@ impl<'a> Pdr<'a> {
                 );
             }
             if self.stopped() {
-                let reason = self.stop_reason().to_string();
+                let reason = self.stop_reason();
                 return self.finish(
                     Verdict::Inconclusive {
                         reason,
@@ -459,7 +459,7 @@ impl<'a> Pdr<'a> {
         let bound_reached = self.options.max_bound;
         self.finish(
             Verdict::Inconclusive {
-                reason: "bound exhausted".to_string(),
+                reason: crate::types::StopReason::BoundExhausted,
                 bound_reached,
             },
             None,
@@ -499,8 +499,10 @@ impl<'a> Pdr<'a> {
     }
 
     /// The reason to report for a stop, cancellation taking precedence.
-    fn stop_reason(&self) -> &'static str {
-        self.budget.stop_reason().unwrap_or("timeout")
+    fn stop_reason(&self) -> crate::types::StopReason {
+        self.budget
+            .stop_reason()
+            .unwrap_or(crate::types::StopReason::Timeout)
     }
 
     /// Opens frame `k`: a fresh unconstrained frontier with its own solver.
@@ -511,7 +513,7 @@ impl<'a> Pdr<'a> {
         });
         let mut solver = IncrementalSolver::with_base(&self.template);
         solver.set_reduce_interval(self.options.reduce_interval());
-        solver.set_interrupt(Some(self.budget.flag()));
+        self.budget.govern_incremental(&mut solver);
         solver.set_progress_probe(solver_probe(
             &self.options.telemetry,
             self.options.probe_interval,
@@ -793,7 +795,7 @@ impl<'a> Pdr<'a> {
             .collect();
         if self.threads > 1 && cubes.len() >= PAR_MIN_ITEMS {
             let solver = &self.solvers[frame];
-            let answers: Vec<(SolveResult, sat::SolverStats)> = pool::map_chunked(
+            let (answers, reruns): (Vec<(SolveResult, sat::SolverStats)>, u64) = pool::map_chunked(
                 &assumption_sets,
                 self.threads,
                 || solver.clone(),
@@ -803,6 +805,7 @@ impl<'a> Pdr<'a> {
                     (result, worker.stats() - before)
                 },
             );
+            self.record_pool_reruns(reruns);
             for &(_, delta) in &answers {
                 self.stats.sat_calls += 1;
                 self.stats.add_solver_delta(delta);
@@ -832,10 +835,13 @@ impl<'a> Pdr<'a> {
     /// `None` without a query.  Every clone starts from the same solver
     /// state, so the outcome vector is independent of the thread count.
     fn screen_drop_candidates(&mut self, frame: usize, candidates: &[Cube]) -> Vec<Option<Cube>> {
+        // One screened candidate: the core-shrunk sub-cube (when the
+        // query blocked), the solver-stat delta, and the interrupt bit.
+        type Screened = (Option<Vec<Lit>>, sat::SolverStats, bool);
         debug_assert!(frame >= 1 && frame <= self.frames.level());
         let this = &*self;
         let solver = &this.solvers[frame - 1];
-        let answers: Vec<(Option<Vec<Lit>>, sat::SolverStats, bool)> = pool::map_chunked(
+        let (answers, reruns): (Vec<Screened>, u64) = pool::map_chunked(
             candidates,
             this.threads,
             || solver,
@@ -868,6 +874,7 @@ impl<'a> Pdr<'a> {
                 }
             },
         );
+        self.record_pool_reruns(reruns);
         let mut outcomes = Vec::with_capacity(candidates.len());
         for ((core, delta, queried), candidate) in answers.into_iter().zip(candidates) {
             if queried {
@@ -883,6 +890,17 @@ impl<'a> Pdr<'a> {
             }));
         }
         outcomes
+    }
+
+    /// Books a degraded parallel pass: `reruns` chunks fell back to the
+    /// deterministic sequential replay after a contained worker panic.
+    fn record_pool_reruns(&mut self, reruns: u64) {
+        if reruns > 0 {
+            self.stats.pool_seq_reruns += reruns;
+            self.options.telemetry.instant_args("degraded", || {
+                vec![("pool_seq_reruns", ArgValue::U64(reruns))]
+            });
+        }
     }
 
     /// Records `¬cube` as a lemma of frames `1..=frame`.

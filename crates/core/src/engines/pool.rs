@@ -6,6 +6,18 @@
 //! by index* and results are stitched back together *in item order*, so
 //! the output of [`map_chunked`] is a pure function of the inputs — never
 //! of thread scheduling or of the number of workers.
+//!
+//! # Fault containment
+//!
+//! A panic inside a worker is caught at the chunk boundary and the whole
+//! chunk is deterministically replayed *sequentially* on the calling
+//! thread with a freshly seeded context.  The replay sees exactly the
+//! item order the worker would have, so a faulted parallel pass still
+//! produces the result vector of the unfaulted run — verdicts stay
+//! thread-count-invariant even under injected faults (which fire at most
+//! once, so the replay cannot re-panic on the same injection).  The
+//! number of replayed chunks is reported so engines can surface degraded
+//! runs in their statistics and traces.
 
 use std::num::NonZeroUsize;
 
@@ -17,7 +29,8 @@ pub(crate) fn default_threads() -> usize {
 }
 
 /// Maps every item through `work` on at most `threads` scoped worker
-/// threads, returning results in item order.
+/// threads, returning results in item order together with the number of
+/// chunks that had to be replayed sequentially after a worker panic.
 ///
 /// `seed` builds one mutable context per chunk on the calling thread
 /// (e.g. a cloned SAT solver); `work` consumes it item by item.  Because
@@ -29,7 +42,7 @@ pub(crate) fn map_chunked<T, C, R>(
     threads: usize,
     mut seed: impl FnMut() -> C,
     work: impl Fn(&mut C, &T) -> R + Sync,
-) -> Vec<R>
+) -> (Vec<R>, u64)
 where
     T: Sync,
     C: Send,
@@ -38,49 +51,71 @@ where
     let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 {
         let mut context = seed();
-        return items.iter().map(|item| work(&mut context, item)).collect();
+        let results = items.iter().map(|item| work(&mut context, item)).collect();
+        return (results, 0);
     }
     let chunk_len = items.len().div_ceil(threads);
-    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
-    let contexts: Vec<C> = (0..chunks.len()).map(|_| seed()).collect();
+    let contexts: Vec<C> = items.chunks(chunk_len).map(|_| seed()).collect();
     let work = &work;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
+    let outcomes: Vec<Option<Vec<R>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
             .zip(contexts)
             .map(|(chunk, mut context)| {
                 scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|item| work(&mut context, item))
-                        .collect::<Vec<R>>()
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        chunk
+                            .iter()
+                            .map(|item| work(&mut context, item))
+                            .collect::<Vec<R>>()
+                    }))
+                    .ok()
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|handle| handle.join().expect("worker threads do not panic"))
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("chunk panics are caught in the worker")
+            })
             .collect()
-    })
+    });
+    let mut results = Vec::with_capacity(items.len());
+    let mut reruns = 0u64;
+    for (chunk, outcome) in items.chunks(chunk_len).zip(outcomes) {
+        match outcome {
+            Some(chunk_results) => results.extend(chunk_results),
+            None => {
+                reruns += 1;
+                let mut context = seed();
+                results.extend(chunk.iter().map(|item| work(&mut context, item)));
+            }
+        }
+    }
+    (results, reruns)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     #[test]
     fn preserves_item_order() {
         let items: Vec<usize> = (0..23).collect();
-        let doubled = map_chunked(&items, 4, || (), |_, &i| i * 2);
+        let (doubled, reruns) = map_chunked(&items, 4, || (), |_, &i| i * 2);
         assert_eq!(doubled, (0..23).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(reruns, 0);
     }
 
     #[test]
     fn results_are_invariant_in_the_thread_count() {
         let items: Vec<u64> = (0..57).collect();
-        let reference = map_chunked(&items, 1, || 3u64, |offset, &i| i + *offset);
+        let (reference, _) = map_chunked(&items, 1, || 3u64, |offset, &i| i + *offset);
         for threads in [2, 3, 5, 8, 64] {
-            let parallel = map_chunked(&items, threads, || 3u64, |offset, &i| i + *offset);
+            let (parallel, _) = map_chunked(&items, threads, || 3u64, |offset, &i| i + *offset);
             assert_eq!(parallel, reference, "threads = {threads}");
         }
     }
@@ -88,15 +123,15 @@ mod tests {
     #[test]
     fn handles_empty_and_singleton_inputs() {
         let empty: Vec<u8> = Vec::new();
-        assert!(map_chunked(&empty, 8, || (), |_, &i| i).is_empty());
-        assert_eq!(map_chunked(&[7u8], 8, || (), |_, &i| i + 1), vec![8]);
+        assert!(map_chunked(&empty, 8, || (), |_, &i| i).0.is_empty());
+        assert_eq!(map_chunked(&[7u8], 8, || (), |_, &i| i + 1).0, vec![8]);
     }
 
     #[test]
     fn contexts_are_per_chunk() {
         // Each chunk's context counts its own items; totals must cover all.
         let items: Vec<usize> = (0..10).collect();
-        let counted = map_chunked(
+        let (counted, _) = map_chunked(
             &items,
             3,
             || 0usize,
@@ -111,5 +146,47 @@ mod tests {
             .map(|&(_, seen)| usize::from(seen == 1))
             .sum();
         assert!(total >= 3, "at least one fresh context per chunk");
+    }
+
+    #[test]
+    fn panicking_chunks_are_replayed_sequentially() {
+        // One item panics exactly once (like an injected fault): the chunk
+        // holding it is replayed and the merged results match the clean run.
+        let items: Vec<usize> = (0..23).collect();
+        let fired = AtomicBool::new(false);
+        let (results, reruns) = map_chunked(
+            &items,
+            4,
+            || (),
+            |_, &i| {
+                if i == 13 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("injected fault: worker panic");
+                }
+                i * 2
+            },
+        );
+        assert_eq!(results, (0..23).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(reruns, 1);
+    }
+
+    #[test]
+    fn every_chunk_faulting_still_completes() {
+        // All workers panic immediately; the sequential replays (on the
+        // caller thread) finish the job.
+        let items: Vec<usize> = (0..16).collect();
+        let caller = std::thread::current().id();
+        let (results, reruns) = map_chunked(
+            &items,
+            4,
+            || (),
+            |_, &i| {
+                if std::thread::current().id() != caller {
+                    panic!("injected fault: worker panic");
+                }
+                i + 1
+            },
+        );
+        assert_eq!(results, (1..=16).collect::<Vec<_>>());
+        assert_eq!(reruns, 4);
     }
 }

@@ -47,7 +47,7 @@
 //! the race.
 
 use crate::engines::CancelToken;
-use crate::{Engine, EngineResult, Options, Verdict};
+use crate::{Engine, EngineResult, Options, StopReason, Verdict};
 use aig::Aig;
 use std::cmp::Reverse;
 use std::sync::mpsc;
@@ -170,6 +170,48 @@ pub fn verify_with_cancel(
         collected
     });
 
+    // A race in which *every* entrant faulted has no meaningful "furthest"
+    // entrant to adopt: report one machine-readable Inconclusive carrying
+    // the per-entrant panic reasons, with no winner tagged (the aggregated
+    // stats still cover all entrants).
+    let all_faulted = !collected.is_empty()
+        && collected.iter().all(|slot| {
+            matches!(
+                slot.as_ref().map(|r| &r.verdict),
+                Some(Verdict::Inconclusive {
+                    reason: StopReason::Panic(_),
+                    ..
+                })
+            )
+        });
+    if all_faulted {
+        let mut stats = crate::EngineStats {
+            visible_latches: aig.num_latches(),
+            ..Default::default()
+        };
+        let mut reasons = Vec::new();
+        for (slot, result) in collected.iter().enumerate() {
+            let result = result.as_ref().expect("all_faulted checked every slot");
+            stats.absorb(&result.stats);
+            if let Verdict::Inconclusive { reason, .. } = &result.verdict {
+                reasons.push(format!("{}: {}", ENTRANTS[slot].name(), reason));
+            }
+        }
+        stats.time = start.elapsed();
+        let reason = StopReason::other(reasons.join("; "));
+        telemetry.instant_args("entrant.all_faulted", || {
+            vec![("reason", ArgValue::Str(reason.to_string()))]
+        });
+        return EngineResult {
+            verdict: Verdict::Inconclusive {
+                reason,
+                bound_reached: 0,
+            },
+            stats,
+            certificate: None,
+        };
+    }
+
     // Adopt by fixed entrant precedence: first the conclusive results,
     // otherwise the inconclusive entrant that got furthest.
     let adopted = ENTRANTS
@@ -216,7 +258,7 @@ pub fn verify_with_cancel(
         }
         None => EngineResult {
             verdict: Verdict::Inconclusive {
-                reason: "portfolio: every entrant failed to report".to_string(),
+                reason: StopReason::other("portfolio: every entrant failed to report"),
                 bound_reached: 0,
             },
             stats: crate::EngineStats {

@@ -209,7 +209,7 @@ fn solve(
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
-    solver.set_interrupt(Some(budget.flag()));
+    budget.govern(&mut solver);
     solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
@@ -267,7 +267,7 @@ fn falsification_trace(
     let mut solver = Solver::new();
     solver.set_proof_logging(false);
     solver.set_reduce_interval(reduce);
-    solver.set_interrupt(Some(budget.flag()));
+    budget.govern(&mut solver);
     solver.add_cnf(&cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -339,7 +339,8 @@ fn compute_sequence(
     stats: &mut EngineStats,
     budget: &RunBudget,
     telemetry: &Telemetry,
-) -> Result<Vec<aig::Lit>, String> {
+) -> Result<Vec<aig::Lit>, crate::types::StopReason> {
+    use crate::types::StopReason;
     let n = bound + 1;
     let serial = ((alpha_serial * n as f64).floor() as usize).min(bound);
     let mut sequence: Vec<aig::Lit> = Vec::with_capacity(bound);
@@ -371,16 +372,17 @@ fn compute_sequence(
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
-                    return Err(format!(
+                    return Err(StopReason::other(format!(
                         "serial interpolation step {j} was unexpectedly satisfiable"
-                    ));
+                    )));
                 }
-                SolveResult::Interrupted => return Err(budget.interrupt_reason().to_string()),
+                SolveResult::Interrupted => return Err(budget.interrupt_reason()),
             }
             (Some(inst), proof.expect("unsat result has a proof"))
         };
         let inst_ref = instance.as_ref().unwrap_or(full_instance);
-        let itp = extract_interpolants(&proof, inst_ref, &[2], space, model_to_concrete, stats)?;
+        let itp = extract_interpolants(&proof, inst_ref, &[2], space, model_to_concrete, stats)
+            .map_err(StopReason::other)?;
         sequence.push(itp[0]);
     }
 
@@ -397,7 +399,8 @@ fn compute_sequence(
                 space,
                 model_to_concrete,
                 stats,
-            )?;
+            )
+            .map_err(StopReason::other)?;
             sequence.extend(itps);
         } else {
             let prev = sequence[serial - 1];
@@ -420,16 +423,16 @@ fn compute_sequence(
             match result {
                 SolveResult::Unsat => {}
                 SolveResult::Sat => {
-                    return Err(
-                        "parallel remainder of the serial sequence was unexpectedly satisfiable"
-                            .to_string(),
-                    );
+                    return Err(StopReason::other(
+                        "parallel remainder of the serial sequence was unexpectedly satisfiable",
+                    ));
                 }
-                SolveResult::Interrupted => return Err(budget.interrupt_reason().to_string()),
+                SolveResult::Interrupted => return Err(budget.interrupt_reason()),
             }
             let proof = proof.expect("unsat result has a proof");
             let cuts: Vec<u32> = (2..=(bound - serial + 1) as u32).collect();
-            let itps = extract_interpolants(&proof, &inst, &cuts, space, model_to_concrete, stats)?;
+            let itps = extract_interpolants(&proof, &inst, &cuts, space, model_to_concrete, stats)
+                .map_err(StopReason::other)?;
             sequence.extend(itps);
         }
     }
@@ -507,7 +510,7 @@ fn extend_or_refine(
     // skip chain recording so DB reduction stays unrestricted.
     solver.set_proof_logging(false);
     solver.set_reduce_interval(reduce);
-    solver.set_interrupt(Some(budget.flag()));
+    budget.govern(&mut solver);
     solver.add_cnf(&cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -557,7 +560,7 @@ pub(crate) fn run(
     cancel: &CancelToken,
 ) -> EngineResult {
     let start = Instant::now();
-    let budget = RunBudget::arm(cancel, start, options.timeout);
+    let budget = RunBudget::arm(cancel, start, options);
     let stop_reason = || budget.stop_reason();
     let telemetry = &options.telemetry;
     let run_label = format!("{}.run", config.name);
@@ -617,7 +620,7 @@ pub(crate) fn run(
             return finish(
                 stats,
                 Verdict::Inconclusive {
-                    reason: reason.to_string(),
+                    reason,
                     bound_reached: k - 1,
                 },
                 None,
@@ -652,7 +655,7 @@ pub(crate) fn run(
                     return finish(
                         stats,
                         Verdict::Inconclusive {
-                            reason: budget.interrupt_reason().to_string(),
+                            reason: budget.interrupt_reason(),
                             bound_reached: k - 1,
                         },
                         None,
@@ -702,7 +705,7 @@ pub(crate) fn run(
                             return finish(
                                 stats,
                                 Verdict::Inconclusive {
-                                    reason: budget.interrupt_reason().to_string(),
+                                    reason: budget.interrupt_reason(),
                                     bound_reached: k - 1,
                                 },
                                 None,
@@ -731,7 +734,7 @@ pub(crate) fn run(
                 return finish(
                     stats,
                     Verdict::Inconclusive {
-                        reason: reason.to_string(),
+                        reason,
                         bound_reached: k,
                     },
                     None,
@@ -826,7 +829,7 @@ pub(crate) fn run(
     finish(
         stats,
         Verdict::Inconclusive {
-            reason: "bound exhausted".to_string(),
+            reason: crate::types::StopReason::BoundExhausted,
             bound_reached: options.max_bound,
         },
         None,

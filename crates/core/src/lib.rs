@@ -76,5 +76,8 @@ pub use certificate::{CertRecord, Certificate, InvariantCert, InvariantCone};
 pub use engines::{bmc, itp, itpseq, itpseq_cba, pdr, portfolio, sitpseq, CancelToken};
 pub use multi::verify_all;
 pub use pipeline::{prepare, prepare_property, Prepared};
+pub use sat::{FaultKind, FaultPlan, FaultSite, MemoryBudget};
 pub use telemetry::Telemetry;
-pub use types::{Engine, EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};
+pub use types::{
+    Engine, EngineResult, EngineStats, MultiResult, Options, PropertyStatus, StopReason, Verdict,
+};

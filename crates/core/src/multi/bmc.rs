@@ -156,7 +156,7 @@ impl<'a> MultiBmc<'a> {
                 ("latches", ArgValue::U64(self.aig.num_latches() as u64)),
             ]
         });
-        let budget = RunBudget::arm(cancel, self.start, self.options.timeout);
+        let budget = RunBudget::arm(cancel, self.start, self.options);
         if self.slots.is_empty() {
             return self.finish();
         }
@@ -169,7 +169,7 @@ impl<'a> MultiBmc<'a> {
         // record a dead replay copy of the whole unrolling.
         solver.set_recycle_threshold(0);
         solver.set_reduce_interval(self.options.reduce_interval());
-        solver.set_interrupt(Some(budget.flag()));
+        budget.govern_incremental(&mut solver);
         solver.set_progress_probe(solver_probe(&telemetry, self.options.probe_interval));
         let frame0 = unroller.bad_lits(0, self.slots.iter().map(|slot| slot.property));
         for (slot, bad) in self.slots.iter_mut().zip(frame0) {
@@ -297,7 +297,7 @@ impl<'a> MultiBmc<'a> {
             }
         }
         self.statuses
-            .give_up("bound exhausted", self.options.max_bound);
+            .give_up(crate::StopReason::BoundExhausted, self.options.max_bound);
         self.finish()
     }
 }

@@ -69,7 +69,7 @@ pub mod pdr;
 pub mod scheduler;
 
 use crate::engines::CancelToken;
-use crate::{Engine, EngineStats, MultiResult, Options, PropertyStatus};
+use crate::{Engine, EngineStats, MultiResult, Options, PropertyStatus, StopReason};
 use aig::Aig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -257,7 +257,7 @@ impl<'a> StatusSlots<'a> {
     }
 
     /// Marks every undecided slot inconclusive (budget exhausted).
-    pub fn give_up(&mut self, reason: &str, bound_reached: usize) {
+    pub fn give_up(&mut self, reason: StopReason, bound_reached: usize) {
         let undecided = self.slots.iter().filter(|slot| slot.is_none()).count() as u64;
         if undecided > 0 {
             self.telemetry.instant_args("prop.giveup", || {
@@ -271,7 +271,7 @@ impl<'a> StatusSlots<'a> {
         for slot in &mut self.slots {
             if slot.is_none() {
                 *slot = Some(PropertyStatus::Inconclusive {
-                    reason: reason.to_string(),
+                    reason: reason.clone(),
                     bound_reached,
                 });
             }
@@ -288,7 +288,7 @@ impl<'a> StatusSlots<'a> {
                 self.telemetry
                     .instant_args("prop.retired", || vec![("prop", ArgValue::U64(i as u64))]);
                 *slot = Some(PropertyStatus::Inconclusive {
-                    reason: "retired".to_string(),
+                    reason: StopReason::Retired,
                     bound_reached,
                 });
             }
@@ -306,7 +306,7 @@ impl<'a> StatusSlots<'a> {
             self.telemetry
                 .instant_args("prop.retired", || vec![("prop", ArgValue::U64(i as u64))]);
             self.slots[i] = Some(PropertyStatus::Inconclusive {
-                reason: "retired".to_string(),
+                reason: StopReason::Retired,
                 bound_reached,
             });
             return true;

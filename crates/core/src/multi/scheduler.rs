@@ -27,10 +27,32 @@
 
 use crate::engines::CancelToken;
 use crate::multi::{bmc, RetireBoard};
-use crate::{EngineStats, MultiResult, Options, PropertyStatus};
+use crate::{EngineStats, MultiResult, Options, PropertyStatus, StopReason};
 use aig::Aig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use telemetry::ArgValue;
+
+/// A result standing in for a faulted (panicked) backend or group: every
+/// property inconclusive with the contained panic as its reason.  The
+/// healthy racing partner's statuses win the per-property adoption (a
+/// panic carries `bound_reached` 0), so one faulted backend never costs
+/// a group its conclusive answers.
+fn faulted_result(n: usize, payload: &(dyn std::any::Any + Send)) -> MultiResult {
+    let reason = StopReason::Panic(crate::types::panic_message(payload));
+    MultiResult {
+        statuses: (0..n)
+            .map(|_| PropertyStatus::Inconclusive {
+                reason: reason.clone(),
+                bound_reached: 0,
+            })
+            .collect(),
+        stats: EngineStats {
+            panics_contained: 1,
+            ..EngineStats::default()
+        },
+    }
+}
 
 /// Verifies every bad-state property of `aig`: COI grouping, then one
 /// racing multi-PDR/multi-BMC pair per group.  `cois`, when given, are
@@ -91,11 +113,19 @@ pub(crate) fn verify_all_with_cancel(
         let batch_results: Vec<MultiResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = batch
                 .iter()
-                .map(|props| scope.spawn(move || race_group(aig, props, options, cancel)))
+                .map(|props| {
+                    scope.spawn(move || {
+                        // A panicking group must not tear down the whole
+                        // schedule: contain it and report its properties
+                        // inconclusive while the other groups finish.
+                        catch_unwind(AssertUnwindSafe(|| race_group(aig, props, options, cancel)))
+                            .unwrap_or_else(|payload| faulted_result(props.len(), payload.as_ref()))
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("group thread"))
+                .map(|h| h.join().expect("group panics are caught in the thread"))
                 .collect()
         });
         for (props, result) in batch.iter().zip(batch_results) {
@@ -140,22 +170,32 @@ fn race_group(aig: &Aig, props: &[usize], options: &Options, cancel: &CancelToke
     let pdr_options = scoped("PDR");
     let bmc_options = scoped("BMC");
     let (pdr, bmc) = std::thread::scope(|scope| {
+        // Each entrant is its own containment domain: a panic in one is
+        // caught at the thread boundary and the race goes on with the
+        // survivor (its board publications up to the fault still stand).
         let pdr = scope.spawn(|| {
-            crate::engines::pdr::verify_all_with_cancel(
-                aig,
-                props,
-                &pdr_options,
-                cancel,
-                Some(&board),
-            )
+            catch_unwind(AssertUnwindSafe(|| {
+                crate::engines::pdr::verify_all_with_cancel(
+                    aig,
+                    props,
+                    &pdr_options,
+                    cancel,
+                    Some(&board),
+                )
+            }))
         });
-        let bmc = scope
-            .spawn(|| bmc::verify_all_with_cancel(aig, props, &bmc_options, cancel, Some(&board)));
+        let bmc = scope.spawn(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                bmc::verify_all_with_cancel(aig, props, &bmc_options, cancel, Some(&board))
+            }))
+        });
         (
-            pdr.join().expect("pdr entrant"),
-            bmc.join().expect("bmc entrant"),
+            pdr.join().expect("entrant panics are caught in the thread"),
+            bmc.join().expect("entrant panics are caught in the thread"),
         )
     });
+    let pdr = pdr.unwrap_or_else(|payload| faulted_result(props.len(), payload.as_ref()));
+    let bmc = bmc.unwrap_or_else(|payload| faulted_result(props.len(), payload.as_ref()));
 
     let mut stats = EngineStats::default();
     stats.absorb(&pdr.stats);

@@ -6,7 +6,93 @@ use cnf::BmcCheck;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
-use telemetry::Telemetry;
+use telemetry::{ArgValue, Telemetry};
+
+/// Why an engine stopped without an answer — the machine-readable
+/// vocabulary behind every [`Verdict::Inconclusive`].
+///
+/// The enum replaces the earlier ad-hoc reason strings; its
+/// [`Display`](fmt::Display) form reproduces them exactly (`"timeout"`,
+/// `"cancelled"`, `"bound exhausted"`, …), and `reason == "timeout"`
+/// comparisons against string literals still work through the
+/// [`PartialEq<str>`] impl, so downstream consumers (reports, JSON,
+/// tests) see the same surface as before.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock budget ([`Options::timeout`]) ran out.
+    Timeout,
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The memory budget ([`Options::memory_limit`]) was exhausted.
+    MemLimit,
+    /// The bound budget ([`Options::max_bound`]) was exhausted.
+    BoundExhausted,
+    /// A multi-property backend retired the property because a
+    /// concurrent backend decided it first.
+    Retired,
+    /// A panic was contained at an engine boundary; the payload is the
+    /// panic message.
+    Panic(String),
+    /// Any other engine-specific reason.
+    Other(String),
+}
+
+impl StopReason {
+    /// Wraps an arbitrary reason string.
+    pub fn other(reason: impl Into<String>) -> StopReason {
+        StopReason::Other(reason.into())
+    }
+
+    /// Wraps a contained panic's message.
+    pub fn panic(message: impl Into<String>) -> StopReason {
+        StopReason::Panic(message.into())
+    }
+
+    /// `true` for the reasons a budget artifact may legitimately produce
+    /// (the run was stopped from outside, not by the engine's own
+    /// limits).
+    pub fn is_budget_stop(&self) -> bool {
+        matches!(
+            self,
+            StopReason::Timeout | StopReason::Cancelled | StopReason::MemLimit
+        )
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Timeout => f.write_str("timeout"),
+            StopReason::Cancelled => f.write_str("cancelled"),
+            StopReason::MemLimit => f.write_str("memlimit"),
+            StopReason::BoundExhausted => f.write_str("bound exhausted"),
+            StopReason::Retired => f.write_str("retired"),
+            StopReason::Panic(msg) => write!(f, "panic:{msg}"),
+            StopReason::Other(reason) => f.write_str(reason),
+        }
+    }
+}
+
+/// Compares against the rendered reason string (`reason == "timeout"`).
+impl PartialEq<str> for StopReason {
+    fn eq(&self, other: &str) -> bool {
+        match self {
+            StopReason::Timeout => other == "timeout",
+            StopReason::Cancelled => other == "cancelled",
+            StopReason::MemLimit => other == "memlimit",
+            StopReason::BoundExhausted => other == "bound exhausted",
+            StopReason::Retired => other == "retired",
+            StopReason::Panic(msg) => other.strip_prefix("panic:").is_some_and(|rest| rest == msg),
+            StopReason::Other(reason) => other == reason,
+        }
+    }
+}
+
+impl PartialEq<&str> for StopReason {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
 
 /// Outcome of a verification run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,10 +110,11 @@ pub enum Verdict {
         /// Length of the counterexample (number of transitions).
         depth: usize,
     },
-    /// The engine gave up (bound or time budget exhausted).
+    /// The engine gave up (bound, time or memory budget exhausted, or a
+    /// contained fault).
     Inconclusive {
         /// Why the engine stopped.
-        reason: String,
+        reason: StopReason,
         /// Bound reached when the engine stopped (the paper's bracketed
         /// `(k_fp)` values on overflow rows).
         bound_reached: usize,
@@ -119,6 +206,18 @@ pub struct EngineStats {
     /// compression pass before emission
     /// ([`InvariantCert::compress`](crate::InvariantCert::compress)).
     pub cert_clauses_subsumed: u64,
+    /// Panics contained at engine dispatch boundaries (each one turned
+    /// into a [`Verdict::Inconclusive`] with a `panic:<msg>` reason).
+    pub panics_contained: u64,
+    /// Times the shared memory budget ([`Options::memory_limit`])
+    /// stopped a SAT call.
+    pub memlimit_hits: u64,
+    /// Faults fired by an injection plan ([`Options::faults`]) during
+    /// this run (0 in production).
+    pub faults_injected: u64,
+    /// Parallel-worker slices re-run sequentially after a contained
+    /// worker fault (the degraded-but-deterministic fallback).
+    pub pool_seq_reruns: u64,
 }
 
 impl EngineStats {
@@ -158,6 +257,10 @@ impl EngineStats {
         self.latches_removed += other.latches_removed;
         self.inputs_removed += other.inputs_removed;
         self.cert_clauses_subsumed += other.cert_clauses_subsumed;
+        self.panics_contained += other.panics_contained;
+        self.memlimit_hits += other.memlimit_hits;
+        self.faults_injected += other.faults_injected;
+        self.pool_seq_reruns += other.pool_seq_reruns;
     }
 }
 
@@ -201,6 +304,18 @@ impl fmt::Display for EngineStats {
         }
         if self.refinements > 0 {
             write!(f, ", {} refinements", self.refinements)?;
+        }
+        if self.panics_contained > 0 {
+            write!(f, ", {} panics contained", self.panics_contained)?;
+        }
+        if self.memlimit_hits > 0 {
+            write!(f, ", {} memory-limit hits", self.memlimit_hits)?;
+        }
+        if self.faults_injected > 0 {
+            write!(f, ", {} faults injected", self.faults_injected)?;
+        }
+        if self.pool_seq_reruns > 0 {
+            write!(f, ", {} worker slices re-run", self.pool_seq_reruns)?;
         }
         if let Some(winner) = self.winner {
             write!(f, ", won by {winner}")?;
@@ -254,7 +369,7 @@ pub enum PropertyStatus {
     /// The run stopped without an answer for this property.
     Inconclusive {
         /// Why the engine stopped.
-        reason: String,
+        reason: StopReason,
         /// Bound reached when the engine stopped.
         bound_reached: usize,
     },
@@ -472,6 +587,21 @@ pub struct Options {
     /// [`Options::telemetry`] is enabled; defaults to
     /// [`sat::DEFAULT_PROBE_INTERVAL`].
     pub probe_interval: u64,
+    /// Shared memory budget, or `None` (the default) for unbounded runs.
+    ///
+    /// The budget governs the *aggregate* estimated footprint of every
+    /// SAT solver of the run — clones of the `Options` share the
+    /// accounting, so a portfolio's concurrent entrants and multi-PDR's
+    /// frame solvers all draw from one pool.  Solvers check it at the
+    /// same cadence as the interrupt flag and stop with a `memlimit`
+    /// [`StopReason`], which engines surface exactly like a timeout.
+    /// Build with [`Options::with_memory_limit`].
+    pub memory_limit: Option<sat::MemoryBudget>,
+    /// Deterministic fault-injection plan (unarmed by default; see
+    /// [`sat::FaultPlan`]).  Chaos testing only: injected faults may flip
+    /// a verdict to [`Verdict::Inconclusive`], never fabricate or change
+    /// a conclusive answer, and never abort the process.
+    pub faults: sat::FaultPlan,
 }
 
 impl Default for Options {
@@ -488,6 +618,8 @@ impl Default for Options {
             telemetry: Telemetry::off(),
             preprocess: aig::passes::PassConfig::default(),
             probe_interval: sat::DEFAULT_PROBE_INTERVAL,
+            memory_limit: None,
+            faults: sat::FaultPlan::none(),
         }
     }
 }
@@ -575,6 +707,21 @@ impl Options {
     /// in conflicts (see [`Options::probe_interval`]).
     pub fn with_probe_interval(mut self, probe_interval: u64) -> Options {
         self.probe_interval = probe_interval;
+        self
+    }
+
+    /// Returns a copy with a fresh shared memory budget of `bytes` (see
+    /// [`Options::memory_limit`]).  Clones of the returned options share
+    /// the budget's accounting.
+    pub fn with_memory_limit(mut self, bytes: u64) -> Options {
+        self.memory_limit = Some(sat::MemoryBudget::new(bytes));
+        self
+    }
+
+    /// Returns a copy with the given fault-injection plan (see
+    /// [`Options::faults`]).
+    pub fn with_faults(mut self, faults: sat::FaultPlan) -> Options {
+        self.faults = faults;
         self
     }
 
@@ -669,7 +816,65 @@ impl Engine {
     /// Runs the engine directly on `aig`, with no preprocessing stage.
     /// Inner entry used by the staged pipeline (which already reduced
     /// the model) and the multi-property fallback loop.
+    ///
+    /// This is the panic-containment boundary: a panic anywhere inside
+    /// the engine (including injected ones) is caught here and converted
+    /// into [`Verdict::Inconclusive`] with a
+    /// [`StopReason::Panic`] reason, so one faulted engine never takes
+    /// down a portfolio race, a scheduler group or the process.
     pub(crate) fn dispatch(
+        self,
+        aig: &aig::Aig,
+        bad_index: usize,
+        options: &Options,
+        cancel: &CancelToken,
+    ) -> EngineResult {
+        let faults_fired_before = options.faults.fired();
+        let start = std::time::Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch_inner(aig, bad_index, options, cancel)
+        }));
+        let mut result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                options.telemetry.instant_args("fault", || {
+                    vec![
+                        ("engine", ArgValue::Str(self.name().to_string())),
+                        ("panic", ArgValue::Str(msg.clone())),
+                    ]
+                });
+                EngineResult {
+                    verdict: Verdict::Inconclusive {
+                        reason: StopReason::Panic(msg),
+                        bound_reached: 0,
+                    },
+                    stats: EngineStats {
+                        time: start.elapsed(),
+                        panics_contained: 1,
+                        ..EngineStats::default()
+                    },
+                    certificate: None,
+                }
+            }
+        };
+        if options.faults.fired() && !faults_fired_before {
+            result.stats.faults_injected += 1;
+        }
+        if let Verdict::Inconclusive {
+            reason: StopReason::MemLimit,
+            ..
+        } = &result.verdict
+        {
+            result.stats.memlimit_hits += 1;
+            options.telemetry.instant_args("memlimit", || {
+                vec![("engine", ArgValue::Str(self.name().to_string()))]
+            });
+        }
+        result
+    }
+
+    fn dispatch_inner(
         self,
         aig: &aig::Aig,
         bad_index: usize,
@@ -725,6 +930,19 @@ impl fmt::Display for Engine {
     }
 }
 
+/// Renders a caught panic payload as a message string (panics raise
+/// `&str` or `String` payloads in practice; anything else gets a
+/// placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,7 +952,7 @@ mod tests {
         assert!(Verdict::Proved { k_fp: 3, j_fp: 2 }.is_proved());
         assert!(Verdict::Falsified { depth: 4 }.is_falsified());
         let inconclusive = Verdict::Inconclusive {
-            reason: "timeout".to_string(),
+            reason: StopReason::Timeout,
             bound_reached: 7,
         };
         assert!(!inconclusive.is_conclusive());
@@ -752,11 +970,30 @@ mod tests {
             "falsified at depth 2"
         );
         assert!(Verdict::Inconclusive {
-            reason: "timeout".into(),
+            reason: StopReason::Timeout,
             bound_reached: 9
         }
         .to_string()
         .contains("bound 9"));
+    }
+
+    #[test]
+    fn stop_reasons_render_and_compare_as_strings() {
+        assert_eq!(StopReason::Timeout.to_string(), "timeout");
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+        assert_eq!(StopReason::MemLimit.to_string(), "memlimit");
+        assert_eq!(StopReason::BoundExhausted.to_string(), "bound exhausted");
+        assert_eq!(StopReason::Retired.to_string(), "retired");
+        assert_eq!(StopReason::panic("boom").to_string(), "panic:boom");
+        assert_eq!(StopReason::other("gave up").to_string(), "gave up");
+        // String comparisons mirror Display exactly.
+        assert_eq!(StopReason::Timeout, "timeout");
+        assert_eq!(StopReason::panic("boom"), "panic:boom");
+        assert!(StopReason::MemLimit != "timeout");
+        assert!(StopReason::Timeout.is_budget_stop());
+        assert!(StopReason::MemLimit.is_budget_stop());
+        assert!(!StopReason::BoundExhausted.is_budget_stop());
+        assert!(!StopReason::panic("x").is_budget_stop());
     }
 
     #[test]

@@ -149,6 +149,12 @@ impl ClauseArena {
         self.data.len()
     }
 
+    /// Bytes backing the arena (the reserved capacity, not just the words
+    /// in use — the memory governor accounts for what is actually held).
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Words occupied by deleted clauses.
     pub fn wasted_words(&self) -> usize {
         self.wasted

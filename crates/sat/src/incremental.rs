@@ -119,6 +119,10 @@ pub struct IncrementalSolver {
     /// Learned-DB reduction trigger re-installed on every rebuilt solver
     /// (`None` disables reduction; see [`Solver::set_reduce_interval`]).
     reduce_interval: Option<u64>,
+    /// Shared memory budget re-installed on every rebuilt solver.
+    mem_budget: Option<crate::MemoryBudget>,
+    /// Fault-injection plan re-installed on every rebuilt solver.
+    faults: crate::FaultPlan,
     /// Retirements since the last root-satisfied sweep.
     retired_since_sweep: u64,
 }
@@ -146,6 +150,8 @@ impl Default for IncrementalSolver {
             probe: None,
             conflict_limit: None,
             reduce_interval: Some(DEFAULT_REDUCE_FIRST),
+            mem_budget: None,
+            faults: crate::FaultPlan::none(),
             retired_since_sweep: 0,
         }
     }
@@ -255,6 +261,23 @@ impl IncrementalSolver {
     pub fn set_reduce_interval(&mut self, first: Option<u64>) {
         self.reduce_interval = first;
         self.solver.set_reduce_interval(first);
+    }
+
+    /// Installs (or clears) a shared memory budget; see
+    /// [`Solver::set_memory_budget`].  The budget survives recycling
+    /// rebuilds (the discarded solver releases its registration, the
+    /// rebuilt one registers afresh).
+    pub fn set_memory_budget(&mut self, budget: Option<crate::MemoryBudget>) {
+        self.mem_budget = budget.clone();
+        self.solver.set_memory_budget(budget);
+    }
+
+    /// Installs a fault-injection plan; see [`Solver::set_faults`].  The
+    /// plan survives recycling rebuilds (and, firing exactly once, never
+    /// re-fires on the rebuilt solver).
+    pub fn set_faults(&mut self, faults: crate::FaultPlan) {
+        self.faults = faults.clone();
+        self.solver.set_faults(faults);
     }
 
     /// Returns the accumulated search statistics (including solvers
@@ -391,6 +414,8 @@ impl IncrementalSolver {
         fresh.set_progress_probe(self.probe.clone());
         fresh.set_conflict_limit(self.conflict_limit);
         fresh.set_reduce_interval(self.reduce_interval);
+        fresh.set_memory_budget(self.mem_budget.clone());
+        fresh.set_faults(self.faults.clone());
         // Warm-start the rebuilt solver: the caller's VSIDS activities and
         // saved phases survive the rebuild, so a long PDR run does not
         // restart its branching heuristics from scratch every few thousand
@@ -746,5 +771,51 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Interrupted);
         flag.store(false, std::sync::atomic::Ordering::Release);
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn memory_budget_survives_recycling() {
+        let budget = crate::MemoryBudget::new(u64::MAX);
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 2);
+        s.set_recycle_threshold(1);
+        s.add_clause([v[0], v[1]]);
+        s.set_memory_budget(Some(budget.clone()));
+        assert!(budget.used() > 0, "the wrapped solver registers");
+        let g = s.add_retirable_clause([!v[0]]);
+        s.retire(g); // triggers a rebuild
+        assert!(
+            budget.used() > 0,
+            "the rebuilt solver registers afresh (and the discarded one released)"
+        );
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        drop(s);
+        assert_eq!(budget.used(), 0, "dropping releases everything");
+    }
+
+    #[test]
+    fn fault_plans_survive_recycling_without_refiring() {
+        use crate::{FaultKind, FaultPlan, FaultSite};
+        // Fires on the 2nd allocation, well before the rebuild.
+        let plan = FaultPlan::inject(FaultSite::Alloc, FaultKind::Interrupt, 2);
+        let mut s = IncrementalSolver::new();
+        let v = lits(&mut s, 2);
+        s.set_recycle_threshold(1);
+        s.set_faults(plan.clone());
+        s.add_clause([v[0], v[1]]);
+        let g = s.add_retirable_clause([!v[0]]);
+        assert!(plan.fired(), "the second allocation ticks the site");
+        assert_eq!(
+            s.solve(&[]),
+            SolveResult::Interrupted,
+            "the injected stop lands once"
+        );
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.retire(g); // triggers a rebuild, replaying clauses — must not re-fire
+        assert_eq!(
+            s.solve(&[]),
+            SolveResult::Sat,
+            "no re-fire after the rebuild"
+        );
     }
 }

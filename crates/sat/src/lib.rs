@@ -49,12 +49,14 @@
 //! ```
 
 mod arena;
+mod govern;
 mod incremental;
 mod luby;
 mod proof;
 mod solver;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
+pub use govern::{FaultKind, FaultPlan, FaultSite, MemoryBudget};
 pub use incremental::{ClauseGuard, IncrementalSolver};
 pub use proof::{Chain, ClauseOrigin, Proof, ProofClause};
 pub use solver::{

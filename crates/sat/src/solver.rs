@@ -12,6 +12,7 @@
 //! interpolant extraction keeps working after any number of reductions.
 
 use crate::arena::{ClauseArena, ClauseRef, NO_PROOF_ID};
+use crate::govern::{FaultKind, FaultPlan, FaultSite, MemoryBudget, Registered};
 use crate::luby::luby;
 use crate::proof::{Chain, ClauseOrigin, Proof, ProofClause};
 use cnf::{Cnf, Lit, Var};
@@ -286,6 +287,18 @@ pub struct Solver {
     /// Learned-clause count that triggers the next database reduction;
     /// `None` disables reduction.
     reduce_limit: Option<u64>,
+    /// Shared memory budget ([`Solver::set_memory_budget`]); the solver
+    /// folds its estimated footprint into the shared total at the same
+    /// cadence as the interrupt check.
+    mem_budget: Option<MemoryBudget>,
+    /// Bytes this solver has registered with `mem_budget`; clones reset
+    /// to 0 so only the solver that registered bytes releases them.
+    mem_registered: Registered,
+    /// Deterministic fault injector; unarmed (free) in production.
+    faults: FaultPlan,
+    /// An injected spurious interrupt from an allocation-site fault,
+    /// consumed at the next cancellation point.
+    injected_stop: bool,
 }
 
 impl Default for Solver {
@@ -330,6 +343,10 @@ impl Solver {
             probe: None,
             probe_next: 0,
             reduce_limit: Some(DEFAULT_REDUCE_FIRST),
+            mem_budget: None,
+            mem_registered: Registered(0),
+            faults: FaultPlan::none(),
+            injected_stop: false,
         }
     }
 
@@ -394,6 +411,75 @@ impl Solver {
     /// giving up with [`SolveResult::Interrupted`]; `None` removes the cap.
     pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
         self.conflict_limit = limit;
+    }
+
+    /// Installs (or clears) a shared [`MemoryBudget`].
+    ///
+    /// The solver registers its estimated footprint with the budget
+    /// immediately and re-registers at the interrupt-check cadence; once
+    /// the *aggregate* across every solver sharing the budget exceeds the
+    /// limit, solve calls answer [`SolveResult::Interrupted`] and the
+    /// budget records a hit.  Dropping the solver (or clearing the budget)
+    /// releases its registered bytes.
+    pub fn set_memory_budget(&mut self, budget: Option<MemoryBudget>) {
+        if let Some(old) = &self.mem_budget {
+            old.release(&mut self.mem_registered.0);
+        }
+        self.mem_budget = budget;
+        let now = self.estimated_bytes();
+        if let Some(new) = &self.mem_budget {
+            new.update(&mut self.mem_registered.0, now);
+        }
+    }
+
+    /// Installs a fault-injection plan ([`FaultPlan`]); the default plan
+    /// is unarmed.  Clones of the plan (across solvers of one run) share
+    /// the countdown, so the configured fault fires exactly once.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// O(1) estimate of this solver's heap footprint in bytes: the clause
+    /// arena's reserved capacity, two watchers per clause, and the
+    /// per-variable bookkeeping (assignment, trail, activities, watch-list
+    /// headers, heap entries).
+    pub fn estimated_bytes(&self) -> u64 {
+        const PER_VAR: u64 = 96;
+        let arena = self.arena.bytes() as u64;
+        let watchers = self.num_clauses as u64 * 2 * std::mem::size_of::<Watcher>() as u64;
+        let vars = self.assign.len() as u64 * PER_VAR;
+        arena + watchers + vars
+    }
+
+    /// Re-registers the current footprint with the shared budget; `true`
+    /// when the aggregate is over the limit (the solve stops with
+    /// [`SolveResult::Interrupted`] and the budget records a hit).
+    fn memory_exceeded(&mut self) -> bool {
+        if self.mem_budget.is_none() {
+            return false;
+        }
+        let now = self.estimated_bytes();
+        let budget = self.mem_budget.as_ref().expect("checked above");
+        budget.update(&mut self.mem_registered.0, now);
+        if budget.exceeded() {
+            budget.record_hit();
+            return true;
+        }
+        false
+    }
+
+    /// The `Alloc` fault-injection site: one tick per clause allocation
+    /// (original and learned).  A panic/alloc-failure fault unwinds from
+    /// here; a spurious interrupt is deferred to the next cancellation
+    /// point, since clause addition has no `Interrupted` answer.
+    fn fault_alloc(&mut self) {
+        if let Some(kind) = self.faults.tick(FaultSite::Alloc) {
+            match kind {
+                FaultKind::Panic => panic!("injected fault: panic at clause allocation"),
+                FaultKind::AllocFail => panic!("injected fault: allocation failure"),
+                FaultKind::Interrupt => self.injected_stop = true,
+            }
+        }
     }
 
     #[inline]
@@ -493,6 +579,7 @@ impl Solver {
         // Clauses are always installed at the root level so that the watch
         // set-up below sees a consistent (level-0) partial assignment.
         self.backtrack(0);
+        self.fault_alloc();
         let pid = match &mut self.proof {
             Some(recorder) => recorder.register_original(),
             None => NO_PROOF_ID,
@@ -1151,6 +1238,7 @@ impl Solver {
     }
 
     fn add_learned(&mut self, lits: Vec<Lit>, lbd: u32, chain: Option<Chain>) -> ClauseRef {
+        self.fault_alloc();
         self.stats.learned += 1;
         let pid = match (&mut self.proof, chain) {
             (Some(recorder), Some(chain)) => recorder.register_learned(chain),
@@ -1395,7 +1483,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
 
-        if self.interrupted() {
+        if self.interrupted() || std::mem::take(&mut self.injected_stop) || self.memory_exceeded() {
             self.backtrack(0);
             self.status = Some(SolveResult::Interrupted);
             return SolveResult::Interrupted;
@@ -1409,13 +1497,30 @@ impl Solver {
 
         loop {
             steps += 1;
-            if steps.is_multiple_of(INTERRUPT_CHECK_INTERVAL) && self.interrupted() {
+            if steps.is_multiple_of(INTERRUPT_CHECK_INTERVAL)
+                && (self.interrupted()
+                    || std::mem::take(&mut self.injected_stop)
+                    || self.memory_exceeded())
+            {
                 self.backtrack(0);
                 self.status = Some(SolveResult::Interrupted);
                 return SolveResult::Interrupted;
             }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                if let Some(kind) = self.faults.tick(FaultSite::Conflict) {
+                    match kind {
+                        FaultKind::Panic => panic!("injected fault: panic at conflict"),
+                        FaultKind::AllocFail => {
+                            panic!("injected fault: allocation failure at conflict")
+                        }
+                        FaultKind::Interrupt => {
+                            self.backtrack(0);
+                            self.status = Some(SolveResult::Interrupted);
+                            return SolveResult::Interrupted;
+                        }
+                    }
+                }
                 conflicts_since_restart += 1;
                 conflicts_this_call += 1;
                 if let Some(probe) = &self.probe {
@@ -1492,6 +1597,16 @@ impl Solver {
     /// Returns the result of the most recent solve call, if any.
     pub fn status(&self) -> Option<SolveResult> {
         self.status
+    }
+}
+
+impl Drop for Solver {
+    fn drop(&mut self) {
+        // Release this solver's contribution to the shared memory budget
+        // (clones registered nothing, so their drop releases nothing).
+        if let Some(budget) = &self.mem_budget {
+            budget.release(&mut self.mem_registered.0);
+        }
     }
 }
 
@@ -1768,6 +1883,87 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Interrupted);
         s.set_conflict_limit(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn memory_budget_interrupts_and_records_a_hit() {
+        let budget = crate::MemoryBudget::new(64);
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        s.set_memory_budget(Some(budget.clone()));
+        assert!(budget.used() > 64, "the solver registers its footprint");
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert!(budget.hits() > 0, "the stop is attributable to memory");
+        drop(s);
+        assert_eq!(budget.used(), 0, "dropping releases the registration");
+        assert!(budget.hits() > 0, "hits survive the release");
+        // A roomy budget lets the same formula finish.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        s.set_memory_budget(Some(crate::MemoryBudget::new(u64::MAX)));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cloned_solvers_do_not_double_release_the_budget() {
+        let budget = crate::MemoryBudget::new(u64::MAX);
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        s.set_memory_budget(Some(budget.clone()));
+        let used = budget.used();
+        assert!(used > 0);
+        let clone = s.clone();
+        drop(clone);
+        assert_eq!(
+            budget.used(),
+            used,
+            "a clone never registered bytes, so its drop must release none"
+        );
+        drop(s);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn injected_interrupt_fires_exactly_once() {
+        use crate::{FaultKind, FaultPlan, FaultSite};
+        let plan = FaultPlan::inject(FaultSite::Conflict, FaultKind::Interrupt, 1);
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        s.set_faults(plan.clone());
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert!(plan.fired());
+        // The plan never re-fires: the retry answers definitively.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn injected_panic_at_an_allocation_unwinds() {
+        use crate::{FaultKind, FaultPlan, FaultSite};
+        let plan = FaultPlan::inject(FaultSite::Alloc, FaultKind::Panic, 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = Solver::new();
+            s.set_faults(plan.clone());
+            pigeonhole(&mut s, 3);
+            s.solve()
+        }));
+        assert!(outcome.is_err(), "the injected panic must surface");
+        assert!(plan.fired());
+    }
+
+    #[test]
+    fn injected_alloc_interrupt_stops_the_next_solve() {
+        use crate::{FaultKind, FaultPlan, FaultSite};
+        let plan = FaultPlan::inject(FaultSite::Alloc, FaultKind::Interrupt, 1);
+        let mut s = Solver::new();
+        s.set_faults(plan.clone());
+        pigeonhole(&mut s, 4);
+        assert!(plan.fired(), "the first clause allocation ticks the site");
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert_eq!(
+            s.solve(),
+            SolveResult::Unsat,
+            "the spurious stop is one-shot"
+        );
     }
 
     #[test]

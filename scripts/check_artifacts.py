@@ -4,10 +4,14 @@
 Each ``--kind`` is one checked artifact contract (previously an inline
 script in ``.github/workflows/ci.yml``):
 
-* ``table1-counters FILE`` — ``itpseq-table1/v5`` JSON: every record
-  carries the SAT-core and search counters plus the preprocessing
-  reduction counters, and the suite as a whole exercised minimization,
-  clause deletion and database reduction.
+* ``table1-counters FILE`` — ``itpseq-table1/v6`` JSON: every record
+  carries the SAT-core and search counters, the preprocessing reduction
+  counters and the fault-isolation counters, and the suite as a whole
+  exercised minimization, clause deletion and database reduction.
+* ``chaos-counters FILE`` — ``itpseq-table1/v6`` JSON from a ``--chaos``
+  run: fault injection was armed, so the counters must show faults
+  actually fired, every verdict must still be a recognised kind, and
+  every inconclusive record must carry a machine-readable reason.
 * ``trace-schema TRACE CHROME BASELINE TRACED`` — ``itpseq-trace/v1``
   JSONL: balanced span tree per track, verdict markers, engine-run
   spans, non-empty Chrome export, and the no-op-sink baseline run is
@@ -28,11 +32,24 @@ import json
 import sys
 
 
-def check_table1_counters(path):
+FAULT_COUNTERS = [
+    "panics_contained",
+    "memlimit_hits",
+    "faults_injected",
+    "pool_seq_reruns",
+]
+
+
+def load_table1(path):
     doc = json.load(open(path))
-    assert doc["schema"] == "itpseq-table1/v5", doc["schema"]
+    assert doc["schema"] == "itpseq-table1/v6", doc["schema"]
     records = doc["records"]
-    assert records, "smoke suite produced no records"
+    assert records, "the run produced no records"
+    return records
+
+
+def check_table1_counters(path):
+    records = load_table1(path)
     counters = [
         "learned_deleted",
         "minimized_literals",
@@ -49,7 +66,7 @@ def check_table1_counters(path):
         "cert_clauses_subsumed",
     ]
     for record in records:
-        for field in reduction:
+        for field in reduction + FAULT_COUNTERS:
             assert field in record, f"{field} missing from {record['benchmark']}"
 
     for record in records:
@@ -61,6 +78,27 @@ def check_table1_counters(path):
         total = sum(r[counter] for r in records)
         assert total > 0, f"{counter} is zero across the whole smoke suite"
         print(f"total {counter}: {total}")
+    # Without injection armed, no run may report a fault.
+    injected = sum(r["faults_injected"] for r in records)
+    assert injected == 0, f"faults reported without injection armed: {injected}"
+
+
+def check_chaos_counters(path):
+    records = load_table1(path)
+    for record in records:
+        for field in FAULT_COUNTERS:
+            assert field in record, f"{field} missing from {record['benchmark']}"
+        assert record["verdict"] in ("proved", "falsified", "inconclusive"), record
+        if record["verdict"] == "inconclusive":
+            assert record["reason"], f"opaque inconclusive record: {record}"
+    injected = sum(r["faults_injected"] for r in records)
+    contained = sum(r["panics_contained"] for r in records)
+    degraded = sum(r["verdict"] == "inconclusive" for r in records)
+    assert injected > 0, "injection was armed but no fault fired"
+    print(
+        f"{len(records)} records: {injected} faults injected, "
+        f"{contained} panics contained, {degraded} degraded verdicts"
+    )
 
 
 def check_trace_schema(trace_path, chrome_path, baseline_path, traced_path):
@@ -137,6 +175,7 @@ def check_hwmcc_schema(path):
 
 KINDS = {
     "table1-counters": (check_table1_counters, 1),
+    "chaos-counters": (check_chaos_counters, 1),
     "trace-schema": (check_trace_schema, 4),
     "hwmcc-schema": (check_hwmcc_schema, 1),
 }

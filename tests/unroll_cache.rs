@@ -52,7 +52,7 @@ fn scratch_bmc(aig: &itpseq::aig::Aig, options: &Options) -> (Verdict, u64) {
     }
     (
         Verdict::Inconclusive {
-            reason: "bound exhausted".to_string(),
+            reason: itpseq::mc::StopReason::BoundExhausted,
             bound_reached: options.max_bound,
         },
         sat_calls,
