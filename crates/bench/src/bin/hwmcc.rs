@@ -18,6 +18,10 @@
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
 //!   file (load in Perfetto or `chrome://tracing`),
+//! * `--report PATH` — the span-tree analysis of the recorded telemetry
+//!   (schema `itpseq-report/v1`),
+//! * `--folded PATH` — the telemetry as inferno-compatible collapsed
+//!   stacks (pipe through `inferno-flamegraph` for an SVG),
 //! * `--timeout-ms N` / `--max-bound N` — per-design budget (defaults:
 //!   5000 ms, bound 40),
 //! * `--certify` / `--cert-dir DIR` — write per-design certificate
@@ -36,7 +40,7 @@
 
 use itpseq_bench::{
     cert_file_stem, hwmcc_records_to_json, with_capture, write_cert_bundle, HwmccRecord,
-    TraceCapture,
+    TraceCapture, TracePaths,
 };
 use mc::{CertRecord, Engine, Options};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -46,8 +50,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: hwmcc DIR [--engine bmc|pdr|portfolio] [--json PATH] \
-         [--trace PATH] [--chrome-trace PATH] [--timeout-ms N] [--max-bound N] \
-         [--certify] [--cert-dir DIR]"
+         [--trace PATH] [--chrome-trace PATH] [--report PATH] [--folded PATH] \
+         [--timeout-ms N] [--max-bound N] [--certify] [--cert-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -154,8 +158,7 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut engine = Engine::Portfolio;
     let mut json_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
-    let mut chrome_path: Option<String> = None;
+    let mut trace = TracePaths::default();
     let mut timeout = Duration::from_secs(5);
     let mut max_bound = 40usize;
     let mut cert_dir: Option<PathBuf> = None;
@@ -171,8 +174,10 @@ fn main() {
                 engine = engine_by_name(&name).unwrap_or_else(|| usage());
             }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
-            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
-            "--chrome-trace" => chrome_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace.jsonl = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome-trace" => trace.chrome = Some(args.next().unwrap_or_else(|| usage())),
+            "--report" => trace.report = Some(args.next().unwrap_or_else(|| usage())),
+            "--folded" => trace.folded = Some(args.next().unwrap_or_else(|| usage())),
             "--timeout-ms" => {
                 let ms: u64 = args
                     .next()
@@ -200,7 +205,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let capture = TraceCapture::new(trace_path, chrome_path);
+    let capture = TraceCapture::new(trace);
     let options = with_capture(
         Options::default()
             .with_timeout(timeout)

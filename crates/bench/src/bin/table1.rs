@@ -24,6 +24,11 @@
 //!   `itpseq-trace/v1` JSONL stream,
 //! * `--chrome-trace PATH` — the same telemetry as a Chrome trace-event
 //!   file (load in Perfetto or `chrome://tracing`),
+//! * `--report PATH` — the span-tree analysis of the recorded telemetry
+//!   (schema `itpseq-report/v1`: per-track span aggregates, counter
+//!   rates, portfolio wasted work),
+//! * `--folded PATH` — the telemetry as inferno-compatible collapsed
+//!   stacks (pipe through `inferno-flamegraph` for an SVG),
 //! * `--certify` / `--cert-dir DIR` — write per-benchmark certificate
 //!   bundles (`<name>.aag` + `<name>.certs.json`, schema
 //!   `itpseq-cert/v1`) for the independent checker
@@ -32,7 +37,7 @@
 
 use itpseq_bench::{
     cert_file_stem, experiment_options, records_to_json, run_engine, suite_by_name, with_capture,
-    write_cert_bundle, RunRecord, TraceCapture,
+    write_cert_bundle, RunRecord, TraceCapture, TracePaths,
 };
 use mc::{CertRecord, Engine};
 use std::path::PathBuf;
@@ -41,8 +46,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: table1 [--suite full|mid|industrial|smoke] [--json PATH] \
-         [--trace PATH] [--chrome-trace PATH] [--certify] [--cert-dir DIR] \
-         [--chaos SEED] [--mem-mb N]"
+         [--trace PATH] [--chrome-trace PATH] [--report PATH] [--folded PATH] \
+         [--certify] [--cert-dir DIR] [--chaos SEED] [--mem-mb N]"
     );
     std::process::exit(2);
 }
@@ -50,8 +55,7 @@ fn usage() -> ! {
 fn main() {
     let mut suite_name = "full".to_string();
     let mut json_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
-    let mut chrome_path: Option<String> = None;
+    let mut trace = TracePaths::default();
     let mut cert_dir: Option<PathBuf> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut mem_mb: Option<u64> = None;
@@ -60,8 +64,10 @@ fn main() {
         match arg.as_str() {
             "--suite" => suite_name = args.next().unwrap_or_else(|| usage()),
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
-            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
-            "--chrome-trace" => chrome_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace.jsonl = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome-trace" => trace.chrome = Some(args.next().unwrap_or_else(|| usage())),
+            "--report" => trace.report = Some(args.next().unwrap_or_else(|| usage())),
+            "--folded" => trace.folded = Some(args.next().unwrap_or_else(|| usage())),
             "--certify" => {
                 cert_dir.get_or_insert_with(|| PathBuf::from("certs"));
             }
@@ -85,7 +91,7 @@ fn main() {
     }
     let suite = suite_by_name(&suite_name).unwrap_or_else(|| usage());
 
-    let capture = TraceCapture::new(trace_path, chrome_path);
+    let capture = TraceCapture::new(trace);
     let mut options = with_capture(experiment_options(), capture.as_ref());
     if let Some(seed) = chaos_seed {
         eprintln!("table1: chaos mode, fault plan seed {seed}");

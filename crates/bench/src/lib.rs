@@ -362,28 +362,51 @@ pub fn hwmcc_records_to_json(engine: Engine, records: &[HwmccRecord]) -> String 
     )
 }
 
-/// Telemetry capture behind the binaries' `--trace`/`--chrome-trace`
-/// flags: events from every run accumulate in one in-memory sink and are
-/// written out once at exit — as an `itpseq-trace/v1` JSONL stream, a
-/// Chrome trace-event file (loadable in Perfetto / `chrome://tracing`),
-/// or both.
+/// The output files a [`TraceCapture`] writes at exit, one per flag of
+/// the experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct TracePaths {
+    /// `--trace`: the raw `itpseq-trace/v1` JSONL stream.
+    pub jsonl: Option<String>,
+    /// `--chrome-trace`: a Chrome trace-event file (loadable in
+    /// Perfetto / `chrome://tracing`).
+    pub chrome: Option<String>,
+    /// `--report`: the `itpseq-report/v1` span-tree analysis (span
+    /// aggregates, counter rates, portfolio wasted work).
+    pub report: Option<String>,
+    /// `--folded`: inferno-compatible collapsed stacks for flamegraphs.
+    pub folded: Option<String>,
+}
+
+impl TracePaths {
+    fn any(&self) -> bool {
+        self.jsonl.is_some()
+            || self.chrome.is_some()
+            || self.report.is_some()
+            || self.folded.is_some()
+    }
+}
+
+/// Telemetry capture behind the binaries' `--trace`/`--chrome-trace`/
+/// `--report`/`--folded` flags: events from every run accumulate in one
+/// in-memory sink and are written out once at exit in each requested
+/// form.
 pub struct TraceCapture {
     sink: Arc<MemorySink>,
-    jsonl_path: Option<String>,
-    chrome_path: Option<String>,
+    paths: TracePaths,
 }
 
 impl TraceCapture {
-    /// A capture for the requested output paths; `None` when tracing was
-    /// not requested (so the no-op telemetry handle stays in place).
-    pub fn new(jsonl_path: Option<String>, chrome_path: Option<String>) -> Option<TraceCapture> {
-        if jsonl_path.is_none() && chrome_path.is_none() {
+    /// A capture for the requested output paths; `None` when no tracing
+    /// output was requested (so the no-op telemetry handle stays in
+    /// place).
+    pub fn new(paths: TracePaths) -> Option<TraceCapture> {
+        if !paths.any() {
             return None;
         }
         Some(TraceCapture {
             sink: Arc::new(MemorySink::new()),
-            jsonl_path,
-            chrome_path,
+            paths,
         })
     }
 
@@ -398,19 +421,39 @@ impl TraceCapture {
     /// to stderr and exit nonzero instead of panicking.
     pub fn write(&self) -> Result<(), String> {
         let events = self.sink.snapshot();
-        if let Some(path) = &self.jsonl_path {
+        if let Some(path) = &self.paths.jsonl {
             let mut out = Vec::new();
             telemetry::write_jsonl(&events, &mut out)
                 .map_err(|e| format!("cannot encode trace for {path}: {e}"))?;
             std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote {} trace events to {path}", events.len());
         }
-        if let Some(path) = &self.chrome_path {
+        if let Some(path) = &self.paths.chrome {
             let mut out = Vec::new();
             telemetry::write_chrome_trace(&events, &mut out)
                 .map_err(|e| format!("cannot encode trace for {path}: {e}"))?;
             std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
+        }
+        if self.paths.report.is_some() || self.paths.folded.is_some() {
+            let report = telemetry::report::TraceReport::from_events(&events);
+            if let Some(path) = &self.paths.report {
+                // The baseline comparison is `trace-report --baseline`'s
+                // job; the inline report documents the run itself.
+                std::fs::write(path, report.to_json(None))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "wrote span report ({} span aggregates) to {path}",
+                    report.spans.len()
+                );
+            }
+            if let Some(path) = &self.paths.folded {
+                let mut out = Vec::new();
+                telemetry::folded::write_folded(&events, &mut out)
+                    .map_err(|e| format!("cannot encode folded stacks for {path}: {e}"))?;
+                std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote folded stacks to {path}");
+            }
         }
         Ok(())
     }
@@ -744,13 +787,20 @@ mod tests {
 
     #[test]
     fn trace_capture_records_and_exports() {
-        assert!(TraceCapture::new(None, None).is_none());
+        assert!(TraceCapture::new(TracePaths::default()).is_none());
         let dir = std::env::temp_dir().join("itpseq-bench-trace-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let jsonl = dir.join("t.jsonl").to_string_lossy().into_owned();
         let chrome = dir.join("t.json").to_string_lossy().into_owned();
-        let capture =
-            TraceCapture::new(Some(jsonl.clone()), Some(chrome.clone())).expect("capture");
+        let report = dir.join("t.report.json").to_string_lossy().into_owned();
+        let folded = dir.join("t.folded").to_string_lossy().into_owned();
+        let capture = TraceCapture::new(TracePaths {
+            jsonl: Some(jsonl.clone()),
+            chrome: Some(chrome.clone()),
+            report: Some(report.clone()),
+            folded: Some(folded.clone()),
+        })
+        .expect("capture");
         let suite = workloads::suite::mid_size();
         let options = with_capture(
             Options::default()
@@ -769,6 +819,22 @@ mod tests {
         assert!(trace.contains(r#""name":"ITPSEQ.run""#), "{trace}");
         let chrome_doc = std::fs::read_to_string(&chrome).expect("chrome written");
         assert!(chrome_doc.contains(r#""traceEvents""#), "{chrome_doc}");
+        // The report written at exit matches a trace-report run over the
+        // recorded JSONL exactly (same events, same aggregates).
+        let report_doc = std::fs::read_to_string(&report).expect("report written");
+        assert!(
+            report_doc.contains(r#""schema": "itpseq-report/v1""#),
+            "{report_doc}"
+        );
+        assert!(
+            report_doc.contains(r#""name":"ITPSEQ.run""#),
+            "{report_doc}"
+        );
+        assert!(report_doc.contains(r#""baseline": null"#), "{report_doc}");
+        let from_jsonl = telemetry::report::TraceReport::from_jsonl(&trace).expect("parses");
+        assert_eq!(report_doc, from_jsonl.to_json(None));
+        let folded_doc = std::fs::read_to_string(&folded).expect("folded written");
+        assert!(folded_doc.contains("main;ITPSEQ.run"), "{folded_doc}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

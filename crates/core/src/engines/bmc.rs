@@ -35,7 +35,7 @@
 //! per-property assumptions, per-property retirement) instead of running
 //! this engine once per property.
 
-use crate::engines::{solver_probe, CancelToken, RunBudget};
+use crate::engines::{CancelToken, EngineProbe, RunBudget};
 use crate::types::StopReason;
 use crate::{Certificate, EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -351,10 +351,10 @@ pub fn verify_with_cancel(
         options.certificates,
         &mut stats,
     );
-    incremental
-        .solver
-        .set_progress_probe(solver_probe(telemetry, options.probe_interval));
+    let probe = EngineProbe::new(telemetry, options.probe_interval);
+    incremental.solver.set_progress_probe(probe.probe());
     for k in 1..=options.max_bound {
+        probe.set_bound(k);
         if let Some(reason) = budget.stop_reason() {
             return finish(
                 stats,

@@ -8,7 +8,7 @@
 //! proves the property or a satisfiable instance forces the bound to grow.
 
 use crate::certificate::{Certificate, InvariantCert, InvariantCone};
-use crate::engines::{CancelToken, RunBudget};
+use crate::engines::{CancelToken, EngineProbe, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -78,13 +78,13 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
-    probe: u64,
+    probe: &EngineProbe,
     telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>, Solver) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     budget.govern(&mut solver);
-    solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
+    solver.set_progress_probe(probe.probe());
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -184,6 +184,7 @@ pub fn verify_with_cancel(
         return finish(stats, verdict, cert, start);
     }
 
+    let probe = EngineProbe::new(telemetry, options.probe_interval);
     let mut space = StateSpace::new(design.num_latches());
     let s0 = space.initial_states(design);
     let identity: Vec<usize> = (0..design.num_latches()).collect();
@@ -201,6 +202,7 @@ pub fn verify_with_cancel(
             );
         }
         let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
+        probe.set_bound(k);
         // Initial check from the real initial states.
         let encode_start = Instant::now();
         let instance = build_bound_instance(design, bad_index, k, None, &identity);
@@ -210,7 +212,7 @@ pub fn verify_with_cancel(
             &mut stats,
             &budget,
             options.reduce_interval(),
-            options.probe_interval,
+            &probe,
             telemetry,
         );
         if result == SolveResult::Sat {
@@ -295,7 +297,7 @@ pub fn verify_with_cancel(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
-                options.probe_interval,
+                &probe,
                 telemetry,
             );
             if result == SolveResult::Sat {

@@ -18,35 +18,76 @@ pub(crate) mod seq;
 pub mod sitpseq;
 
 use crate::types::StopReason;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use telemetry::{ArgValue, Telemetry};
 
-/// A [`sat::ProgressProbe`] republishing solver statistics snapshots as
-/// periodic `"solver"` counter samples on `telemetry`'s track, or `None`
-/// when tracing is disabled (the solver then carries no probe at all —
-/// the hot path stays exactly as before).
+/// The per-run progress publisher: periodic `"solver"` counter samples
+/// *and* `"progress"` heartbeat instants on one telemetry track.
 ///
-/// Every engine installs this on its long-lived solvers, which is how
+/// Every engine builds one of these per run and installs
+/// [`probe`](Self::probe) on its long-lived solvers — that is how
 /// restart/decision/propagation progress surfaces in a trace without a
-/// single callback from the propagation inner loop.  `interval` is the
-/// sample cadence in conflicts
-/// ([`Options::probe_interval`](crate::Options::probe_interval)).
-pub(crate) fn solver_probe(telemetry: &Telemetry, interval: u64) -> Option<sat::ProgressProbe> {
-    if !telemetry.is_enabled() {
-        return None;
+/// single callback from the propagation inner loop.  The engine main loop
+/// additionally publishes the bound/frame/level it is working on through
+/// [`set_bound`](Self::set_bound); each heartbeat reads the cell at fire
+/// time, so even solvers installed once and reused across bounds (PDR's
+/// per-frame solvers, the incremental BMC solver) report the *current*
+/// position, and a long run is observably alive mid-bound rather than
+/// only post-hoc analyzable.
+///
+/// The sample cadence is `interval` conflicts
+/// ([`Options::probe_interval`](crate::Options::probe_interval)); with
+/// tracing disabled [`probe`](Self::probe) returns `None` and the solver
+/// carries no probe at all — the hot path stays exactly as before.
+pub(crate) struct EngineProbe {
+    telemetry: Telemetry,
+    interval: u64,
+    bound: Arc<AtomicU64>,
+}
+
+impl EngineProbe {
+    /// A publisher emitting on `telemetry`'s track every `interval`
+    /// conflicts.
+    pub fn new(telemetry: &Telemetry, interval: u64) -> EngineProbe {
+        EngineProbe {
+            telemetry: telemetry.clone(),
+            interval,
+            bound: Arc::new(AtomicU64::new(0)),
+        }
     }
-    let telemetry = telemetry.clone();
-    Some(sat::ProgressProbe::new(interval, move |stats| {
-        telemetry.counter("solver", || {
-            vec![
-                ("conflicts", ArgValue::U64(stats.conflicts)),
-                ("decisions", ArgValue::U64(stats.decisions)),
-                ("propagations", ArgValue::U64(stats.propagations)),
-                ("restarts", ArgValue::U64(stats.restarts)),
-            ]
-        });
-    }))
+
+    /// Publishes the bound/frame/level the engine is currently working
+    /// on; the next heartbeat carries it.
+    pub fn set_bound(&self, bound: usize) {
+        self.bound.store(bound as u64, Ordering::Relaxed);
+    }
+
+    /// A [`sat::ProgressProbe`] for [`sat::Solver::set_progress_probe`],
+    /// or `None` when tracing is disabled.
+    pub fn probe(&self) -> Option<sat::ProgressProbe> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let telemetry = self.telemetry.clone();
+        let bound = Arc::clone(&self.bound);
+        Some(sat::ProgressProbe::new(self.interval, move |stats| {
+            telemetry.counter("solver", || {
+                vec![
+                    ("conflicts", ArgValue::U64(stats.conflicts)),
+                    ("decisions", ArgValue::U64(stats.decisions)),
+                    ("propagations", ArgValue::U64(stats.propagations)),
+                    ("restarts", ArgValue::U64(stats.restarts)),
+                ]
+            });
+            telemetry.instant_args("progress", || {
+                vec![
+                    ("bound", ArgValue::U64(bound.load(Ordering::Relaxed))),
+                    ("conflicts", ArgValue::U64(stats.conflicts)),
+                ]
+            });
+        }))
+    }
 }
 
 /// Cooperative cancellation token shared between an engine run and its

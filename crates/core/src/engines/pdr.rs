@@ -62,7 +62,7 @@ mod generalize;
 mod obligations;
 
 use crate::certificate::{Certificate, InvariantCert};
-use crate::engines::{pool, solver_probe, CancelToken, RunBudget};
+use crate::engines::{pool, CancelToken, EngineProbe, RunBudget};
 use crate::multi::{RetireBoard, StatusSlots};
 use crate::{EngineResult, EngineStats, MultiResult, Options, PropertyStatus, Verdict};
 use aig::Aig;
@@ -199,6 +199,7 @@ pub(crate) fn verify_all_with_cancel(
 
     for level in 1..=options.max_bound {
         let _level = telemetry.span_args("level", || vec![("k", ArgValue::U64(level as u64))]);
+        pdr.probe.set_bound(level);
         statuses.sync_board(level - 1);
         let live = statuses.live();
         if live.is_empty() {
@@ -322,6 +323,9 @@ struct Pdr<'a> {
     obligations: ObligationQueue,
     /// Number of design latches (for invariant certificates).
     num_latches: usize,
+    /// Progress publisher shared by every solver of the run; the major
+    /// loop keeps its current level in it.
+    probe: EngineProbe,
     /// Path arena for counterexample reconstruction: one
     /// `(inputs, successor)` entry per discovered predecessor, indexed by
     /// [`Obligation::path`].  Cleared with each new obligation root.
@@ -364,11 +368,12 @@ impl<'a> Pdr<'a> {
             .map(|(latch, lit)| (lit.var().index(), latch))
             .collect();
 
+        let probe = EngineProbe::new(&options.telemetry, options.probe_interval);
         let init: Vec<bool> = (0..aig.num_latches()).map(|l| aig.init(l)).collect();
         let mut init_solver = IncrementalSolver::with_base(&template);
         init_solver.set_reduce_interval(options.reduce_interval());
         budget.govern_incremental(&mut init_solver);
-        init_solver.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
+        init_solver.set_progress_probe(probe.probe());
         for (latch, &value) in init.iter().enumerate() {
             let lit = if value { latch0[latch] } else { !latch0[latch] };
             init_solver.add_clause([lit]);
@@ -376,7 +381,7 @@ impl<'a> Pdr<'a> {
         let mut lift = IncrementalSolver::with_base(&template);
         lift.set_reduce_interval(options.reduce_interval());
         budget.govern_incremental(&mut lift);
-        lift.set_progress_probe(solver_probe(&options.telemetry, options.probe_interval));
+        lift.set_progress_probe(probe.probe());
 
         Pdr {
             options,
@@ -397,6 +402,7 @@ impl<'a> Pdr<'a> {
             frames: FrameTrace::new(),
             obligations: ObligationQueue::new(),
             num_latches: aig.num_latches(),
+            probe,
             paths: Vec::new(),
         }
     }
@@ -410,6 +416,7 @@ impl<'a> Pdr<'a> {
                 .options
                 .telemetry
                 .span_args("level", || vec![("k", ArgValue::U64(level as u64))]);
+            self.probe.set_bound(level);
             self.extend();
             match self.blocking_phase(0) {
                 Phase::Falsified { depth, trace } => {
@@ -514,10 +521,7 @@ impl<'a> Pdr<'a> {
         let mut solver = IncrementalSolver::with_base(&self.template);
         solver.set_reduce_interval(self.options.reduce_interval());
         self.budget.govern_incremental(&mut solver);
-        solver.set_progress_probe(solver_probe(
-            &self.options.telemetry,
-            self.options.probe_interval,
-        ));
+        solver.set_progress_probe(self.probe.probe());
         self.solvers.push(solver);
     }
 

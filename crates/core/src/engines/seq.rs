@@ -18,7 +18,7 @@
 
 use crate::abstraction::Abstraction;
 use crate::certificate::{Certificate, InvariantCert, InvariantCone};
-use crate::engines::{CancelToken, RunBudget};
+use crate::engines::{CancelToken, EngineProbe, RunBudget};
 use crate::state::{encode_state_lit, StateSpace};
 use crate::{EngineResult, EngineStats, Options, Verdict};
 use aig::Aig;
@@ -204,13 +204,13 @@ fn solve(
     stats: &mut EngineStats,
     budget: &RunBudget,
     reduce: Option<u64>,
-    probe: u64,
+    probe: &EngineProbe,
     telemetry: &Telemetry,
 ) -> (SolveResult, Option<Proof>) {
     let mut solver = Solver::new();
     solver.set_reduce_interval(reduce);
     budget.govern(&mut solver);
-    solver.set_progress_probe(crate::engines::solver_probe(telemetry, probe));
+    solver.set_progress_probe(probe.probe());
     solver.add_cnf(cnf);
     stats.sat_calls += 1;
     stats.clauses_encoded += cnf.clauses.len() as u64;
@@ -330,7 +330,7 @@ fn compute_sequence(
     check: BmcCheck,
     alpha_serial: f64,
     reduce: Option<u64>,
-    probe: u64,
+    probe: &EngineProbe,
     space: &mut StateSpace,
     model_to_concrete: &[usize],
     concrete_to_model: &[usize],
@@ -571,6 +571,7 @@ pub(crate) fn run(
         ]
     });
     let mut stats = EngineStats::default();
+    let probe = EngineProbe::new(telemetry, options.probe_interval);
     let mut space = StateSpace::new(design.num_latches());
     // `ℐ_j` column conjunctions, persisted across bounds (1-based index j).
     let mut columns: Vec<aig::Lit> = Vec::new();
@@ -628,6 +629,7 @@ pub(crate) fn run(
             );
         }
         let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
+        probe.set_bound(k);
 
         // Bounded check at bound k (on the abstract model when CBA is on),
         // interleaved with abstraction refinement.  The reset-state
@@ -646,7 +648,7 @@ pub(crate) fn run(
                 &mut stats,
                 &budget,
                 options.reduce_interval(),
-                options.probe_interval,
+                &probe,
                 telemetry,
             );
             match result {
@@ -757,7 +759,7 @@ pub(crate) fn run(
             options.check,
             config.alpha_serial,
             options.reduce_interval(),
-            options.probe_interval,
+            &probe,
             &mut space,
             model_to_concrete,
             &concrete_to_model,

@@ -31,7 +31,7 @@
 //! serving the survivors.  Retired properties stop having their bad
 //! cones encoded at later frames.
 
-use crate::engines::{solver_probe, CancelToken, RunBudget};
+use crate::engines::{CancelToken, EngineProbe, RunBudget};
 use crate::multi::{RetireBoard, StatusSlots};
 use crate::{EngineStats, MultiResult, Options, PropertyStatus};
 use aig::Aig;
@@ -170,7 +170,8 @@ impl<'a> MultiBmc<'a> {
         solver.set_recycle_threshold(0);
         solver.set_reduce_interval(self.options.reduce_interval());
         budget.govern_incremental(&mut solver);
-        solver.set_progress_probe(solver_probe(&telemetry, self.options.probe_interval));
+        let probe = EngineProbe::new(&telemetry, self.options.probe_interval);
+        solver.set_progress_probe(probe.probe());
         let frame0 = unroller.bad_lits(0, self.slots.iter().map(|slot| slot.property));
         for (slot, bad) in self.slots.iter_mut().zip(frame0) {
             slot.bads.push(bad);
@@ -210,6 +211,7 @@ impl<'a> MultiBmc<'a> {
 
         for k in 1..=self.options.max_bound {
             let _bound = telemetry.span_args("bound", || vec![("k", ArgValue::U64(k as u64))]);
+            probe.set_bound(k);
             self.statuses.sync_board(k - 1);
             let live = self.statuses.live();
             if live.is_empty() {

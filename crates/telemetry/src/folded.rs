@@ -1,0 +1,164 @@
+//! Inferno-compatible collapsed-stack ("folded") flamegraph export.
+//!
+//! Each output line is `track;span;span;... weight` where the weight is
+//! the stack's *self* time in microseconds — feed the file straight to
+//! `inferno-flamegraph` (or Brendan Gregg's `flamegraph.pl`) to get an
+//! interactive SVG.  Because self times telescope, the per-track sum of
+//! all weights equals the summed duration of the track's root spans
+//! exactly (integer arithmetic, no sampling involved) — the balance
+//! property the test suite pins down.
+
+use crate::report::{parse_trace_jsonl, RecEvent};
+use crate::Event;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+struct OpenFrame {
+    name: String,
+    begin_ts: u64,
+    child_us: u64,
+}
+
+/// Aggregates the folded stacks of an event stream; returns them sorted
+/// by stack string with summed weights (inferno accepts duplicates, but
+/// merged output is deterministic and diff-friendly).  Unclosed spans are
+/// dropped, matching [`TraceReport`](crate::report::TraceReport).
+fn fold(events: &[RecEvent]) -> BTreeMap<String, u64> {
+    let mut stacks: BTreeMap<String, Vec<OpenFrame>> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for event in events {
+        match event.kind {
+            crate::EventKind::Begin => {
+                stacks
+                    .entry(event.track.clone())
+                    .or_default()
+                    .push(OpenFrame {
+                        name: event.name.clone(),
+                        begin_ts: event.ts_us,
+                        child_us: 0,
+                    });
+            }
+            crate::EventKind::End => {
+                let Some(stack) = stacks.get_mut(&event.track) else {
+                    continue;
+                };
+                let Some(open_at) = stack.iter().rposition(|f| f.name == event.name) else {
+                    continue;
+                };
+                let frame = stack.remove(open_at);
+                let duration = event.ts_us.saturating_sub(frame.begin_ts);
+                let self_us = duration.saturating_sub(frame.child_us);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_us += duration;
+                }
+                if self_us > 0 {
+                    let mut line = String::with_capacity(64);
+                    line.push_str(&event.track);
+                    for ancestor in stack.iter() {
+                        line.push(';');
+                        line.push_str(&ancestor.name);
+                    }
+                    line.push(';');
+                    line.push_str(&frame.name);
+                    *folded.entry(line).or_default() += self_us;
+                }
+            }
+            _ => {}
+        }
+    }
+    folded
+}
+
+/// Writes the folded stacks of an in-memory event stream.
+pub fn write_folded(events: &[Event], writer: &mut dyn Write) -> io::Result<()> {
+    let rec: Vec<RecEvent> = events.iter().map(RecEvent::from).collect();
+    write_folded_rec(&rec, writer)
+}
+
+/// Writes the folded stacks of a recorded `itpseq-trace/v1` JSONL
+/// document (the `trace-report --folded` path).
+pub fn folded_from_jsonl(text: &str) -> Result<String, String> {
+    let rec = parse_trace_jsonl(text)?;
+    let mut out = Vec::new();
+    write_folded_rec(&rec, &mut out).map_err(|e| e.to_string())?;
+    String::from_utf8(out).map_err(|e| e.to_string())
+}
+
+fn write_folded_rec(events: &[RecEvent], writer: &mut dyn Write) -> io::Result<()> {
+    for (stack, weight) in fold(events) {
+        writeln!(writer, "{stack} {weight}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(ts_us: u64, track: &str, name: &str, kind: EventKind) -> RecEvent {
+        RecEvent {
+            ts_us,
+            track: track.to_string(),
+            name: name.to_string(),
+            kind,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn folded_stacks_telescope_to_root_totals() {
+        // run [0..100] { sat [10..30] { minimize [15..25] }, sat [40..50] }
+        let events = vec![
+            ev(0, "main", "run", EventKind::Begin),
+            ev(10, "main", "sat", EventKind::Begin),
+            ev(15, "main", "minimize", EventKind::Begin),
+            ev(25, "main", "minimize", EventKind::End),
+            ev(30, "main", "sat", EventKind::End),
+            ev(40, "main", "sat", EventKind::Begin),
+            ev(50, "main", "sat", EventKind::End),
+            ev(100, "main", "run", EventKind::End),
+        ];
+        let folded = fold(&events);
+        assert_eq!(folded.get("main;run"), Some(&70));
+        assert_eq!(folded.get("main;run;sat"), Some(&20));
+        assert_eq!(folded.get("main;run;sat;minimize"), Some(&10));
+        // Balance: the weights sum to the root span's total duration.
+        assert_eq!(folded.values().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn tracks_do_not_mix_and_zero_self_frames_are_dropped() {
+        let events = vec![
+            ev(0, "PDR", "run", EventKind::Begin),
+            ev(0, "BMC", "run", EventKind::Begin),
+            // PDR's run is fully covered by its child: zero self time.
+            ev(0, "PDR", "sat", EventKind::Begin),
+            ev(40, "PDR", "sat", EventKind::End),
+            ev(40, "PDR", "run", EventKind::End),
+            ev(60, "BMC", "run", EventKind::End),
+        ];
+        let folded = fold(&events);
+        assert_eq!(folded.get("PDR;run;sat"), Some(&40));
+        assert_eq!(folded.get("PDR;run"), None);
+        assert_eq!(folded.get("BMC;run"), Some(&60));
+    }
+
+    #[test]
+    fn output_lines_parse_as_stack_and_weight() {
+        let events = vec![
+            ev(0, "main", "run", EventKind::Begin),
+            ev(10, "main", "run", EventKind::End),
+            ev(20, "main", "run", EventKind::Begin), // left open: dropped
+        ];
+        let mut out = Vec::new();
+        write_folded_rec(&events, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "main;run 10\n");
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("stack and weight");
+            assert!(!stack.is_empty());
+            weight.parse::<u64>().expect("numeric weight");
+        }
+    }
+}

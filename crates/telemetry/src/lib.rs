@@ -18,6 +18,12 @@
 //!   trace-event format, so a portfolio race or a parallel-PDR run opens
 //!   in [Perfetto](https://ui.perfetto.dev) / `chrome://tracing` as named
 //!   per-entrant tracks.
+//! * [`report`] — span-tree analytics over a recorded stream: per-track
+//!   aggregate timings, counter rates, portfolio wasted-work attribution
+//!   and a CI-gateable baseline (`itpseq-report/v1`), consumed by the
+//!   `trace-report` binary.
+//! * [`folded`] — inferno-compatible collapsed-stack export for
+//!   flamegraphs.
 //!
 //! # Event model
 //!
@@ -52,9 +58,12 @@
 //! assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
 //! ```
 
+pub mod folded;
+pub mod report;
+
 use std::fmt;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -360,20 +369,49 @@ impl TelemetrySink for MemorySink {
     }
 }
 
+/// Bytes of formatted lines a [`JsonlSink`] accumulates before handing
+/// them to the writer in one call.
+const JSONL_BUFFER_LIMIT: usize = 32 * 1024;
+
 /// A sink that streams events as newline-delimited JSON
 /// (`itpseq-trace/v1`): a header line, then one object per event.
+///
+/// Lines are batched in an internal buffer and written out once it
+/// crosses a 32 KiB limit, on [`TelemetrySink::flush`], and on
+/// drop — an engine loop never pays a write syscall per event, and a
+/// streaming consumer (the future daemon) sees whole lines only.
 pub struct JsonlSink {
-    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    state: Mutex<JsonlState>,
+}
+
+struct JsonlState {
+    writer: Box<dyn Write + Send>,
+    buffer: String,
+}
+
+impl JsonlState {
+    /// Hands the accumulated lines to the writer.  A full disk mid-trace
+    /// must not take the verification run down with it, so errors are
+    /// swallowed (the final flush in `Drop` surfaces nothing either, by
+    /// the same argument).
+    fn drain(&mut self) {
+        if !self.buffer.is_empty() {
+            let _ = self.writer.write_all(self.buffer.as_bytes());
+            self.buffer.clear();
+        }
+    }
 }
 
 impl JsonlSink {
     /// Streams to an arbitrary writer, emitting the schema header line
-    /// immediately.
-    pub fn new(writer: Box<dyn Write + Send>) -> io::Result<JsonlSink> {
-        let mut writer = BufWriter::new(writer);
+    /// immediately (so even an empty trace identifies itself).
+    pub fn new(mut writer: Box<dyn Write + Send>) -> io::Result<JsonlSink> {
         writeln!(writer, "{{\"schema\":\"{TRACE_SCHEMA}\"}}")?;
         Ok(JsonlSink {
-            writer: Mutex::new(writer),
+            state: Mutex::new(JsonlState {
+                writer,
+                buffer: String::with_capacity(JSONL_BUFFER_LIMIT + 256),
+            }),
         })
     }
 
@@ -386,27 +424,31 @@ impl JsonlSink {
 impl TelemetrySink for JsonlSink {
     fn record(&self, event: Event) {
         let line = event_to_jsonl(&event);
-        let mut writer = self.writer.lock().unwrap();
-        // A full disk mid-trace must not take the verification run down
-        // with it; the final flush in `Drop` surfaces nothing either, by
-        // the same argument.
-        let _ = writeln!(writer, "{line}");
+        let mut state = self.state.lock().unwrap();
+        state.buffer.push_str(&line);
+        state.buffer.push('\n');
+        if state.buffer.len() >= JSONL_BUFFER_LIMIT {
+            state.drain();
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let mut state = self.state.lock().unwrap();
+        state.drain();
+        let _ = state.writer.flush();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut writer) = self.writer.lock() {
-            let _ = writer.flush();
+        if let Ok(mut state) = self.state.lock() {
+            state.drain();
+            let _ = state.writer.flush();
         }
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -685,6 +727,62 @@ mod tests {
         let event_line = lines.next().unwrap();
         assert!(event_line.contains("\"ph\":\"i\""));
         assert!(event_line.contains("\"name\":\"marker\""));
+    }
+
+    #[test]
+    fn jsonl_sink_batches_lines_until_flush_or_drop() {
+        #[derive(Clone)]
+        struct CountingWriter {
+            data: Arc<Mutex<Vec<u8>>>,
+            writes: Arc<AtomicU64>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.data.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let writer = CountingWriter {
+            data: Arc::new(Mutex::new(Vec::new())),
+            writes: Arc::new(AtomicU64::new(0)),
+        };
+        let (data, writes) = (writer.data.clone(), writer.writes.clone());
+        let sink = Arc::new(JsonlSink::new(Box::new(writer)).unwrap());
+        let telemetry = Telemetry::new(sink.clone());
+        let header_writes = writes.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            telemetry.instant("tick");
+        }
+        // 100 short lines fit well inside the buffer: no writes yet.
+        assert_eq!(writes.load(Ordering::Relaxed), header_writes);
+        telemetry.flush();
+        assert_eq!(writes.load(Ordering::Relaxed), header_writes + 1);
+        for _ in 0..100 {
+            telemetry.instant("tock");
+        }
+        drop(telemetry);
+        drop(sink); // drop drains the tail without an explicit flush
+        let text = String::from_utf8(data.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 201); // header + 200 events
+        assert!(text.ends_with('\n'));
+
+        // A sustained stream does cross the limit and drains mid-run.
+        let writer = CountingWriter {
+            data: Arc::new(Mutex::new(Vec::new())),
+            writes: Arc::new(AtomicU64::new(0)),
+        };
+        let writes = writer.writes.clone();
+        let sink = Arc::new(JsonlSink::new(Box::new(writer)).unwrap());
+        let telemetry = Telemetry::new(sink);
+        let before = writes.load(Ordering::Relaxed);
+        for _ in 0..2_000 {
+            telemetry.instant("a-somewhat-longer-event-name-to-fill-the-buffer");
+        }
+        assert!(writes.load(Ordering::Relaxed) > before);
     }
 
     #[test]

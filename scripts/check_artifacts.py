@@ -22,6 +22,12 @@ script in ``.github/workflows/ci.yml``):
   the preprocessing pipeline reports per-pass reduction statistics with
   nonzero AND-gate and latch removal somewhere in the fixture set (the
   industrial-shaped fixture guarantees both).
+* ``report REPORT FOLDED`` — ``itpseq-report/v1`` JSON plus its folded
+  flamegraph export: non-empty span aggregates with engine-run spans,
+  per-track self times summing to the busy time and bounded by the wall
+  time, the ``baseline`` comparison field present (and passing when a
+  comparison was embedded), and a non-empty well-formed collapsed-stack
+  file whose per-track weights equal the report's busy times.
 
 Exit status is non-zero (an ``AssertionError`` traceback) on any
 violated contract, which fails the CI step.
@@ -173,11 +179,58 @@ def check_hwmcc_schema(path):
     )
 
 
+def check_report(report_path, folded_path):
+    doc = json.load(open(report_path))
+    assert doc["schema"] == "itpseq-report/v1", doc["schema"]
+    assert doc["total_events"] > 0, "report over an empty trace"
+    spans = doc["spans"]
+    assert spans, "no span aggregates"
+    assert any(
+        s["name"].endswith(".run") or s["name"].endswith(".multi") for s in spans
+    ), "no engine run spans in the aggregates"
+    for span in spans:
+        assert span["self_us"] <= span["total_us"], span
+        assert span["min_us"] <= span["p50_us"] <= span["p99_us"] <= span["max_us"], span
+    tracks = {t["track"]: t for t in doc["tracks"]}
+    assert tracks, "no tracks"
+    for name, track in tracks.items():
+        self_sum = sum(s["self_us"] for s in spans if s["track"] == name)
+        assert self_sum == track["busy_us"], (
+            f"{name}: self times sum to {self_sum}, busy is {track['busy_us']}"
+        )
+        assert track["busy_us"] <= track["wall_us"], track
+    # The key is always emitted; a null means "no comparison requested",
+    # an embedded comparison must have passed for the artifact to count.
+    assert "baseline" in doc, "report carries no baseline field"
+    if doc["baseline"] is not None:
+        assert doc["baseline"]["passed"], doc["baseline"]
+
+    folded = open(folded_path).read().splitlines()
+    assert folded, "empty folded flamegraph export"
+    weights = {}
+    for line in folded:
+        stack, weight = line.rsplit(" ", 1)
+        frames = stack.split(";")
+        assert frames and all(frames), f"malformed stack: {line!r}"
+        weights[frames[0]] = weights.get(frames[0], 0) + int(weight)
+    for name, total in weights.items():
+        assert name in tracks, f"folded track {name} missing from the report"
+        assert total == tracks[name]["busy_us"], (
+            f"{name}: folded weight {total} != busy {tracks[name]['busy_us']}"
+        )
+    print(
+        f"{len(spans)} span aggregates over {len(tracks)} tracks, "
+        f"{len(folded)} folded stacks, baseline "
+        + ("compared" if doc["baseline"] is not None else "not compared")
+    )
+
+
 KINDS = {
     "table1-counters": (check_table1_counters, 1),
     "chaos-counters": (check_chaos_counters, 1),
     "trace-schema": (check_trace_schema, 4),
     "hwmcc-schema": (check_hwmcc_schema, 1),
+    "report": (check_report, 2),
 }
 
 
